@@ -1,0 +1,49 @@
+//! The paper's tile-size sweep ("we tested all tiled implementations
+//! with tile sizes of 4, 8, 16, and 32; in general tile sizes of 8 and
+//! 16 were the most efficient"), run natively for the two tiled
+//! categories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdesched_bench::box_pair;
+use pdesched_core::{run_box, CompLoop, Granularity, IntraTile, NoMem, Variant};
+
+fn bench_tiles(c: &mut Criterion) {
+    let n = 64;
+    let (phi0, phi1, cells) = box_pair(n, 13);
+    let mut group = c.benchmark_group("tile_sweep_64cubed");
+    group.sample_size(10);
+    for tile in [4, 8, 16, 32] {
+        let ot = Variant::overlapped(IntraTile::ShiftFuse, tile, Granularity::OverBoxes);
+        group.bench_with_input(BenchmarkId::new("ot-shift-fuse", tile), &ot, |b, &v| {
+            let mut out = phi1.clone();
+            b.iter(|| {
+                out.set_val(0.0);
+                run_box(v, &phi0, &mut out, cells, 1, &NoMem)
+            });
+        });
+        let mut wf = Variant::blocked_wavefront(CompLoop::Inside, tile);
+        wf.gran = Granularity::OverBoxes;
+        group.bench_with_input(BenchmarkId::new("blocked-wf-cli", tile), &wf, |b, &v| {
+            let mut out = phi1.clone();
+            b.iter(|| {
+                out.set_val(0.0);
+                run_box(v, &phi0, &mut out, cells, 1, &NoMem)
+            });
+        });
+        // Hierarchical ablation: same outer tile, inner tiles of 4.
+        if tile > 4 {
+            let h = Variant::hierarchical(tile, 4, Granularity::OverBoxes);
+            group.bench_with_input(BenchmarkId::new("hier-ot-inner4", tile), &h, |b, &v| {
+                let mut out = phi1.clone();
+                b.iter(|| {
+                    out.set_val(0.0);
+                    run_box(v, &phi0, &mut out, cells, 1, &NoMem)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiles);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--fast] [--store PATH] \
+//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|all]...
+//! ```
+//!
+//! * `--store PATH` — persist/reuse cache-simulator traffic measurements
+//!   (default `target/traffic-cache.txt`); the first full run costs
+//!   ~15 min of trace simulation on one core, subsequent runs are
+//!   instant.
+//! * `--fast` — substitute 64^3 for the 128^3 box in the scaling
+//!   figures (roughly 8x cheaper traces; shapes are preserved but the
+//!   cache-residency crossover shifts).
+
+use pdesched_bench::render_figure;
+use pdesched_core::storage::{expected, paper_formula};
+use pdesched_core::{Category, Variant};
+use pdesched_machine::figures;
+use pdesched_machine::{MachineSpec, TrafficCache};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store = String::from("target/traffic-cache.txt");
+    let mut fast = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--store" => store = it.next().expect("--store needs a path"),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "fig1", "table1", "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",
+            "bandwidth", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let cache = TrafficCache::with_store(&store);
+    let machines = MachineSpec::evaluation_nodes();
+    if fast {
+        eprintln!("[repro] --fast: using 64^3 in place of 128^3 (shape-preserving, cheaper)");
+    }
+    for w in &wanted {
+        let t0 = std::time::Instant::now();
+        match w.as_str() {
+            "fig1" => print!("{}", render_figure(&figures::figure1())),
+            "table1" => print_table1(),
+            "fig2" => print!("{}", render_figure(&fig234(&machines[0], &cache, "fig2", fast))),
+            "fig3" => print!("{}", render_figure(&fig234(&machines[1], &cache, "fig3", fast))),
+            "fig4" => print!("{}", render_figure(&fig234(&machines[2], &cache, "fig4", fast))),
+            "fig9" => print!("{}", render_figure(&figures::figure9(&cache))),
+            "fig10" => print!("{}", render_figure(&figures::figure1012(&machines[0], &cache, "fig10"))),
+            "fig11" => print!("{}", render_figure(&figures::figure1012(&machines[1], &cache, "fig11"))),
+            "fig12" => print!("{}", render_figure(&figures::figure1012(&machines[2], &cache, "fig12"))),
+            "bandwidth" => print_bandwidth(&cache),
+            "ablation" => print_ablation(),
+            "sweep" => print_sweep(),
+            other => eprintln!("[repro] unknown target '{other}'"),
+        }
+        eprintln!("[repro] {w} done in {:.1?} ({} traces cached)", t0.elapsed(), cache.len());
+    }
+}
+
+fn fig234(
+    spec: &MachineSpec,
+    cache: &TrafficCache,
+    id: &str,
+    fast: bool,
+) -> figures::Figure {
+    if fast {
+        figures::figure234_sized(spec, cache, id, 64)
+    } else {
+        figures::figure234(spec, cache, id)
+    }
+}
+
+fn print_table1() {
+    // Table I for the paper's parameters: C = 5 components, P threads,
+    // tile size T. Printed for N = 128, T = 16, P = 24 alongside this
+    // implementation's exact (measured-equal) formulas.
+    let (n, t, p) = (128, 16, 24);
+    println!("== Table I: temporary data per schedule (N={n}, T={t}, C=5, P={p}) ==");
+    println!(
+        "{:<34} {:>16} {:>16} {:>18} {:>18}",
+        "Schedule", "paper flux", "paper velocity", "ours flux (CLO)", "ours velocity"
+    );
+    let rows: [(&str, Category, Variant); 4] = [
+        ("Series of Loops", Category::Series, Variant::baseline()),
+        ("Loops shifted and fused", Category::ShiftFuse, Variant::shift_fuse()),
+        (
+            "Loops shifted, fused, tiled",
+            Category::BlockedWavefront,
+            Variant::blocked_wavefront(pdesched_core::CompLoop::Outside, t),
+        ),
+        (
+            "Shifted, fused, overlapping tiles",
+            Category::OverlappedTile,
+            Variant::overlapped(
+                pdesched_core::IntraTile::ShiftFuse,
+                t,
+                pdesched_core::Granularity::WithinBox,
+            ),
+        ),
+    ];
+    for (label, cat, variant) in rows {
+        let paper = paper_formula(cat, n, t, p);
+        let ours = expected(variant, n, p);
+        println!(
+            "{:<34} {:>16} {:>16} {:>18} {:>18}",
+            label, paper.flux_f64, paper.vel_f64, ours.flux_f64, ours.vel_f64
+        );
+    }
+}
+
+/// Design-choice ablations (analytic-model predictions, instant): the
+/// tile-size sweep the paper reports ("tile sizes of 8 and 16 were the
+/// most efficient") and the hierarchical-OT extension, on the Ivy
+/// Bridge node at full threads, N = 128.
+fn print_ablation() {
+    use pdesched_core::{Granularity, IntraTile};
+    use pdesched_machine::model::predict_time_analytic;
+    use pdesched_machine::Workload;
+    let spec = MachineSpec::ivy_bridge_node();
+    let t = spec.cores();
+    let wl = Workload::paper(128);
+    println!("== Ablations (analytic model, {} @ {t} threads, N=128) ==", spec.name);
+    println!("{:<34} {:>12}", "schedule", "pred. time");
+    let mut rows: Vec<Variant> = Vec::new();
+    for tile in [4, 8, 16, 32] {
+        rows.push(Variant::overlapped(IntraTile::ShiftFuse, tile, Granularity::WithinBox));
+    }
+    for tile in [8, 16, 32] {
+        rows.push(Variant::hierarchical(tile, 4, Granularity::WithinBox));
+    }
+    rows.push(Variant::blocked_wavefront(pdesched_core::CompLoop::Inside, 8));
+    rows.push(Variant::shift_fuse());
+    rows.push(Variant::baseline());
+    for v in rows {
+        let p = predict_time_analytic(&spec, v, wl, t);
+        println!("{:<34} {:>10.4}s", v.name(), p.seconds);
+    }
+}
+
+/// Full design-space ranking per machine (analytic model): the "which
+/// schedule should I use here?" answer the paper's conclusions call
+/// for automating.
+fn print_sweep() {
+    for spec in MachineSpec::evaluation_nodes() {
+        for n in [16, 128] {
+            let ranked = pdesched_machine::sweep::rank_all(&spec, n);
+            println!(
+                "== Top schedules on {} for N={n} ({} candidates, {} threads) ==",
+                spec.name,
+                ranked.len(),
+                spec.cores()
+            );
+            for r in ranked.iter().take(5) {
+                println!("  {:<36} {:>10.4}s", r.variant.name(), r.prediction.seconds);
+            }
+        }
+    }
+}
+
+fn print_bandwidth(cache: &TrafficCache) {
+    println!("== Section VI-B: VTune bandwidth observations on the i5-3570K desktop ==");
+    println!(
+        "{:<12} {:>6} {:>8} {:>16} {:>12}",
+        "Schedule", "N", "Threads", "model GB/s", "paper GB/s"
+    );
+    for row in figures::bandwidth_experiment(cache) {
+        println!(
+            "{:<12} {:>6} {:>8} {:>16.1} {:>12}",
+            row.schedule,
+            row.n,
+            row.threads,
+            row.predicted_gbs,
+            row.paper_gbs.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+}

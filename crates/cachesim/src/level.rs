@@ -1,0 +1,208 @@
+//! A single set-associative cache level.
+
+use crate::config::CacheConfig;
+
+/// One cache way.
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+
+/// A set-associative, true-LRU cache level.
+///
+/// Addresses passed in are *line* indices (byte address divided by the
+/// line size); the hierarchy does that division once.
+pub struct CacheLevel {
+    cfg: CacheConfig,
+    set_mask: u64,
+    ways: Vec<Way>,
+    clock: u64,
+}
+
+/// Result of probing a level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit,
+    /// Line absent.
+    Miss,
+}
+
+impl CacheLevel {
+    /// Build a level from its geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.sets();
+        CacheLevel {
+            cfg,
+            set_mask: (sets - 1) as u64,
+            ways: vec![EMPTY; sets * cfg.assoc],
+            clock: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        let start = set * self.cfg.assoc;
+        start..start + self.cfg.assoc
+    }
+
+    /// Look up `line`; on a hit update the LRU stamp and optionally mark
+    /// dirty.
+    pub fn access(&mut self, line: u64, write: bool) -> Probe {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.lru = clock;
+                if write {
+                    w.dirty = true;
+                }
+                return Probe::Hit;
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Insert `line` (after a miss), evicting the LRU way if the set is
+    /// full. Returns the evicted line and its dirty bit, if any.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        let ways = &mut self.ways[range];
+        // Prefer an invalid way.
+        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+            *w = Way { tag: line, valid: true, dirty, lru: clock };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("associativity >= 1");
+        let evicted = (victim.tag, victim.dirty);
+        *victim = Way { tag: line, valid: true, dirty, lru: clock };
+        Some(evicted)
+    }
+
+    /// Remove `line` if present, returning whether it was dirty
+    /// (used when a dirty victim from an upper level lands here and the
+    /// line already exists: the copies merge).
+    pub fn merge_dirty(&mut self, line: u64) -> bool {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drain every dirty line, returning how many there were, and mark
+    /// everything invalid.
+    pub fn flush(&mut self) -> u64 {
+        let mut dirty = 0;
+        for w in &mut self.ways {
+            if w.valid && w.dirty {
+                dirty += 1;
+            }
+            w.valid = false;
+            w.dirty = false;
+        }
+        dirty
+    }
+
+    /// Number of currently valid lines (tests/diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheLevel {
+        // 4 sets x 2 ways x 64B = 512 B
+        CacheLevel::new(CacheConfig::new(512, 2))
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut l = tiny();
+        assert_eq!(l.access(5, false), Probe::Miss);
+        assert_eq!(l.fill(5, false), None);
+        assert_eq!(l.access(5, false), Probe::Hit);
+        assert_eq!(l.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut l = tiny();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        l.fill(0, false);
+        l.fill(4, false);
+        // Touch 0 so 4 becomes LRU.
+        assert_eq!(l.access(0, false), Probe::Hit);
+        let evicted = l.fill(8, false);
+        assert_eq!(evicted, Some((4, false)));
+        assert_eq!(l.access(0, false), Probe::Hit);
+        assert_eq!(l.access(4, false), Probe::Miss);
+    }
+
+    #[test]
+    fn dirty_travels_with_eviction() {
+        let mut l = tiny();
+        l.fill(0, false);
+        assert_eq!(l.access(0, true), Probe::Hit); // dirty now
+        l.fill(4, false);
+        let evicted = l.fill(8, false); // evicts 0 (LRU)
+        assert_eq!(evicted, Some((0, true)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l = tiny();
+        // Different sets: lines 0..4 all fit without eviction.
+        for line in 0..4 {
+            assert_eq!(l.fill(line, false), None);
+        }
+        for line in 0..4 {
+            assert_eq!(l.access(line, false), Probe::Hit);
+        }
+    }
+
+    #[test]
+    fn flush_counts_dirty() {
+        let mut l = tiny();
+        l.fill(1, true);
+        l.fill(2, false);
+        l.fill(3, true);
+        assert_eq!(l.flush(), 2);
+        assert_eq!(l.occupancy(), 0);
+        assert_eq!(l.access(1, false), Probe::Miss);
+    }
+
+    #[test]
+    fn merge_dirty_marks_existing() {
+        let mut l = tiny();
+        l.fill(7, false);
+        assert!(l.merge_dirty(7));
+        assert!(!l.merge_dirty(11));
+        assert_eq!(l.flush(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the set-associative level must behave exactly like
+//! an executable-specification LRU model, and hierarchy traffic must
+//! obey monotonicity invariants.
+
+use pdesched_cachesim::level::Probe;
+use pdesched_cachesim::{CacheConfig, CacheLevel, Hierarchy};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Executable specification: per-set LRU lists.
+struct SpecCache {
+    sets: usize,
+    ways: usize,
+    lists: Vec<VecDeque<u64>>,
+}
+
+impl SpecCache {
+    fn new(cfg: CacheConfig) -> Self {
+        SpecCache { sets: cfg.sets(), ways: cfg.assoc, lists: vec![VecDeque::new(); cfg.sets()] }
+    }
+
+    /// Returns true on hit; performs LRU update / fill+evict.
+    fn access(&mut self, line: u64) -> bool {
+        let set = (line % self.sets as u64) as usize;
+        let list = &mut self.lists[set];
+        if let Some(pos) = list.iter().position(|&t| t == line) {
+            list.remove(pos);
+            list.push_front(line);
+            true
+        } else {
+            list.push_front(line);
+            if list.len() > self.ways {
+                list.pop_back();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The level's hit/miss sequence equals the LRU specification for
+    /// arbitrary access streams and geometries.
+    #[test]
+    fn level_matches_lru_spec(
+        sets_log in 0u32..4,
+        ways in 1usize..5,
+        lines in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let sets = 1usize << sets_log;
+        let cfg = CacheConfig { size: sets * 64 * ways, line: 64, assoc: ways };
+        let mut level = CacheLevel::new(cfg);
+        let mut spec = SpecCache::new(cfg);
+        for (i, &line) in lines.iter().enumerate() {
+            let got = level.access(line, false) == Probe::Hit;
+            if !got {
+                level.fill(line, false);
+            }
+            let want = spec.access(line);
+            prop_assert_eq!(got, want, "access #{} line {}", i, line);
+        }
+        // Occupancy never exceeds capacity.
+        prop_assert!(level.occupancy() <= sets * ways);
+    }
+
+    /// DRAM read traffic is bounded below by the distinct-line count
+    /// (compulsory misses) and above by the access count.
+    #[test]
+    fn traffic_bounds(
+        addrs in proptest::collection::vec(0usize..32768, 1..400),
+        write_mask in proptest::collection::vec(any::<bool>(), 400),
+    ) {
+        let mut h = Hierarchy::new(&[
+            CacheConfig::new(1024, 2),
+            CacheConfig::new(8192, 4),
+        ]);
+        let mut distinct = std::collections::HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            distinct.insert(a / 64);
+            if write_mask[i % write_mask.len()] {
+                h.write(a);
+            } else {
+                h.read(a);
+            }
+        }
+        let s = h.stats();
+        prop_assert!(s.dram_lines_read >= distinct.len() as u64);
+        prop_assert!(s.dram_lines_read <= addrs.len() as u64);
+        // Writebacks can only come from written lines.
+        h.flush();
+        let written: u64 = h.stats().dram_lines_written;
+        prop_assert!(written <= h.stats().writes.max(1));
+    }
+
+    /// A larger cache never produces more DRAM reads on the same trace.
+    #[test]
+    fn bigger_cache_never_reads_more(
+        addrs in proptest::collection::vec(0usize..16384, 1..300),
+    ) {
+        let small = CacheConfig::new(512, 2);
+        let big = CacheConfig::new(4096, 2);
+        let run = |cfg: CacheConfig| {
+            let mut h = Hierarchy::new(&[cfg]);
+            for &a in &addrs {
+                h.read(a);
+            }
+            h.stats().dram_lines_read
+        };
+        prop_assert!(run(big) <= run(small));
+    }
+
+    /// Hit + miss totals across levels are consistent: every L2 access
+    /// is an L1 miss.
+    #[test]
+    fn level_access_counts_chain(
+        addrs in proptest::collection::vec(0usize..8192, 1..300),
+    ) {
+        let mut h = Hierarchy::new(&[
+            CacheConfig::new(512, 2),
+            CacheConfig::new(2048, 4),
+        ]);
+        for &a in &addrs {
+            h.read(a);
+        }
+        let s = h.stats();
+        let l1 = s.levels[0];
+        let l2 = s.levels[1];
+        prop_assert_eq!(l1.hits + l1.misses, addrs.len() as u64);
+        prop_assert_eq!(l2.hits + l2.misses, l1.misses);
+        prop_assert_eq!(s.dram_lines_read, l2.misses);
+    }
+}

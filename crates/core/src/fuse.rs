@@ -1,0 +1,419 @@
+//! Category "Shifted and Fused" (Fig. 8a): the face loops are shifted and
+//! fused with the cell loops in all three dimensions.
+//!
+//! Per cell, the schedule computes (or retrieves from a carry cache) the
+//! six face fluxes surrounding the cell and immediately accumulates them.
+//! In the x direction two carried scalars suffice; in y a line cache of
+//! the previous row's high-side fluxes; in z a plane cache — the
+//! `2 + 2N + 2N^2` flux row of Table I. CLO additionally pre-computes
+//! three velocity face arrays (`3(N+1)^3`); CLI carries all five
+//! components through the caches and needs no velocity temporary.
+//!
+//! Face fluxes on the low box/tile boundary are computed directly (the
+//! "shift" prologue). Every interior face is computed exactly once, so
+//! the operation count is identical to the series schedule.
+
+use crate::mem::Mem;
+use crate::shared::{face_flux_one, face_fluxes_all, face_interp_at, SharedFab};
+use crate::storage::TempStorage;
+use crate::variant::CompLoop;
+use pdesched_kernels::point::accumulate;
+use pdesched_kernels::{vel_comp, NCOMP};
+use pdesched_mesh::{FArrayBox, IBox, IntVect};
+
+/// Reusable fused-sweep temporaries (sized to the current cell box;
+/// reallocated only when the box shape changes).
+pub struct FuseBufs {
+    ycache: Vec<f64>,
+    zcache: Vec<f64>,
+    vel: [Option<FArrayBox>; 3],
+    shape: Option<(IBox, CompLoop)>,
+    peak: TempStorage,
+}
+
+impl FuseBufs {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        FuseBufs {
+            ycache: Vec::new(),
+            zcache: Vec::new(),
+            vel: [None, None, None],
+            shape: None,
+            peak: TempStorage::default(),
+        }
+    }
+
+    /// Peak temporary storage held so far.
+    pub fn peak(&self) -> TempStorage {
+        self.peak
+    }
+
+    fn ensure(&mut self, cells: IBox, comp: CompLoop) {
+        if self.shape == Some((cells, comp)) {
+            return;
+        }
+        let nx = cells.extent(0) as usize;
+        let ny = cells.extent(1) as usize;
+        let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+        self.ycache = vec![0.0; nx * kc];
+        self.zcache = vec![0.0; nx * ny * kc];
+        // The carried x scalars live in registers/stack; count the pair.
+        let flux = 2 * kc + self.ycache.len() + self.zcache.len();
+        let mut vel = 0;
+        if comp == CompLoop::Outside {
+            for d in 0..3 {
+                let faces = cells.surrounding_faces(d);
+                self.vel[d] = Some(FArrayBox::new(faces, 1));
+                vel += faces.num_pts();
+            }
+        } else {
+            self.vel = [None, None, None];
+        }
+        self.shape = Some((cells, comp));
+        self.peak = self.peak.max(TempStorage { flux_f64: flux, vel_f64: vel });
+    }
+}
+
+impl Default for FuseBufs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run the fused schedule serially over `cells`, accumulating into
+/// `phi1` through a shared view (caller guarantees cell ownership).
+pub fn fused_tile<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    comp: CompLoop,
+    bufs: &mut FuseBufs,
+    mem: &M,
+) {
+    bufs.ensure(cells, comp);
+    match comp {
+        CompLoop::Inside => fused_tile_cli(phi0, phi1, cells, bufs, mem),
+        CompLoop::Outside => {
+            fill_velocity(phi0, bufs, mem);
+            for c in 0..NCOMP {
+                fused_tile_clo_comp(phi0, phi1, cells, c, bufs, mem);
+            }
+        }
+    }
+}
+
+/// Pre-compute the three per-direction velocity face arrays for CLO
+/// (Table I's `3(N+1)^3` velocity temporary).
+pub(crate) fn fill_velocity<M: Mem>(phi0: &FArrayBox, bufs: &mut FuseBufs, mem: &M) {
+    for d in 0..3 {
+        let vel = bufs.vel[d].as_mut().expect("CLO buffers");
+        let faces = vel.region();
+        let vc = vel_comp(d);
+        let (lo, hi) = (faces.lo(), faces.hi());
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let f = IntVect::new(x, y, z);
+                    let v = face_interp_at(phi0, d, f, vc, mem);
+                    let i = vel.index(f, 0);
+                    mem.w(vel.base_addr() + i * 8);
+                    vel.data_mut()[i] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Flux of component `c` at face `f` in direction `d` for CLO: the
+/// velocity comes from the pre-computed array; when `c` *is* the velocity
+/// component its interpolant is the stored velocity itself (no second
+/// interpolation — this keeps the operation count identical to the
+/// series schedule).
+#[inline(always)]
+pub(crate) fn clo_flux<M: Mem>(
+    phi0: &FArrayBox,
+    vel: &FArrayBox,
+    d: usize,
+    f: IntVect,
+    c: usize,
+    mem: &M,
+) -> f64 {
+    let vi = vel.index(f, 0);
+    mem.r(vel.base_addr() + vi * 8);
+    let v = vel.data()[vi];
+    if c == vel_comp(d) {
+        mem.op_flux();
+        pdesched_kernels::point::flux_mul(v, v)
+    } else {
+        face_flux_one(phi0, d, f, c, v, mem)
+    }
+}
+
+/// One component's fused sweep (CLO).
+fn fused_tile_clo_comp<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    c: usize,
+    bufs: &mut FuseBufs,
+    mem: &M,
+) {
+    let (lo, hi) = (cells.lo(), cells.hi());
+    let nx = cells.extent(0) as usize;
+    let velx = bufs.vel[0].take().expect("CLO buffers");
+    let vely = bufs.vel[1].take().expect("CLO buffers");
+    let velz = bufs.vel[2].take().expect("CLO buffers");
+    let ycache = &mut bufs.ycache;
+    let zcache = &mut bufs.zcache;
+    let ybase = ycache.as_ptr() as usize;
+    let zbase = zcache.as_ptr() as usize;
+    for z in lo[2]..=hi[2] {
+        for y in lo[1]..=hi[1] {
+            let mut fxlo = 0.0;
+            for x in lo[0]..=hi[0] {
+                let iv = IntVect::new(x, y, z);
+                let xr = (x - lo[0]) as usize;
+                // x direction
+                if x == lo[0] {
+                    fxlo = clo_flux(phi0, &velx, 0, iv, c, mem);
+                }
+                let fxhi = clo_flux(phi0, &velx, 0, iv.shifted(0, 1), c, mem);
+                // y direction
+                let fylo = if y == lo[1] {
+                    clo_flux(phi0, &vely, 1, iv, c, mem)
+                } else {
+                    mem.r(ybase + xr * 8);
+                    ycache[xr]
+                };
+                let fyhi = clo_flux(phi0, &vely, 1, iv.shifted(1, 1), c, mem);
+                mem.w(ybase + xr * 8);
+                ycache[xr] = fyhi;
+                // z direction
+                let zi = (y - lo[1]) as usize * nx + xr;
+                let fzlo = if z == lo[2] {
+                    clo_flux(phi0, &velz, 2, iv, c, mem)
+                } else {
+                    mem.r(zbase + zi * 8);
+                    zcache[zi]
+                };
+                let fzhi = clo_flux(phi0, &velz, 2, iv.shifted(2, 1), c, mem);
+                mem.w(zbase + zi * 8);
+                zcache[zi] = fzhi;
+                // Accumulate in direction order x, y, z.
+                let pi = phi1.index(iv, c);
+                mem.r(phi1.addr(pi));
+                let mut v = unsafe { phi1.read(pi) };
+                mem.op_accum();
+                v = accumulate(v, fxlo, fxhi);
+                mem.op_accum();
+                v = accumulate(v, fylo, fyhi);
+                mem.op_accum();
+                v = accumulate(v, fzlo, fzhi);
+                mem.w(phi1.addr(pi));
+                unsafe { phi1.write(pi, v) };
+                fxlo = fxhi;
+            }
+        }
+    }
+    bufs.vel = [Some(velx), Some(vely), Some(velz)];
+}
+
+/// The CLI fused sweep: all five components per cell, velocity in
+/// registers.
+fn fused_tile_cli<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    bufs: &mut FuseBufs,
+    mem: &M,
+) {
+    let (lo, hi) = (cells.lo(), cells.hi());
+    let nx = cells.extent(0) as usize;
+    let ycache = &mut bufs.ycache;
+    let zcache = &mut bufs.zcache;
+    let ybase = ycache.as_ptr() as usize;
+    let zbase = zcache.as_ptr() as usize;
+    let mut fxlo = [0.0f64; NCOMP];
+    let mut fxhi = [0.0f64; NCOMP];
+    let mut fylo = [0.0f64; NCOMP];
+    let mut fyhi = [0.0f64; NCOMP];
+    let mut fzlo = [0.0f64; NCOMP];
+    let mut fzhi = [0.0f64; NCOMP];
+    for z in lo[2]..=hi[2] {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let iv = IntVect::new(x, y, z);
+                let xr = (x - lo[0]) as usize;
+                // x direction
+                if x == lo[0] {
+                    face_fluxes_all(phi0, 0, iv, &mut fxlo, mem);
+                }
+                face_fluxes_all(phi0, 0, iv.shifted(0, 1), &mut fxhi, mem);
+                // y direction
+                if y == lo[1] {
+                    face_fluxes_all(phi0, 1, iv, &mut fylo, mem);
+                } else {
+                    for c in 0..NCOMP {
+                        mem.r(ybase + (xr * NCOMP + c) * 8);
+                        fylo[c] = ycache[xr * NCOMP + c];
+                    }
+                }
+                face_fluxes_all(phi0, 1, iv.shifted(1, 1), &mut fyhi, mem);
+                for c in 0..NCOMP {
+                    mem.w(ybase + (xr * NCOMP + c) * 8);
+                    ycache[xr * NCOMP + c] = fyhi[c];
+                }
+                // z direction
+                let zi = ((y - lo[1]) as usize * nx + xr) * NCOMP;
+                if z == lo[2] {
+                    face_fluxes_all(phi0, 2, iv, &mut fzlo, mem);
+                } else {
+                    for c in 0..NCOMP {
+                        mem.r(zbase + (zi + c) * 8);
+                        fzlo[c] = zcache[zi + c];
+                    }
+                }
+                face_fluxes_all(phi0, 2, iv.shifted(2, 1), &mut fzhi, mem);
+                for c in 0..NCOMP {
+                    mem.w(zbase + (zi + c) * 8);
+                    zcache[zi + c] = fzhi[c];
+                }
+                // Accumulate: per component, direction order x, y, z.
+                for c in 0..NCOMP {
+                    let pi = phi1.index(iv, c);
+                    mem.r(phi1.addr(pi));
+                    let mut v = unsafe { phi1.read(pi) };
+                    mem.op_accum();
+                    v = accumulate(v, fxlo[c], fxhi[c]);
+                    mem.op_accum();
+                    v = accumulate(v, fylo[c], fyhi[c]);
+                    mem.op_accum();
+                    v = accumulate(v, fzlo[c], fzhi[c]);
+                    mem.w(phi1.addr(pi));
+                    unsafe { phi1.write(pi, v) };
+                }
+                fxlo = fxhi;
+            }
+        }
+    }
+}
+
+/// Serial whole-box entry point (`P >= Box` granularity).
+pub fn run_box_serial<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    comp: CompLoop,
+    mem: &M,
+) -> TempStorage {
+    let view = SharedFab::new(phi1);
+    let mut bufs = FuseBufs::new();
+    fused_tile(phi0, &view, cells, comp, &mut bufs, mem);
+    bufs.peak()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{CountingMem, NoMem};
+    use pdesched_kernels::reference;
+
+    fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
+        let cells = IBox::cube(n);
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(41);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        expect.fill_synthetic(42);
+        let got = expect.clone();
+        reference::update_box(&phi0, &mut expect, cells);
+        (phi0, expect, got, cells)
+    }
+
+    #[test]
+    fn cli_matches_reference_bitwise() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn clo_matches_reference_bitwise() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn non_cubic_box_matches() {
+        let cells = IBox::new(IntVect::new(-1, 2, 0), IntVect::new(5, 4, 6));
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(9);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        reference::update_box(&phi0, &mut expect, cells);
+        for comp in [CompLoop::Inside, CompLoop::Outside] {
+            let mut got = FArrayBox::new(cells, NCOMP);
+            run_box_serial(&phi0, &mut got, cells, comp, &NoMem);
+            assert!(got.bit_eq(&expect, cells), "{comp:?}");
+        }
+    }
+
+    #[test]
+    fn op_counts_identical_to_series() {
+        // Fusion reorders but must not change the work (no recomputation).
+        let (phi0, _, mut got, cells) = setup(5);
+        for comp in [CompLoop::Inside, CompLoop::Outside] {
+            let m = CountingMem::new();
+            let mut g = got.clone();
+            run_box_serial(&phi0, &mut g, cells, comp, &m);
+            assert_eq!(
+                m.op_count(),
+                pdesched_kernels::ops::exemplar_ops(cells),
+                "{comp:?}"
+            );
+        }
+        let _ = &mut got;
+    }
+
+    #[test]
+    fn fused_traffic_below_series() {
+        // The whole point: far fewer temporary reads/writes than the
+        // series schedule.
+        let (phi0, _, _, cells) = setup(8);
+        let ms = CountingMem::new();
+        let mut a = FArrayBox::new(cells, NCOMP);
+        crate::series::run_box_serial(&phi0, &mut a, cells, CompLoop::Inside, &ms);
+        let mf = CountingMem::new();
+        let mut b = FArrayBox::new(cells, NCOMP);
+        run_box_serial(&phi0, &mut b, cells, CompLoop::Inside, &mf);
+        let (rs, ws, ..) = ms.snapshot();
+        let (rf, wf, ..) = mf.snapshot();
+        assert!(rf < rs, "fused reads {rf} !< series reads {rs}");
+        assert!(wf < ws / 2, "fused writes {wf} !< half series writes {ws}");
+    }
+
+    #[test]
+    fn storage_formulas() {
+        let n = 6;
+        let (phi0, _, mut got, cells) = setup(n);
+        let s = run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        let n = n as usize;
+        assert_eq!(s.flux_f64, NCOMP * (2 + n + n * n));
+        assert_eq!(s.vel_f64, 0);
+        let s2 = run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        assert_eq!(s2.flux_f64, 2 + n + n * n);
+        assert_eq!(s2.vel_f64, 3 * (n + 1) * n * n);
+    }
+
+    #[test]
+    fn buffer_reuse_across_tiles() {
+        // Running many same-shaped tiles must not grow the peak.
+        let (phi0, _, mut got, _) = setup(8);
+        let mut bufs = FuseBufs::new();
+        let view = SharedFab::new(&mut got);
+        for t in IBox::cube(8).tiles(4) {
+            fused_tile(&phi0, &view, t, CompLoop::Inside, &mut bufs, &NoMem);
+        }
+        let n = 4usize;
+        assert_eq!(bufs.peak().flux_f64, NCOMP * (2 + n + n * n));
+    }
+}

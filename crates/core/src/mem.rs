@@ -1,0 +1,130 @@
+//! Memory-access and operation instrumentation hooks.
+//!
+//! Every schedule executor is generic over [`Mem`]. In production runs
+//! the zero-sized [`NoMem`] makes every hook a no-op that the compiler
+//! deletes; in analysis runs a tracing implementation (the cache
+//! simulator adapter lives in `pdesched-machine`) observes the exact
+//! byte-address stream the schedule generates, and [`CountingMem`]
+//! tallies operations for validating the analytic cost model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Observation hooks for memory accesses (byte addresses) and
+/// floating-point kernel invocations.
+///
+/// Implementations used under intra-box parallelism must be `Sync`;
+/// tracing implementations that are not internally synchronized must
+/// only be used with `nthreads == 1`.
+pub trait Mem: Sync {
+    /// An 8-byte read at byte address `addr`.
+    #[inline(always)]
+    fn r(&self, _addr: usize) {}
+    /// An 8-byte write at byte address `addr`.
+    #[inline(always)]
+    fn w(&self, _addr: usize) {}
+    /// One face-interpolation kernel (5 flops).
+    #[inline(always)]
+    fn op_interp(&self) {}
+    /// One flux multiplication (1 flop).
+    #[inline(always)]
+    fn op_flux(&self) {}
+    /// One accumulation update (2 flops).
+    #[inline(always)]
+    fn op_accum(&self) {}
+}
+
+/// The no-op instrumentation: production runs compile the hooks away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMem;
+
+impl Mem for NoMem {}
+
+/// Counts accesses and kernel operations with atomics (safe under any
+/// thread count; the contention cost is irrelevant for validation runs).
+#[derive(Debug, Default)]
+pub struct CountingMem {
+    /// 8-byte reads observed.
+    pub reads: AtomicU64,
+    /// 8-byte writes observed.
+    pub writes: AtomicU64,
+    /// Face interpolations observed.
+    pub interp: AtomicU64,
+    /// Flux multiplications observed.
+    pub flux: AtomicU64,
+    /// Accumulations observed.
+    pub accum: AtomicU64,
+}
+
+impl CountingMem {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as plain integers `(reads, writes, interp, flux, accum)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.interp.load(Ordering::Relaxed),
+            self.flux.load(Ordering::Relaxed),
+            self.accum.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Operation counts as a `pdesched_kernels::ops::OpCount`.
+    pub fn op_count(&self) -> pdesched_kernels::ops::OpCount {
+        pdesched_kernels::ops::OpCount {
+            interp: self.interp.load(Ordering::Relaxed),
+            flux: self.flux.load(Ordering::Relaxed),
+            accum: self.accum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Mem for CountingMem {
+    #[inline]
+    fn r(&self, _addr: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    fn w(&self, _addr: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    fn op_interp(&self) {
+        self.interp.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    fn op_flux(&self) {
+        self.flux.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    fn op_accum(&self) {
+        self.accum.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nomem_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoMem>(), 0);
+    }
+
+    #[test]
+    fn counting_mem_counts() {
+        let m = CountingMem::new();
+        m.r(0);
+        m.r(8);
+        m.w(16);
+        m.op_interp();
+        m.op_flux();
+        m.op_accum();
+        m.op_accum();
+        assert_eq!(m.snapshot(), (2, 1, 1, 1, 2));
+        assert_eq!(m.op_count().flops(), 5 + 1 + 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Category "Overlapped Tiles" (Fig. 8c) — communication-avoiding tiles.
+//!
+//! The box is chopped into tiles and every tile computes *all* the face
+//! fluxes its own cells need, including the faces on tile boundaries that
+//! neighboring tiles also compute. The redundant surface recomputation
+//! buys complete independence: no ordering, no wavefront ramp-up, no
+//! shared caches — each thread works out of its own tile-local
+//! temporaries (Table I row 4: everything scales with `P`, the thread
+//! count, and `T`, the tile size, not `N`).
+//!
+//! Unlike shrinking the distributed *box* size, the overlap shares a
+//! single copy of `phi0`: only flux computation is duplicated, not
+//! storage or ghost exchange — the paper's key distinction from "just
+//! use small boxes".
+//!
+//! The intra-tile schedule is either the series-of-loops ("Basic-Sched")
+//! or the fused sweep ("Shift-Fuse"), reusing those executors verbatim on
+//! the tile sub-box.
+
+use crate::fuse::{fused_tile, FuseBufs};
+use crate::mem::Mem;
+use crate::series::{series_tile, SeriesBufs};
+use crate::shared::SharedFab;
+use crate::storage::TempStorage;
+use crate::variant::{CompLoop, IntraTile};
+use crate::wavefront::{run_tile_serial, WavefrontBufs};
+use pdesched_mesh::{FArrayBox, IBox};
+use pdesched_par::spmd;
+
+/// Execute the overlapped-tile schedule over one box.
+///
+/// `nthreads == 1` runs the tiles serially (the `P >= Box` granularity);
+/// otherwise tiles are distributed statically over threads, each with its
+/// own buffer set.
+pub fn run_box<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    intra: IntraTile,
+    comp: CompLoop,
+    tile: i32,
+    nthreads: usize,
+    mem: &M,
+) -> TempStorage {
+    let tiles = cells.tiles(tile);
+    let phi1v = SharedFab::new(phi1);
+    let nthreads = nthreads.min(tiles.len()).max(1);
+    let peaks: Vec<parking_lot::Mutex<TempStorage>> =
+        (0..nthreads).map(|_| parking_lot::Mutex::new(TempStorage::default())).collect();
+    spmd(nthreads, |ctx| {
+        let range = ctx.static_range(tiles.len());
+        let peak = match intra {
+            IntraTile::Basic => {
+                let mut bufs = SeriesBufs::new();
+                for t in &tiles[range] {
+                    series_tile(phi0, &phi1v, *t, comp, &mut bufs, mem);
+                }
+                bufs.peak()
+            }
+            IntraTile::ShiftFuse => {
+                let mut bufs = FuseBufs::new();
+                for t in &tiles[range] {
+                    fused_tile(phi0, &phi1v, *t, comp, &mut bufs, mem);
+                }
+                bufs.peak()
+            }
+            IntraTile::Hierarchical(inner) => {
+                let mut bufs = WavefrontBufs::new();
+                for t in &tiles[range] {
+                    run_tile_serial(phi0, &phi1v, *t, comp, inner, &mut bufs, mem);
+                }
+                bufs.peak()
+            }
+        };
+        *peaks[ctx.tid()].lock() = peak;
+    });
+    let mut total = TempStorage::default();
+    for p in peaks {
+        total = total.add(p.into_inner());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{CountingMem, NoMem};
+    use pdesched_kernels::{reference, NCOMP};
+
+    fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
+        let cells = IBox::cube(n);
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(61);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        expect.fill_synthetic(62);
+        let got = expect.clone();
+        reference::update_box(&phi0, &mut expect, cells);
+        (phi0, expect, got, cells)
+    }
+
+    #[test]
+    fn all_intra_schedules_match_reference() {
+        for intra in [IntraTile::Basic, IntraTile::ShiftFuse] {
+            for comp in [CompLoop::Outside, CompLoop::Inside] {
+                for nt in [1, 2, 5] {
+                    for t in [2, 3, 4] {
+                        let (phi0, expect, mut got, cells) = setup(8);
+                        run_box(&phi0, &mut got, cells, intra, comp, t, nt, &NoMem);
+                        assert!(
+                            got.bit_eq(&expect, cells),
+                            "intra={intra:?} comp={comp:?} nt={nt} t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_tile_size_matches() {
+        // 7^3 box, tile 4: edge tiles of width 3.
+        let (phi0, expect, mut got, cells) = setup(7);
+        run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 3, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn recomputation_matches_analytic_redundancy() {
+        let (phi0, _, mut got, cells) = setup(8);
+        let m = CountingMem::new();
+        run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 2, &m);
+        assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
+        // Accumulations are never redundant.
+        assert_eq!(
+            m.op_count().accum,
+            pdesched_kernels::ops::exemplar_ops(cells).accum
+        );
+        // Interpolations exceed the exact count (surface recomputation).
+        assert!(m.op_count().interp > pdesched_kernels::ops::exemplar_ops(cells).interp);
+    }
+
+    #[test]
+    fn storage_scales_with_threads() {
+        let (phi0, _, mut got, cells) = setup(8);
+        let s1 = run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 1, &NoMem);
+        let s2 = run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 2, &NoMem);
+        assert_eq!(s2.flux_f64, 2 * s1.flux_f64);
+        assert_eq!(s2.vel_f64, 2 * s1.vel_f64);
+        // Tile-local, independent of box size: matches the T-formulas.
+        let t = 4usize;
+        assert_eq!(s1.flux_f64, 2 + t + t * t);
+        assert_eq!(s1.vel_f64, 3 * (t + 1) * t * t);
+    }
+
+    #[test]
+    fn hierarchical_matches_reference() {
+        for comp in [CompLoop::Outside, CompLoop::Inside] {
+            for nt in [1, 3] {
+                let (phi0, expect, mut got, cells) = setup(8);
+                run_box(&phi0, &mut got, cells, IntraTile::Hierarchical(2), comp, 4, nt, &NoMem);
+                assert!(got.bit_eq(&expect, cells), "comp={comp:?} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_recomputes_only_outer_surfaces() {
+        // Same outer tile size => same redundancy as flat OT; the inner
+        // tiling must not add recomputation.
+        let (phi0, _, mut got, cells) = setup(8);
+        let m = CountingMem::new();
+        run_box(
+            &phi0,
+            &mut got,
+            cells,
+            IntraTile::Hierarchical(2),
+            CompLoop::Inside,
+            4,
+            2,
+            &m,
+        );
+        assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
+    }
+
+    #[test]
+    fn more_threads_than_tiles_is_clamped() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        // 27 tiles of 2^3; ask for 64 threads.
+        run_box(&phi0, &mut got, cells, IntraTile::Basic, CompLoop::Inside, 2, 64, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+}

@@ -1,0 +1,483 @@
+//! Category "Series of Loops": the original modular schedule (Fig. 7).
+//!
+//! Per direction, three full sweeps over the box: face interpolation into
+//! a whole-box flux temporary, the flux product (with the velocity either
+//! copied to its own temporary — CLO — or read per face — CLI), then the
+//! divergence accumulation. Input and output data are therefore read and
+//! written three times per update, and the flux temporary costs
+//! `C(N+1)^3` values (Table I row 1).
+
+use crate::mem::Mem;
+use crate::shared::{face_interp_at, SharedFab};
+use crate::storage::TempStorage;
+use crate::variant::CompLoop;
+use pdesched_kernels::point::{accumulate, flux_mul};
+use pdesched_kernels::{vel_comp, NCOMP};
+use pdesched_mesh::{FArrayBox, IBox, IntVect};
+
+/// Reusable whole-box (or whole-tile) temporaries for the series
+/// schedule. Buffers are reallocated only when the target region changes,
+/// so sweeping many identical tiles costs one allocation.
+pub struct SeriesBufs {
+    flux: Option<FArrayBox>,
+    vel: Option<FArrayBox>,
+    peak: TempStorage,
+}
+
+impl SeriesBufs {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        SeriesBufs { flux: None, vel: None, peak: TempStorage::default() }
+    }
+
+    /// Peak temporary storage held so far.
+    pub fn peak(&self) -> TempStorage {
+        self.peak
+    }
+
+    fn flux_for(&mut self, faces: IBox) -> &mut FArrayBox {
+        let needs = self.flux.as_ref().map(|f| f.region() != faces).unwrap_or(true);
+        if needs {
+            self.flux = Some(FArrayBox::new(faces, NCOMP));
+            self.peak.flux_f64 = self.peak.flux_f64.max(faces.num_pts() * NCOMP);
+        }
+        self.flux.as_mut().unwrap()
+    }
+
+    fn vel_for(&mut self, faces: IBox) -> &mut FArrayBox {
+        let needs = self.vel.as_ref().map(|f| f.region() != faces).unwrap_or(true);
+        if needs {
+            self.vel = Some(FArrayBox::new(faces, 1));
+            self.peak.vel_f64 = self.peak.vel_f64.max(faces.num_pts());
+        }
+        self.vel.as_mut().unwrap()
+    }
+}
+
+impl Default for SeriesBufs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run the series-of-loops schedule serially over `cells` (a whole box,
+/// or one tile of an overlapped-tile schedule), accumulating into `phi1`
+/// through a shared view (the caller guarantees no other thread touches
+/// these cells).
+pub fn series_tile<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    comp: CompLoop,
+    bufs: &mut SeriesBufs,
+    mem: &M,
+) {
+    for d in 0..pdesched_mesh::DIM {
+        let faces = cells.surrounding_faces(d);
+        match comp {
+            CompLoop::Outside => {
+                series_dir_clo(phi0, phi1, cells, d, faces, bufs, mem);
+            }
+            CompLoop::Inside => {
+                series_dir_cli(phi0, phi1, cells, d, faces, bufs, mem);
+            }
+        }
+    }
+}
+
+/// One direction of the CLO series schedule over an arbitrary face/cell
+/// z-range (`z_faces`/`z_cells` select slabs for intra-box parallelism;
+/// pass the full extents for serial execution).
+#[allow(clippy::too_many_arguments)]
+fn series_dir_clo<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    d: usize,
+    faces: IBox,
+    bufs: &mut SeriesBufs,
+    mem: &M,
+) {
+    let fview = SharedFab::new(bufs.flux_for(faces));
+    pass_flux1(phi0, &fview, faces, 0..NCOMP, z_all(faces), mem);
+    let vview = SharedFab::new(bufs.vel_for(faces));
+    pass_extract_velocity(&fview, &vview, d, faces, z_all(faces), mem);
+    pass_flux2_clo(&fview, &vview, faces, 0..NCOMP, z_all(faces), mem);
+    pass_accumulate(phi1, &fview, cells, d, 0..NCOMP, z_all(cells), CompLoop::Outside, mem);
+}
+
+/// One direction of the CLI series schedule (component loops innermost).
+fn series_dir_cli<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    d: usize,
+    faces: IBox,
+    bufs: &mut SeriesBufs,
+    mem: &M,
+) {
+    let fview = SharedFab::new(bufs.flux_for(faces));
+    pass_flux1_cli(phi0, &fview, faces, z_all(faces), mem);
+    pass_flux2_cli(&fview, d, faces, z_all(faces), mem);
+    pass_accumulate(phi1, &fview, cells, d, 0..NCOMP, z_all(cells), CompLoop::Inside, mem);
+}
+
+fn z_all(b: IBox) -> std::ops::Range<i32> {
+    b.lo()[2]..b.hi()[2] + 1
+}
+
+/// Face-interpolation pass: `flux[f, c] = interp(phi0)` for `c` in
+/// `comps` and faces with `z` in `zr` (CLO: component loop outermost).
+pub(crate) fn pass_flux1<M: Mem>(
+    phi0: &FArrayBox,
+    flux: &SharedFab,
+    faces: IBox,
+    comps: std::ops::Range<usize>,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    let d = match faces.centering() {
+        pdesched_mesh::Centering::Face(d) => d,
+        _ => unreachable!("flux pass over non-face box"),
+    };
+    for c in comps {
+        for z in zr.clone() {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let f = IntVect::new(x, y, z);
+                    let v = face_interp_at(phi0, d, f, c, mem);
+                    let i = flux.index(f, c);
+                    mem.w(flux.addr(i));
+                    unsafe { flux.write(i, v) };
+                }
+            }
+        }
+    }
+}
+
+/// Same pass with the component loop innermost (CLI).
+fn pass_flux1_cli<M: Mem>(
+    phi0: &FArrayBox,
+    flux: &SharedFab,
+    faces: IBox,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    let d = match faces.centering() {
+        pdesched_mesh::Centering::Face(d) => d,
+        _ => unreachable!(),
+    };
+    for z in zr {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let f = IntVect::new(x, y, z);
+                for c in 0..NCOMP {
+                    let v = face_interp_at(phi0, d, f, c, mem);
+                    let i = flux.index(f, c);
+                    mem.w(flux.addr(i));
+                    unsafe { flux.write(i, v) };
+                }
+            }
+        }
+    }
+}
+
+/// `velocity = flux[component d+1]` (Fig. 6 line 11): the `(N+1)^3`
+/// velocity temporary of Table I.
+pub(crate) fn pass_extract_velocity<M: Mem>(
+    flux: &SharedFab,
+    vel: &SharedFab,
+    d: usize,
+    faces: IBox,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    let vc = vel_comp(d);
+    for z in zr {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let f = IntVect::new(x, y, z);
+                let si = flux.index(f, vc);
+                mem.r(flux.addr(si));
+                let v = unsafe { flux.read(si) };
+                let di = vel.index(f, 0);
+                mem.w(vel.addr(di));
+                unsafe { vel.write(di, v) };
+            }
+        }
+    }
+}
+
+/// Flux product with an explicit velocity temporary (CLO).
+pub(crate) fn pass_flux2_clo<M: Mem>(
+    flux: &SharedFab,
+    vel: &SharedFab,
+    faces: IBox,
+    comps: std::ops::Range<usize>,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    for c in comps {
+        for z in zr.clone() {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let f = IntVect::new(x, y, z);
+                    let fi = flux.index(f, c);
+                    let vi = vel.index(f, 0);
+                    mem.r(flux.addr(fi));
+                    mem.r(vel.addr(vi));
+                    mem.op_flux();
+                    let v = unsafe { flux_mul(flux.read(fi), vel.read(vi)) };
+                    mem.w(flux.addr(fi));
+                    unsafe { flux.write(fi, v) };
+                }
+            }
+        }
+    }
+}
+
+/// Flux product reading the velocity per face into a register (CLI — no
+/// velocity temporary).
+fn pass_flux2_cli<M: Mem>(
+    flux: &SharedFab,
+    d: usize,
+    faces: IBox,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    let vc = vel_comp(d);
+    for z in zr {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let f = IntVect::new(x, y, z);
+                let vi = flux.index(f, vc);
+                mem.r(flux.addr(vi));
+                let vel = unsafe { flux.read(vi) };
+                // Multiply the velocity component last so its own flux
+                // uses the un-multiplied value.
+                for c in (0..NCOMP).filter(|&c| c != vc).chain(std::iter::once(vc)) {
+                    let fi = flux.index(f, c);
+                    mem.r(flux.addr(fi));
+                    mem.op_flux();
+                    let v = unsafe { flux_mul(flux.read(fi), vel) };
+                    mem.w(flux.addr(fi));
+                    unsafe { flux.write(fi, v) };
+                }
+            }
+        }
+    }
+}
+
+/// Divergence accumulation: `phi1[i, c] += flux[i + e^d, c] - flux[i, c]`
+/// for cells with `z` in `zr`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pass_accumulate<M: Mem>(
+    phi1: &SharedFab,
+    flux: &SharedFab,
+    cells: IBox,
+    d: usize,
+    comps: std::ops::Range<usize>,
+    zr: std::ops::Range<i32>,
+    comp: CompLoop,
+    mem: &M,
+) {
+    let (lo, hi) = (cells.lo(), cells.hi());
+    let e = IntVect::basis(d);
+    let do_cell = |iv: IntVect, c: usize| {
+        let flo = flux.index(iv, c);
+        let fhi = flux.index(iv + e, c);
+        let pi = phi1.index(iv, c);
+        mem.r(flux.addr(flo));
+        mem.r(flux.addr(fhi));
+        mem.r(phi1.addr(pi));
+        mem.op_accum();
+        let v = unsafe { accumulate(phi1.read(pi), flux.read(flo), flux.read(fhi)) };
+        mem.w(phi1.addr(pi));
+        unsafe { phi1.write(pi, v) };
+    };
+    match comp {
+        CompLoop::Outside => {
+            for c in comps {
+                for z in zr.clone() {
+                    for y in lo[1]..=hi[1] {
+                        for x in lo[0]..=hi[0] {
+                            do_cell(IntVect::new(x, y, z), c);
+                        }
+                    }
+                }
+            }
+        }
+        CompLoop::Inside => {
+            for z in zr {
+                for y in lo[1]..=hi[1] {
+                    for x in lo[0]..=hi[0] {
+                        for c in comps.clone() {
+                            do_cell(IntVect::new(x, y, z), c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial whole-box entry point (used for `P >= Box`).
+pub fn run_box_serial<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    comp: CompLoop,
+    mem: &M,
+) -> TempStorage {
+    let view = SharedFab::new(phi1);
+    let mut bufs = SeriesBufs::new();
+    series_tile(phi0, &view, cells, comp, &mut bufs, mem);
+    bufs.peak()
+}
+
+/// Intra-box parallel entry point (`P < Box`): every pass of every
+/// direction is split over `nthreads` z-slabs, with barriers between
+/// passes; the flux and velocity temporaries are shared.
+pub fn run_box_within<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    comp: CompLoop,
+    nthreads: usize,
+    mem: &M,
+) -> TempStorage {
+    let phi1v = SharedFab::new(phi1);
+    let mut peak = TempStorage::default();
+    for d in 0..pdesched_mesh::DIM {
+        let faces = cells.surrounding_faces(d);
+        let mut flux = FArrayBox::new(faces, NCOMP);
+        peak.flux_f64 = peak.flux_f64.max(flux.len());
+        let fview = SharedFab::new(&mut flux);
+        let mut vel = (comp == CompLoop::Outside).then(|| FArrayBox::new(faces, 1));
+        if let Some(v) = &vel {
+            peak.vel_f64 = peak.vel_f64.max(v.len());
+        }
+        let vview = vel.as_mut().map(SharedFab::new);
+
+        let fz_lo = faces.lo()[2];
+        let fz_n = faces.extent(2) as usize;
+        let cz_lo = cells.lo()[2];
+        let cz_n = cells.extent(2) as usize;
+
+        pdesched_par::spmd(nthreads, |ctx| {
+            let fr = ctx.static_range(fz_n);
+            let fzr = (fz_lo + fr.start as i32)..(fz_lo + fr.end as i32);
+            let cr = ctx.static_range(cz_n);
+            let czr = (cz_lo + cr.start as i32)..(cz_lo + cr.end as i32);
+            match comp {
+                CompLoop::Outside => {
+                    pass_flux1(phi0, &fview, faces, 0..NCOMP, fzr.clone(), mem);
+                    ctx.barrier();
+                    let vv = vview.as_ref().unwrap();
+                    pass_extract_velocity(&fview, vv, d, faces, fzr.clone(), mem);
+                    ctx.barrier();
+                    pass_flux2_clo(&fview, vv, faces, 0..NCOMP, fzr, mem);
+                    ctx.barrier();
+                    pass_accumulate(&phi1v, &fview, cells, d, 0..NCOMP, czr, comp, mem);
+                }
+                CompLoop::Inside => {
+                    pass_flux1_cli(phi0, &fview, faces, fzr.clone(), mem);
+                    ctx.barrier();
+                    pass_flux2_cli(&fview, d, faces, fzr, mem);
+                    ctx.barrier();
+                    pass_accumulate(&phi1v, &fview, cells, d, 0..NCOMP, czr, comp, mem);
+                }
+            }
+            ctx.barrier();
+        });
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{CountingMem, NoMem};
+    use pdesched_kernels::reference;
+
+    fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
+        let cells = IBox::cube(n);
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(31);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        expect.fill_synthetic(32);
+        let got = expect.clone();
+        reference::update_box(&phi0, &mut expect, cells);
+        (phi0, expect, got, cells)
+    }
+
+    #[test]
+    fn clo_serial_matches_reference() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn cli_serial_matches_reference() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn within_box_matches_reference_any_thread_count() {
+        for comp in [CompLoop::Outside, CompLoop::Inside] {
+            for nt in [1, 2, 3, 5, 8] {
+                let (phi0, expect, mut got, cells) = setup(7);
+                run_box_within(&phi0, &mut got, cells, comp, nt, &NoMem);
+                assert!(got.bit_eq(&expect, cells), "comp={comp:?} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_match_analytic() {
+        let (phi0, _, mut got, cells) = setup(5);
+        let m = CountingMem::new();
+        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &m);
+        assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells));
+        // CLI performs the identical operation counts.
+        let m2 = CountingMem::new();
+        let mut got2 = FArrayBox::new(cells, NCOMP);
+        run_box_serial(&phi0, &mut got2, cells, CompLoop::Inside, &m2);
+        assert_eq!(m2.op_count(), pdesched_kernels::ops::exemplar_ops(cells));
+    }
+
+    #[test]
+    fn storage_peak_series() {
+        let (phi0, _, mut got, cells) = setup(6);
+        let s = run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        // Flux: C * (N+1)*N^2, velocity: (N+1)*N^2 (shape identical for
+        // all directions; buffers are reused).
+        assert_eq!(s.flux_f64, NCOMP * 7 * 36);
+        assert_eq!(s.vel_f64, 7 * 36);
+        let s2 = run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        assert_eq!(s2.vel_f64, 0);
+    }
+
+    #[test]
+    fn cli_reads_fewer_temp_values_than_clo() {
+        // CLI skips the velocity copy; its total traffic must be lower.
+        let (phi0, _, mut a, cells) = setup(5);
+        let mc = CountingMem::new();
+        run_box_serial(&phi0, &mut a, cells, CompLoop::Outside, &mc);
+        let mi = CountingMem::new();
+        let mut b = FArrayBox::new(cells, NCOMP);
+        run_box_serial(&phi0, &mut b, cells, CompLoop::Inside, &mi);
+        let (rc, wc, ..) = mc.snapshot();
+        let (ri, wi, ..) = mi.snapshot();
+        assert!(ri < rc, "CLI reads {ri} !< CLO reads {rc}");
+        assert!(wi < wc, "CLI writes {wi} !< CLO writes {wc}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared-write array views and the face-flux helpers every fused
+//! schedule uses.
+
+use crate::mem::Mem;
+use pdesched_kernels::point::{face_interp, flux_mul};
+use pdesched_kernels::{vel_comp, NCOMP};
+use pdesched_mesh::{FArrayBox, IntVect};
+
+/// A `Sync` view of an [`FArrayBox`] that threads of an SPMD region use
+/// for **disjoint** writes (each cell of `phi1` is owned by exactly one
+/// thread; shared flux caches are row-owned between barriers).
+///
+/// The view copies the layout metadata so indexing needs no pointer
+/// chasing; all access is `unsafe` with the disjointness obligation on
+/// the caller.
+#[derive(Clone, Copy)]
+pub struct SharedFab {
+    ptr: *mut f64,
+    lo: IntVect,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ncomp: usize,
+}
+
+unsafe impl Sync for SharedFab {}
+unsafe impl Send for SharedFab {}
+
+impl SharedFab {
+    /// Create a view over `fab`'s data. The `&mut` borrow guarantees the
+    /// caller holds exclusive access for the view's use.
+    pub fn new(fab: &mut FArrayBox) -> Self {
+        let region = fab.region();
+        let s = region.size();
+        SharedFab {
+            ptr: fab.data_mut().as_mut_ptr(),
+            lo: region.lo(),
+            nx: s[0] as usize,
+            ny: s[1] as usize,
+            nz: s[2] as usize,
+            ncomp: fab.ncomp(),
+        }
+    }
+
+    /// Linear index of `(iv, c)`.
+    #[inline(always)]
+    pub fn index(&self, iv: IntVect, c: usize) -> usize {
+        debug_assert!(c < self.ncomp);
+        let x = (iv[0] - self.lo[0]) as usize;
+        let y = (iv[1] - self.lo[1]) as usize;
+        let z = (iv[2] - self.lo[2]) as usize;
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        ((c * self.nz + z) * self.ny + y) * self.nx + x
+    }
+
+    /// Byte address of linear index `i` (for `Mem` hooks).
+    #[inline(always)]
+    pub fn addr(&self, i: usize) -> usize {
+        self.ptr as usize + i * 8
+    }
+
+    /// Stride between adjacent points along direction `d`.
+    #[inline(always)]
+    pub fn stride(&self, d: usize) -> usize {
+        match d {
+            0 => 1,
+            1 => self.nx,
+            _ => self.nx * self.ny,
+        }
+    }
+
+    /// Read linear index `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer of index `i`.
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> f64 {
+        debug_assert!(i < self.nx * self.ny * self.nz * self.ncomp);
+        *self.ptr.add(i)
+    }
+
+    /// Write linear index `i`.
+    ///
+    /// # Safety
+    /// No concurrent reader or writer of index `i`.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, v: f64) {
+        debug_assert!(i < self.nx * self.ny * self.nz * self.ncomp);
+        *self.ptr.add(i) = v;
+    }
+}
+
+/// Stride of an [`FArrayBox`] along direction `d`.
+#[inline(always)]
+pub fn stride_of(fab: &FArrayBox, d: usize) -> usize {
+    match d {
+        0 => 1,
+        1 => fab.y_stride(),
+        _ => fab.z_stride(),
+    }
+}
+
+/// Interpolate component `c` of `phi0` to the face at index `f` in
+/// direction `d` (Eq. 6), with `Mem` hooks on the four reads.
+///
+/// `f`, interpreted as a cell index, addresses the cell on the *high*
+/// side of the face; the stencil reads cells `f-2, f-1, f, f+1` along
+/// `d`.
+#[inline(always)]
+pub fn face_interp_at<M: Mem>(phi0: &FArrayBox, d: usize, f: IntVect, c: usize, mem: &M) -> f64 {
+    let stride = stride_of(phi0, d);
+    let i0 = phi0.index(f, c);
+    let pd = phi0.data();
+    let base = phi0.base_addr();
+    mem.r(base + (i0 - 2 * stride) * 8);
+    mem.r(base + (i0 - stride) * 8);
+    mem.r(base + i0 * 8);
+    mem.r(base + (i0 + stride) * 8);
+    mem.op_interp();
+    face_interp(pd[i0 - 2 * stride], pd[i0 - stride], pd[i0], pd[i0 + stride])
+}
+
+/// Compute all `NCOMP` fluxes at face `f` in direction `d`:
+/// `out[c] = interp[c] * interp[vel_comp(d)]` — the CLI fused path where
+/// the face velocity never leaves registers.
+#[inline(always)]
+pub fn face_fluxes_all<M: Mem>(
+    phi0: &FArrayBox,
+    d: usize,
+    f: IntVect,
+    out: &mut [f64; NCOMP],
+    mem: &M,
+) {
+    let mut interp = [0.0f64; NCOMP];
+    for (c, v) in interp.iter_mut().enumerate() {
+        *v = face_interp_at(phi0, d, f, c, mem);
+    }
+    let vel = interp[vel_comp(d)];
+    for c in 0..NCOMP {
+        mem.op_flux();
+        out[c] = flux_mul(interp[c], vel);
+    }
+}
+
+/// Compute the flux of a single component at face `f` given the
+/// pre-computed face velocity — the CLO fused path (velocity comes from
+/// the `3(N+1)^3` temporary of Table I).
+#[inline(always)]
+pub fn face_flux_one<M: Mem>(
+    phi0: &FArrayBox,
+    d: usize,
+    f: IntVect,
+    c: usize,
+    vel: f64,
+    mem: &M,
+) -> f64 {
+    let interp = face_interp_at(phi0, d, f, c, mem);
+    mem.op_flux();
+    flux_mul(interp, vel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{CountingMem, NoMem};
+    use pdesched_mesh::IBox;
+
+    fn phi(n: i32) -> FArrayBox {
+        let mut f = FArrayBox::new(IBox::cube(n).grown(2), NCOMP);
+        f.fill_synthetic(21);
+        f
+    }
+
+    #[test]
+    fn shared_fab_matches_fab_indexing() {
+        let mut f = phi(4);
+        let sv = SharedFab::new(&mut f);
+        for c in 0..NCOMP {
+            for iv in IBox::cube(4).grown(2).iter() {
+                assert_eq!(sv.index(iv, c), f.index(iv, c));
+            }
+        }
+        let iv = IntVect::new(1, 2, 3);
+        let i = sv.index(iv, 2);
+        unsafe {
+            sv.write(i, 42.0);
+            assert_eq!(sv.read(i), 42.0);
+        }
+        assert_eq!(f.at(iv, 2), 42.0);
+        assert_eq!(sv.stride(0), 1);
+        assert_eq!(sv.stride(1), f.y_stride());
+        assert_eq!(sv.stride(2), f.z_stride());
+    }
+
+    #[test]
+    fn face_interp_at_matches_pointwise() {
+        let f = phi(4);
+        for d in 0..3 {
+            let e = IntVect::basis(d);
+            let face = IntVect::new(2, 1, 0);
+            for c in 0..NCOMP {
+                let v = face_interp_at(&f, d, face, c, &NoMem);
+                let expect = face_interp(
+                    f.at(face - e * 2, c),
+                    f.at(face - e, c),
+                    f.at(face, c),
+                    f.at(face + e, c),
+                );
+                assert_eq!(v.to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn face_fluxes_all_consistent_with_one() {
+        let f = phi(4);
+        let face = IntVect::new(1, 2, 1);
+        for d in 0..3 {
+            let mut all = [0.0; NCOMP];
+            face_fluxes_all(&f, d, face, &mut all, &NoMem);
+            let vel = face_interp_at(&f, d, face, vel_comp(d), &NoMem);
+            for c in 0..NCOMP {
+                let one = face_flux_one(&f, d, face, c, vel, &NoMem);
+                assert_eq!(all[c].to_bits(), one.to_bits(), "d={d} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn hooks_fire_per_access() {
+        let f = phi(4);
+        let m = CountingMem::new();
+        let mut out = [0.0; NCOMP];
+        face_fluxes_all(&f, 0, IntVect::new(1, 1, 1), &mut out, &m);
+        let (r, w, i, fl, a) = m.snapshot();
+        assert_eq!(r, 4 * NCOMP as u64);
+        assert_eq!(w, 0);
+        assert_eq!(i, NCOMP as u64);
+        assert_eq!(fl, NCOMP as u64);
+        assert_eq!(a, 0);
+    }
+}

@@ -1,0 +1,598 @@
+//! Categories "Shift-Fuse with wavefront parallelism" and "Blocked
+//! Wavefront" (Fig. 8a/8b): the fused schedule executed as wavefronts of
+//! tiles over the dependence cone created by flux-carry reuse.
+//!
+//! Fusion makes cell `(x, y, z)` depend on its `x-1`, `y-1`, and `z-1`
+//! predecessors through the carried face fluxes, so tiles can execute
+//! concurrently only along the diagonals `tx + ty + tz = w`. Between
+//! wavefronts a barrier publishes the *co-dimension flux caches*
+//! (Table I: `2(3CN^2)`; one buffer suffices here because the barrier
+//! orders the phases):
+//!
+//! * `xcache[(y, z)]` — the high-side x flux of the last cell processed
+//!   in pencil `(y, z)`,
+//! * `ycache[(x, z)]`, `zcache[(x, y)]` — likewise for y and z.
+//!
+//! A cell reads its low fluxes from the caches (or computes them directly
+//! on the box's low boundary — the shift prologue) and writes its high
+//! fluxes back. Within a wavefront no two tiles touch the same cache
+//! rows: concurrent tiles differ in at least two tile coordinates, so
+//! their `(y, z)`, `(x, z)`, and `(x, y)` shadows are disjoint.
+//!
+//! The per-iteration wavefront of the untiled Shift-Fuse `P < Box`
+//! variant is the `tile = 1` special case.
+
+use crate::fuse::clo_flux;
+use crate::mem::Mem;
+use crate::shared::{face_fluxes_all, face_interp_at, SharedFab};
+use crate::storage::TempStorage;
+use crate::variant::CompLoop;
+use pdesched_kernels::point::accumulate;
+use pdesched_kernels::{vel_comp, NCOMP};
+use pdesched_mesh::{FArrayBox, IBox, IntVect};
+use pdesched_par::{spmd, UnsafeSlice};
+
+/// Group the tiles of `cells` into wavefronts: group `w` holds the tiles
+/// with `tx + ty + tz == w`. Tiles within a group are mutually
+/// independent.
+pub fn wavefront_groups(cells: IBox, tile: i32) -> Vec<Vec<IBox>> {
+    let counts = cells.tile_counts(tile);
+    let tiles = cells.tiles(tile);
+    let nw = (counts[0] + counts[1] + counts[2] - 2).max(1) as usize;
+    let mut groups: Vec<Vec<IBox>> = vec![Vec::new(); nw];
+    for (i, t) in tiles.into_iter().enumerate() {
+        let i = i as i32;
+        let tx = i % counts[0];
+        let ty = (i / counts[0]) % counts[1];
+        let tz = i / (counts[0] * counts[1]);
+        groups[(tx + ty + tz) as usize].push(t);
+    }
+    groups
+}
+
+/// Number of tiles in each wavefront for an `n^3` box with tile size
+/// `t` — the machine model's parallel-efficiency input.
+pub fn wavefront_sizes(n: i32, tile: i32) -> Vec<usize> {
+    wavefront_groups(IBox::cube(n), tile).iter().map(|g| g.len()).collect()
+}
+
+/// Execute the blocked-wavefront schedule over one box.
+///
+/// `nthreads == 1` gives the serial traversal used by the `P >= Box`
+/// granularity (same wavefront order, one thread); `nthreads > 1`
+/// parallelizes each wavefront with barriers in between.
+pub fn run_box<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    comp: CompLoop,
+    tile: i32,
+    nthreads: usize,
+    mem: &M,
+) -> TempStorage {
+    let groups = wavefront_groups(cells, tile);
+    let phi1v = SharedFab::new(phi1);
+    let nx = cells.extent(0) as usize;
+    let ny = cells.extent(1) as usize;
+    let nz = cells.extent(2) as usize;
+    let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+    let mut xcache = vec![0.0f64; ny * nz * kc];
+    let mut ycache = vec![0.0f64; nx * nz * kc];
+    let mut zcache = vec![0.0f64; nx * ny * kc];
+    let mut storage = TempStorage {
+        flux_f64: xcache.len() + ycache.len() + zcache.len(),
+        vel_f64: 0,
+    };
+    let caches = Caches {
+        x: UnsafeSlice::new(&mut xcache),
+        y: UnsafeSlice::new(&mut ycache),
+        z: UnsafeSlice::new(&mut zcache),
+        lo: cells.lo(),
+        nx,
+        ny,
+        kc,
+    };
+
+    match comp {
+        CompLoop::Inside => {
+            spmd(nthreads, |ctx| {
+                for group in &groups {
+                    for ti in ctx.static_range(group.len()) {
+                        tile_cli(phi0, &phi1v, cells, group[ti], &caches, mem);
+                    }
+                    ctx.barrier();
+                }
+            });
+        }
+        CompLoop::Outside => {
+            // Shared velocity face arrays, filled in parallel by z-slab
+            // in their own region so no shared borrow is live while the
+            // views write.
+            let mut vels: Vec<FArrayBox> =
+                (0..3).map(|d| FArrayBox::new(cells.surrounding_faces(d), 1)).collect();
+            storage.vel_f64 = vels.iter().map(|v| v.len()).sum();
+            {
+                let regions: Vec<IBox> = vels.iter().map(|v| v.region()).collect();
+                let vviews: Vec<SharedFab> = vels.iter_mut().map(SharedFab::new).collect();
+                spmd(nthreads, |ctx| {
+                    for d in 0..3 {
+                        let faces = regions[d];
+                        let zn = faces.extent(2) as usize;
+                        let zr = ctx.static_range(zn);
+                        fill_velocity_slab(
+                            phi0,
+                            &vviews[d],
+                            faces,
+                            d,
+                            (faces.lo()[2] + zr.start as i32)..(faces.lo()[2] + zr.end as i32),
+                            mem,
+                        );
+                    }
+                });
+            }
+            let vels_ref = &vels;
+            spmd(nthreads, |ctx| {
+                for c in 0..NCOMP {
+                    for group in &groups {
+                        for ti in ctx.static_range(group.len()) {
+                            tile_clo(phi0, &phi1v, cells, group[ti], c, vels_ref, &caches, mem);
+                        }
+                        ctx.barrier();
+                    }
+                }
+            });
+        }
+    }
+    storage
+}
+
+/// Reusable serial-wavefront buffers for hierarchical overlapped tiling:
+/// co-dimension caches (and CLO velocity arrays) sized to an outer tile,
+/// reused across the outer tiles a thread owns.
+pub struct WavefrontBufs {
+    xcache: Vec<f64>,
+    ycache: Vec<f64>,
+    zcache: Vec<f64>,
+    vels: Vec<FArrayBox>,
+    shape: Option<(IBox, CompLoop)>,
+    peak: TempStorage,
+}
+
+impl WavefrontBufs {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        WavefrontBufs {
+            xcache: Vec::new(),
+            ycache: Vec::new(),
+            zcache: Vec::new(),
+            vels: Vec::new(),
+            shape: None,
+            peak: TempStorage::default(),
+        }
+    }
+
+    /// Peak temporary storage held so far.
+    pub fn peak(&self) -> TempStorage {
+        self.peak
+    }
+
+    fn ensure(&mut self, cells: IBox, comp: CompLoop) {
+        if self.shape == Some((cells, comp)) {
+            return;
+        }
+        let nx = cells.extent(0) as usize;
+        let ny = cells.extent(1) as usize;
+        let nz = cells.extent(2) as usize;
+        let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+        self.xcache = vec![0.0; ny * nz * kc];
+        self.ycache = vec![0.0; nx * nz * kc];
+        self.zcache = vec![0.0; nx * ny * kc];
+        let mut vel = 0;
+        self.vels.clear();
+        if comp == CompLoop::Outside {
+            for d in 0..3 {
+                let faces = cells.surrounding_faces(d);
+                vel += faces.num_pts();
+                self.vels.push(FArrayBox::new(faces, 1));
+            }
+        }
+        self.shape = Some((cells, comp));
+        self.peak = self.peak.max(TempStorage {
+            flux_f64: self.xcache.len() + self.ycache.len() + self.zcache.len(),
+            vel_f64: vel,
+        });
+    }
+}
+
+impl Default for WavefrontBufs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serially sweep `cells` (one *outer* overlapped tile) as inner tiles
+/// of size `tile` in wavefront order, writing through a shared `phi1`
+/// view — the intra-tile engine of hierarchical overlapped tiling.
+/// Faces on the boundary of `cells` are computed directly (that is the
+/// outer tile's surface recomputation).
+pub fn run_tile_serial<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    comp: CompLoop,
+    tile: i32,
+    bufs: &mut WavefrontBufs,
+    mem: &M,
+) {
+    bufs.ensure(cells, comp);
+    let nx = cells.extent(0) as usize;
+    let ny = cells.extent(1) as usize;
+    let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+    // Fill the CLO velocities serially.
+    if comp == CompLoop::Outside {
+        for d in 0..3 {
+            let faces = bufs.vels[d].region();
+            let view = SharedFab::new(&mut bufs.vels[d]);
+            fill_velocity_slab(phi0, &view, faces, d, faces.lo()[2]..faces.hi()[2] + 1, mem);
+        }
+    }
+    let caches = Caches {
+        x: UnsafeSlice::new(&mut bufs.xcache),
+        y: UnsafeSlice::new(&mut bufs.ycache),
+        z: UnsafeSlice::new(&mut bufs.zcache),
+        lo: cells.lo(),
+        nx,
+        ny,
+        kc,
+    };
+    let groups = wavefront_groups(cells, tile);
+    match comp {
+        CompLoop::Inside => {
+            for group in &groups {
+                for t in group {
+                    tile_cli(phi0, phi1, cells, *t, &caches, mem);
+                }
+            }
+        }
+        CompLoop::Outside => {
+            for c in 0..NCOMP {
+                for group in &groups {
+                    for t in group {
+                        tile_clo(phi0, phi1, cells, *t, c, &bufs.vels, &caches, mem);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared co-dimension flux caches.
+struct Caches<'a> {
+    x: UnsafeSlice<'a, f64>,
+    y: UnsafeSlice<'a, f64>,
+    z: UnsafeSlice<'a, f64>,
+    lo: IntVect,
+    nx: usize,
+    ny: usize,
+    kc: usize,
+}
+
+impl<'a> Caches<'a> {
+    #[inline(always)]
+    fn xi(&self, iv: IntVect, c: usize) -> usize {
+        let yr = (iv[1] - self.lo[1]) as usize;
+        let zr = (iv[2] - self.lo[2]) as usize;
+        (zr * self.ny + yr) * self.kc + c
+    }
+    #[inline(always)]
+    fn yi(&self, iv: IntVect, c: usize) -> usize {
+        let xr = (iv[0] - self.lo[0]) as usize;
+        let zr = (iv[2] - self.lo[2]) as usize;
+        (zr * self.nx + xr) * self.kc + c
+    }
+    #[inline(always)]
+    fn zi(&self, iv: IntVect, c: usize) -> usize {
+        let xr = (iv[0] - self.lo[0]) as usize;
+        let yr = (iv[1] - self.lo[1]) as usize;
+        (yr * self.nx + xr) * self.kc + c
+    }
+}
+
+/// Fill a z-slab of one direction's velocity face array.
+fn fill_velocity_slab<M: Mem>(
+    phi0: &FArrayBox,
+    vel: &SharedFab,
+    faces: IBox,
+    d: usize,
+    zr: std::ops::Range<i32>,
+    mem: &M,
+) {
+    let (lo, hi) = (faces.lo(), faces.hi());
+    let vc = vel_comp(d);
+    for z in zr {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let f = IntVect::new(x, y, z);
+                let v = face_interp_at(phi0, d, f, vc, mem);
+                let i = vel.index(f, 0);
+                mem.w(vel.addr(i));
+                unsafe { vel.write(i, v) };
+            }
+        }
+    }
+}
+
+/// Process one tile, CLI: all components per cell, low fluxes from the
+/// shared caches.
+fn tile_cli<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    t: IBox,
+    caches: &Caches<'_>,
+    mem: &M,
+) {
+    let (lo, hi) = (t.lo(), t.hi());
+    let blo = cells.lo();
+    let xbase = caches.x.as_addr();
+    let ybase = caches.y.as_addr();
+    let zbase = caches.z.as_addr();
+    let mut flo = [0.0f64; NCOMP];
+    let mut fhi = [0.0f64; NCOMP];
+    for z in lo[2]..=hi[2] {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let iv = IntVect::new(x, y, z);
+                let pi0 = phi1.index(iv, 0);
+                let cstride = phi1.index(iv, 1) - pi0;
+                // x direction
+                if x == blo[0] {
+                    face_fluxes_all(phi0, 0, iv, &mut flo, mem);
+                } else {
+                    for (c, v) in flo.iter_mut().enumerate() {
+                        let i = caches.xi(iv, c);
+                        mem.r(xbase + i * 8);
+                        *v = unsafe { caches.x.read(i) };
+                    }
+                }
+                face_fluxes_all(phi0, 0, iv.shifted(0, 1), &mut fhi, mem);
+                for (c, v) in fhi.iter().enumerate() {
+                    let i = caches.xi(iv, c);
+                    mem.w(xbase + i * 8);
+                    unsafe { caches.x.write(i, *v) };
+                }
+                accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
+                // y direction
+                if y == blo[1] {
+                    face_fluxes_all(phi0, 1, iv, &mut flo, mem);
+                } else {
+                    for (c, v) in flo.iter_mut().enumerate() {
+                        let i = caches.yi(iv, c);
+                        mem.r(ybase + i * 8);
+                        *v = unsafe { caches.y.read(i) };
+                    }
+                }
+                face_fluxes_all(phi0, 1, iv.shifted(1, 1), &mut fhi, mem);
+                for (c, v) in fhi.iter().enumerate() {
+                    let i = caches.yi(iv, c);
+                    mem.w(ybase + i * 8);
+                    unsafe { caches.y.write(i, *v) };
+                }
+                accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
+                // z direction
+                if z == blo[2] {
+                    face_fluxes_all(phi0, 2, iv, &mut flo, mem);
+                } else {
+                    for (c, v) in flo.iter_mut().enumerate() {
+                        let i = caches.zi(iv, c);
+                        mem.r(zbase + i * 8);
+                        *v = unsafe { caches.z.read(i) };
+                    }
+                }
+                face_fluxes_all(phi0, 2, iv.shifted(2, 1), &mut fhi, mem);
+                for (c, v) in fhi.iter().enumerate() {
+                    let i = caches.zi(iv, c);
+                    mem.w(zbase + i * 8);
+                    unsafe { caches.z.write(i, *v) };
+                }
+                accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
+            }
+        }
+    }
+}
+
+/// Accumulate one direction's flux difference into all components of a
+/// cell.
+#[inline(always)]
+fn accum_all<M: Mem>(
+    phi1: &SharedFab,
+    pi0: usize,
+    cstride: usize,
+    flo: &[f64; NCOMP],
+    fhi: &[f64; NCOMP],
+    mem: &M,
+) {
+    for c in 0..NCOMP {
+        let pi = pi0 + c * cstride;
+        mem.r(phi1.addr(pi));
+        mem.op_accum();
+        let v = unsafe { accumulate(phi1.read(pi), flo[c], fhi[c]) };
+        mem.w(phi1.addr(pi));
+        unsafe { phi1.write(pi, v) };
+    }
+}
+
+/// Process one tile, CLO: a single component `c`, scalar caches, shared
+/// velocity arrays.
+#[allow(clippy::too_many_arguments)]
+fn tile_clo<M: Mem>(
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    t: IBox,
+    c: usize,
+    vels: &[FArrayBox],
+    caches: &Caches<'_>,
+    mem: &M,
+) {
+    let (lo, hi) = (t.lo(), t.hi());
+    let blo = cells.lo();
+    let xbase = caches.x.as_addr();
+    let ybase = caches.y.as_addr();
+    let zbase = caches.z.as_addr();
+    for z in lo[2]..=hi[2] {
+        for y in lo[1]..=hi[1] {
+            for x in lo[0]..=hi[0] {
+                let iv = IntVect::new(x, y, z);
+                // x
+                let fxlo = if x == blo[0] {
+                    clo_flux(phi0, &vels[0], 0, iv, c, mem)
+                } else {
+                    let i = caches.xi(iv, 0);
+                    mem.r(xbase + i * 8);
+                    unsafe { caches.x.read(i) }
+                };
+                let fxhi = clo_flux(phi0, &vels[0], 0, iv.shifted(0, 1), c, mem);
+                let i = caches.xi(iv, 0);
+                mem.w(xbase + i * 8);
+                unsafe { caches.x.write(i, fxhi) };
+                // y
+                let fylo = if y == blo[1] {
+                    clo_flux(phi0, &vels[1], 1, iv, c, mem)
+                } else {
+                    let i = caches.yi(iv, 0);
+                    mem.r(ybase + i * 8);
+                    unsafe { caches.y.read(i) }
+                };
+                let fyhi = clo_flux(phi0, &vels[1], 1, iv.shifted(1, 1), c, mem);
+                let i = caches.yi(iv, 0);
+                mem.w(ybase + i * 8);
+                unsafe { caches.y.write(i, fyhi) };
+                // z
+                let fzlo = if z == blo[2] {
+                    clo_flux(phi0, &vels[2], 2, iv, c, mem)
+                } else {
+                    let i = caches.zi(iv, 0);
+                    mem.r(zbase + i * 8);
+                    unsafe { caches.z.read(i) }
+                };
+                let fzhi = clo_flux(phi0, &vels[2], 2, iv.shifted(2, 1), c, mem);
+                let i = caches.zi(iv, 0);
+                mem.w(zbase + i * 8);
+                unsafe { caches.z.write(i, fzhi) };
+                // Accumulate x, y, z.
+                let pi = phi1.index(iv, c);
+                mem.r(phi1.addr(pi));
+                let mut v = unsafe { phi1.read(pi) };
+                mem.op_accum();
+                v = accumulate(v, fxlo, fxhi);
+                mem.op_accum();
+                v = accumulate(v, fylo, fyhi);
+                mem.op_accum();
+                v = accumulate(v, fzlo, fzhi);
+                mem.w(phi1.addr(pi));
+                unsafe { phi1.write(pi, v) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{CountingMem, NoMem};
+    use pdesched_kernels::reference;
+
+    fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
+        let cells = IBox::cube(n);
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(51);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        expect.fill_synthetic(52);
+        let got = expect.clone();
+        reference::update_box(&phi0, &mut expect, cells);
+        (phi0, expect, got, cells)
+    }
+
+    #[test]
+    fn groups_cover_all_tiles_once() {
+        for (n, t) in [(8, 4), (10, 3), (6, 1), (9, 4)] {
+            let cells = IBox::cube(n);
+            let groups = wavefront_groups(cells, t);
+            let total: usize = groups.iter().flat_map(|g| g.iter()).map(|b| b.num_pts()).sum();
+            assert_eq!(total, cells.num_pts(), "n={n} t={t}");
+            // Within a group, tiles are pairwise independent: they differ
+            // in at least two tile coordinates.
+            for g in &groups {
+                for (i, a) in g.iter().enumerate() {
+                    for b in &g[i + 1..] {
+                        let same_y = a.lo()[1] == b.lo()[1];
+                        let same_z = a.lo()[2] == b.lo()[2];
+                        let same_x = a.lo()[0] == b.lo()[0];
+                        assert!(
+                            !(same_x && same_y) && !(same_y && same_z) && !(same_x && same_z),
+                            "dependent tiles in one wavefront"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_sizes_shape() {
+        let sizes = wavefront_sizes(8, 4);
+        assert_eq!(sizes, vec![1, 3, 3, 1]);
+        let s16 = wavefront_sizes(16, 4);
+        assert_eq!(s16.len(), 10);
+        assert_eq!(s16.iter().sum::<usize>(), 64);
+        assert_eq!(*s16.iter().max().unwrap(), 12);
+    }
+
+    #[test]
+    fn cli_matches_reference_serial_and_parallel() {
+        for nt in [1, 2, 4] {
+            for t in [1, 2, 4] {
+                let (phi0, expect, mut got, cells) = setup(6);
+                run_box(&phi0, &mut got, cells, CompLoop::Inside, t, nt, &NoMem);
+                assert!(got.bit_eq(&expect, cells), "nt={nt} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn clo_matches_reference_serial_and_parallel() {
+        for nt in [1, 3] {
+            for t in [2, 3] {
+                let (phi0, expect, mut got, cells) = setup(7);
+                run_box(&phi0, &mut got, cells, CompLoop::Outside, t, nt, &NoMem);
+                assert!(got.bit_eq(&expect, cells), "nt={nt} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_identical_to_series() {
+        let (phi0, _, mut got, cells) = setup(6);
+        for comp in [CompLoop::Inside, CompLoop::Outside] {
+            let m = CountingMem::new();
+            let mut g = got.clone();
+            run_box(&phi0, &mut g, cells, comp, 2, 2, &m);
+            assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells), "{comp:?}");
+        }
+        let _ = &mut got;
+    }
+
+    #[test]
+    fn storage_is_co_dimension() {
+        let n = 6;
+        let (phi0, _, mut got, cells) = setup(n);
+        let s = run_box(&phi0, &mut got, cells, CompLoop::Inside, 2, 2, &NoMem);
+        let n = n as usize;
+        assert_eq!(s.flux_f64, 3 * NCOMP * n * n);
+        assert_eq!(s.vel_f64, 0);
+        let s2 = run_box(&phi0, &mut got, cells, CompLoop::Outside, 2, 2, &NoMem);
+        assert_eq!(s2.flux_f64, 3 * n * n);
+        assert_eq!(s2.vel_f64, 3 * (n + 1) * n * n);
+    }
+}

@@ -1,0 +1,220 @@
+//! Specifications of the paper's four machines (Section VI-A).
+
+use pdesched_cachesim::CacheConfig;
+
+/// A multicore node: topology, cache hierarchy, and two calibrated rate
+/// constants.
+///
+/// The cache sizes and peak bandwidths are quoted from the paper. Two
+/// constants are *calibrated* (they describe compiled-code quality and
+/// achievable — rather than peak — bandwidth, which no spec sheet gives):
+///
+/// * [`MachineSpec::core_gflops`] — effective single-core throughput on
+///   this kernel, fitted to the paper's single-thread baseline times;
+/// * [`MachineSpec::bw_core_gbs`] — single-core achievable DRAM
+///   bandwidth (limited by outstanding-miss parallelism), fitted to the
+///   VTune observation of 18.3 GB/s for one thread on the i5 desktop and
+///   scaled by memory generation for the others;
+/// * [`MachineSpec::bw_socket_gbs`] — achievable per-socket bandwidth
+///   (STREAM-like fraction of the peak quoted in the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core (2 = hyper-threading exposed).
+    pub smt: usize,
+    /// Core clock in GHz.
+    pub ghz: f64,
+    /// Private L1 data cache per core.
+    pub l1d: CacheConfig,
+    /// Private L2 per core.
+    pub l2: CacheConfig,
+    /// Shared L3 per socket.
+    pub l3_socket: CacheConfig,
+    /// Calibrated effective single-core GFLOP/s on the exemplar kernel.
+    pub core_gflops: f64,
+    /// Calibrated single-core achievable DRAM bandwidth (GB/s).
+    pub bw_core_gbs: f64,
+    /// Calibrated achievable DRAM bandwidth per socket (GB/s).
+    pub bw_socket_gbs: f64,
+}
+
+impl MachineSpec {
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads.
+    pub fn hw_threads(&self) -> usize {
+        self.cores() * self.smt
+    }
+
+    /// The 24-core Cray XT6m node: two 12-core AMD Magny-Cours at
+    /// 1.9 GHz, 64 KB L1d / 512 KB L2 per core, 12 MB L3 per socket,
+    /// 85.3 GB/s aggregate peak bandwidth.
+    pub fn magny_cours() -> Self {
+        MachineSpec {
+            name: "24-Core AMD Magny-Cours",
+            sockets: 2,
+            cores_per_socket: 12,
+            smt: 1,
+            ghz: 1.9,
+            l1d: CacheConfig::new(64 * 1024, 2),
+            l2: CacheConfig::new(512 * 1024, 16),
+            l3_socket: CacheConfig::new(12 * 1024 * 1024, 16),
+            // Fig. 2: baseline N=16 needs ~14 s at one thread.
+            core_gflops: 0.45,
+            bw_core_gbs: 3.5,
+            // The XT6m's achievable STREAM-like bandwidth is a small
+            // fraction of the 85.3 GB/s aggregate peak; fitted to the
+            // N=128 baseline plateau of Figs. 2/10.
+            bw_socket_gbs: 10.0,
+        }
+    }
+
+    /// Atlantis: two 10-core Intel Ivy Bridge E5-2670v2 at 2.5 GHz,
+    /// 32 KB L1d / 256 KB L2 per core, 25 MB L3 per socket, 51.2 GB/s
+    /// peak per socket, hyper-threaded.
+    pub fn ivy_bridge_node() -> Self {
+        MachineSpec {
+            name: "20-Core Intel Ivy Bridge",
+            sockets: 2,
+            cores_per_socket: 10,
+            smt: 2,
+            ghz: 2.5,
+            l1d: CacheConfig::new(32 * 1024, 8),
+            l2: CacheConfig::new(256 * 1024, 8),
+            l3_socket: CacheConfig::new(25 * 1024 * 1024, 20),
+            // Fig. 3: baseline N=16 is ~4 s at one thread.
+            core_gflops: 1.55,
+            bw_core_gbs: 14.0,
+            bw_socket_gbs: 38.0,
+        }
+    }
+
+    /// Cab: two 8-core Intel Sandy Bridge E5-2670 at 2.6 GHz, caches as
+    /// Ivy Bridge except a 20 MB L3, 51.2 GB/s peak per socket.
+    pub fn sandy_bridge_node() -> Self {
+        MachineSpec {
+            name: "16-Core Intel Sandy Bridge",
+            sockets: 2,
+            cores_per_socket: 8,
+            smt: 1,
+            ghz: 2.6,
+            l1d: CacheConfig::new(32 * 1024, 8),
+            l2: CacheConfig::new(256 * 1024, 8),
+            l3_socket: CacheConfig::new(20 * 1024 * 1024, 20),
+            // Fig. 4: baseline N=16 is ~4 s at one thread.
+            core_gflops: 1.5,
+            bw_core_gbs: 13.0,
+            bw_socket_gbs: 36.0,
+        }
+    }
+
+    /// The i5-3570K desktop used for VTune bandwidth measurements:
+    /// 4 cores at 3.4 GHz, 6 MB shared L3, 21.0 GB/s system bandwidth.
+    pub fn i5_desktop() -> Self {
+        MachineSpec {
+            name: "4-Core Ivy Bridge Desktop (i5-3570K)",
+            sockets: 1,
+            cores_per_socket: 4,
+            smt: 1,
+            ghz: 3.4,
+            l1d: CacheConfig::new(32 * 1024, 8),
+            l2: CacheConfig::new(256 * 1024, 8),
+            l3_socket: CacheConfig::new(6 * 1024 * 1024, 12),
+            core_gflops: 2.0,
+            // VTune: a single thread sustained 18.3 GB/s on the N=128
+            // baseline.
+            bw_core_gbs: 18.3,
+            // VTune saturation behavior against the 21.0 GB/s system.
+            bw_socket_gbs: 19.5,
+        }
+    }
+
+    /// The three HPC nodes of the evaluation, in paper order.
+    pub fn evaluation_nodes() -> Vec<MachineSpec> {
+        vec![Self::magny_cours(), Self::ivy_bridge_node(), Self::sandy_bridge_node()]
+    }
+
+    /// The cache hierarchy seen by one thread when `threads_on_socket`
+    /// threads share the socket: private L1/L2 plus a `1/threads` share
+    /// of the L3 (competitive sharing approximation).
+    pub fn hierarchy_for(&self, threads_on_socket: usize) -> Vec<CacheConfig> {
+        let share = self.l3_socket.scaled(1, threads_on_socket.max(1));
+        vec![self.l1d, self.l2, share]
+    }
+
+    /// How many of `t` threads land on each socket under the scatter
+    /// (round-robin) placement the model assumes.
+    pub fn threads_per_socket(&self, t: usize) -> Vec<usize> {
+        let mut per = vec![0usize; self.sockets];
+        for i in 0..t {
+            per[i % self.sockets] += 1;
+        }
+        per
+    }
+
+    /// Aggregate achievable bandwidth with `t` threads placed scatter:
+    /// per socket, the smaller of (threads on it × per-core limit) and
+    /// the socket limit.
+    pub fn bandwidth_at(&self, t: usize) -> f64 {
+        self.threads_per_socket(t)
+            .iter()
+            .map(|&n| (n as f64 * self.bw_core_gbs).min(self.bw_socket_gbs))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_match_paper() {
+        assert_eq!(MachineSpec::magny_cours().cores(), 24);
+        assert_eq!(MachineSpec::ivy_bridge_node().cores(), 20);
+        assert_eq!(MachineSpec::ivy_bridge_node().hw_threads(), 40);
+        assert_eq!(MachineSpec::sandy_bridge_node().cores(), 16);
+        assert_eq!(MachineSpec::i5_desktop().cores(), 4);
+    }
+
+    #[test]
+    fn scatter_placement() {
+        let m = MachineSpec::magny_cours();
+        assert_eq!(m.threads_per_socket(1), vec![1, 0]);
+        assert_eq!(m.threads_per_socket(2), vec![1, 1]);
+        assert_eq!(m.threads_per_socket(5), vec![3, 2]);
+        assert_eq!(m.threads_per_socket(24), vec![12, 12]);
+    }
+
+    #[test]
+    fn bandwidth_saturates_per_socket() {
+        let m = MachineSpec::ivy_bridge_node();
+        // One thread: per-core limit.
+        assert_eq!(m.bandwidth_at(1), m.bw_core_gbs);
+        // Full machine: both socket limits.
+        assert_eq!(m.bandwidth_at(20), 2.0 * m.bw_socket_gbs);
+        // Monotone non-decreasing.
+        let mut prev = 0.0;
+        for t in 1..=20 {
+            let b = m.bandwidth_at(t);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn llc_share_shrinks_with_threads() {
+        let m = MachineSpec::sandy_bridge_node();
+        let full = m.hierarchy_for(1)[2].size;
+        let shared = m.hierarchy_for(8)[2].size;
+        assert!(shared <= full / 4);
+        assert!(shared >= full / 16);
+    }
+}

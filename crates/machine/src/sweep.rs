@@ -1,0 +1,102 @@
+//! Design-space sweeps: rank every schedule variant on a machine.
+//!
+//! The paper's tables of "best performing schedule per machine" come
+//! from exactly this exercise. [`rank_variants`] evaluates the full
+//! (extended) variant space with the analytic traffic model — instant —
+//! and returns the ranking; the top candidates can then be re-evaluated
+//! with the simulator-backed model for confirmation.
+
+use crate::model::{predict_time_analytic, Prediction, Workload};
+use crate::spec::MachineSpec;
+use pdesched_core::Variant;
+
+/// One ranked entry.
+#[derive(Clone, Debug)]
+pub struct RankedVariant {
+    /// The schedule.
+    pub variant: Variant,
+    /// Its prediction at the evaluated thread count.
+    pub prediction: Prediction,
+}
+
+/// Evaluate `variants` on `spec` at `threads` threads and return them
+/// sorted fastest-first.
+pub fn rank_variants(
+    spec: &MachineSpec,
+    variants: &[Variant],
+    wl: Workload,
+    threads: usize,
+) -> Vec<RankedVariant> {
+    let mut out: Vec<RankedVariant> = variants
+        .iter()
+        .map(|&variant| RankedVariant {
+            variant,
+            prediction: predict_time_analytic(spec, variant, wl, threads),
+        })
+        .collect();
+    out.sort_by(|a, b| a.prediction.seconds.total_cmp(&b.prediction.seconds));
+    out
+}
+
+/// Rank the full extended variant space for a box size at full cores.
+pub fn rank_all(spec: &MachineSpec, box_n: i32) -> Vec<RankedVariant> {
+    let wl = Workload::paper(box_n);
+    let variants: Vec<Variant> = Variant::enumerate_extended(box_n)
+        .into_iter()
+        .filter(|v| v.valid_for_box(box_n))
+        .collect();
+    rank_variants(spec, &variants, wl, spec.cores())
+}
+
+/// The fastest variant for a box size on a machine (analytic model).
+pub fn best_variant(spec: &MachineSpec, box_n: i32) -> RankedVariant {
+    rank_all(spec, box_n).into_iter().next().expect("non-empty variant space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdesched_core::{Category, Granularity};
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let spec = MachineSpec::ivy_bridge_node();
+        let ranked = rank_all(&spec, 64);
+        assert!(ranked.len() > 30);
+        for w in ranked.windows(2) {
+            assert!(w[0].prediction.seconds <= w[1].prediction.seconds);
+        }
+    }
+
+    #[test]
+    fn large_boxes_prefer_fused_or_tiled_schedules() {
+        // The paper's conclusion as a sweep property: for 128^3 boxes at
+        // full threads, the winner is never the plain series baseline.
+        for spec in MachineSpec::evaluation_nodes() {
+            let best = best_variant(&spec, 128);
+            assert_ne!(
+                best.variant.category,
+                Category::Series,
+                "{}: {}",
+                spec.name,
+                best.variant
+            );
+        }
+    }
+
+    #[test]
+    fn small_boxes_prefer_over_box_granularity() {
+        // For 16^3 boxes there is too little intra-box work: the winner
+        // parallelizes over boxes.
+        for spec in MachineSpec::evaluation_nodes() {
+            let best = best_variant(&spec, 16);
+            assert_eq!(
+                best.variant.gran,
+                Granularity::OverBoxes,
+                "{}: {}",
+                spec.name,
+                best.variant
+            );
+        }
+    }
+}

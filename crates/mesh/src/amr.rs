@@ -1,0 +1,320 @@
+//! Two-level AMR support: refinement arithmetic and inter-level
+//! transfer operators.
+//!
+//! The paper situates its study inside block-structured AMR frameworks
+//! ("Chombo supports … PDEs based on finite difference and finite
+//! volume methods within the Berger-Oliger-Colella adaptive mesh
+//! refinement formulation", Section II). This module provides the
+//! minimal AMR substrate such frameworks layer above the box
+//! machinery: box refinement/coarsening, conservative fine-to-coarse
+//! averaging (`restrict`), and piecewise-constant or piecewise-linear
+//! coarse-to-fine interpolation (`prolong`), plus a two-level
+//! [`AmrHierarchy`] tying them to `LevelData`.
+
+use crate::fab::FArrayBox;
+use crate::ibox::IBox;
+use crate::intvect::IntVect;
+use crate::layout::DisjointBoxLayout;
+use crate::leveldata::LevelData;
+use crate::DIM;
+
+/// Refine a cell-centered box by `r`: each coarse cell becomes an
+/// `r^DIM` block of fine cells.
+pub fn refine_box(b: IBox, r: i32) -> IBox {
+    assert!(r >= 1);
+    IBox::new(b.lo() * r, (b.hi() + IntVect::UNIT) * r - IntVect::UNIT)
+}
+
+/// Coarsen a cell-centered box by `r` (covering coarsening: the result
+/// contains every coarse cell any fine cell maps into).
+pub fn coarsen_box(b: IBox, r: i32) -> IBox {
+    assert!(r >= 1);
+    let lo = IntVect::new(
+        b.lo()[0].div_euclid(r),
+        b.lo()[1].div_euclid(r),
+        b.lo()[2].div_euclid(r),
+    );
+    let hi = IntVect::new(
+        b.hi()[0].div_euclid(r),
+        b.hi()[1].div_euclid(r),
+        b.hi()[2].div_euclid(r),
+    );
+    IBox::new(lo, hi)
+}
+
+/// The coarse cell containing fine cell `iv` under refinement `r`.
+#[inline]
+pub fn coarsen_point(iv: IntVect, r: i32) -> IntVect {
+    IntVect::new(iv[0].div_euclid(r), iv[1].div_euclid(r), iv[2].div_euclid(r))
+}
+
+/// Interpolation order for [`prolong`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProlongOrder {
+    /// Piecewise constant: every fine cell takes its coarse cell value.
+    Constant,
+    /// Piecewise linear with central slopes (needs one coarse ghost).
+    Linear,
+}
+
+/// Fill `fine` over `fine_region` from `coarse` by interpolation under
+/// refinement ratio `r`.
+///
+/// For [`ProlongOrder::Linear`], `coarse` must cover the coarsened
+/// region grown by one cell.
+pub fn prolong(
+    coarse: &FArrayBox,
+    fine: &mut FArrayBox,
+    fine_region: IBox,
+    r: i32,
+    order: ProlongOrder,
+) {
+    assert_eq!(coarse.ncomp(), fine.ncomp());
+    debug_assert!(fine.region().contains_box(&fine_region));
+    for c in 0..coarse.ncomp() {
+        for fiv in fine_region.iter() {
+            let civ = coarsen_point(fiv, r);
+            let v = match order {
+                ProlongOrder::Constant => coarse.at(civ, c),
+                ProlongOrder::Linear => {
+                    let mut v = coarse.at(civ, c);
+                    for d in 0..DIM {
+                        // Central slope, limited to the available data.
+                        let slope = 0.5
+                            * (coarse.at(civ.shifted(d, 1), c)
+                                - coarse.at(civ.shifted(d, -1), c));
+                        // Fine-cell center offset within the coarse cell
+                        // in units of the coarse spacing: (i_f + 1/2)/r -
+                        // (i_c + 1/2).
+                        let off = (fiv[d] - civ[d] * r) as f64;
+                        let x = (off + 0.5) / r as f64 - 0.5;
+                        v += slope * x;
+                    }
+                    v
+                }
+            };
+            fine.set(fiv, c, v);
+        }
+    }
+}
+
+/// Conservative average of `fine` onto `coarse` over `coarse_region`
+/// (each coarse value becomes the mean of its `r^DIM` fine children).
+pub fn restrict(fine: &FArrayBox, coarse: &mut FArrayBox, coarse_region: IBox, r: i32) {
+    assert_eq!(coarse.ncomp(), fine.ncomp());
+    let vol = (r as f64).powi(DIM as i32);
+    for c in 0..coarse.ncomp() {
+        for civ in coarse_region.iter() {
+            let flo = civ * r;
+            let mut sum = 0.0;
+            for dz in 0..r {
+                for dy in 0..r {
+                    for dx in 0..r {
+                        sum += fine.at(flo + IntVect::new(dx, dy, dz), c);
+                    }
+                }
+            }
+            coarse.set(civ, c, sum / vol);
+        }
+    }
+}
+
+/// A two-level AMR hierarchy: a coarse level covering the domain and a
+/// fine level covering a refined sub-region.
+pub struct AmrHierarchy {
+    /// Refinement ratio between the levels.
+    pub ratio: i32,
+    /// Coarse-level data (domain-wide).
+    pub coarse: LevelData,
+    /// Fine-level data (sub-region).
+    pub fine: LevelData,
+}
+
+impl AmrHierarchy {
+    /// Build a hierarchy: coarse data over `coarse_layout`, fine data
+    /// over `fine_layout` (whose domain must be the refined coarse
+    /// domain), with `ncomp` components and `ghost` layers each.
+    pub fn new(
+        coarse_layout: DisjointBoxLayout,
+        fine_layout: DisjointBoxLayout,
+        ratio: i32,
+        ncomp: usize,
+        ghost: i32,
+    ) -> Self {
+        assert!(ratio >= 2);
+        assert_eq!(
+            refine_box(coarse_layout.problem().domain_box(), ratio),
+            fine_layout.problem().domain_box(),
+            "fine domain must be the refined coarse domain"
+        );
+        for fb in fine_layout.boxes() {
+            let cb = coarsen_box(*fb, ratio);
+            assert!(
+                coarse_layout.problem().domain_box().contains_box(&cb),
+                "fine box {fb:?} not covered by the coarse domain"
+            );
+        }
+        AmrHierarchy {
+            ratio,
+            coarse: LevelData::new(coarse_layout, ncomp, ghost),
+            fine: LevelData::new(fine_layout, ncomp, ghost),
+        }
+    }
+
+    /// Interpolate every fine box's valid region from the coarse level
+    /// (coarse ghosts must be filled when using linear interpolation
+    /// near coarse box edges).
+    pub fn fill_fine_from_coarse(&mut self, order: ProlongOrder) {
+        for fi in 0..self.fine.num_boxes() {
+            let fine_region = self.fine.valid_box(fi);
+            let cregion = coarsen_box(fine_region, self.ratio);
+            // Find the coarse boxes intersecting the coarsened region.
+            for ci in self.coarse.layout().candidates(cregion, IntVect::ZERO) {
+                let cvalid = self.coarse.valid_box(ci);
+                let overlap = cregion.intersect(&cvalid);
+                if overlap.is_empty() {
+                    continue;
+                }
+                let fine_part = refine_box(overlap, self.ratio).intersect(&fine_region);
+                let cfab = self.coarse.fab(ci).clone();
+                prolong(&cfab, self.fine.fab_mut(fi), fine_part, self.ratio, order);
+            }
+        }
+    }
+
+    /// Average the fine level down onto the coarse cells it covers
+    /// (Berger-Oliger synchronization after a fine step).
+    pub fn average_down(&mut self) {
+        for fi in 0..self.fine.num_boxes() {
+            let cregion = coarsen_box(self.fine.valid_box(fi), self.ratio);
+            let ffab = self.fine.fab(fi).clone();
+            for ci in self.coarse.layout().candidates(cregion, IntVect::ZERO) {
+                let overlap = cregion.intersect(&self.coarse.valid_box(ci));
+                if overlap.is_empty() {
+                    continue;
+                }
+                restrict(&ffab, self.coarse.fab_mut(ci), overlap, self.ratio);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ProblemDomain;
+
+    #[test]
+    fn box_refinement_arithmetic() {
+        let b = IBox::new(IntVect::new(1, -2, 0), IntVect::new(3, 0, 2));
+        let f = refine_box(b, 2);
+        assert_eq!(f.lo(), IntVect::new(2, -4, 0));
+        assert_eq!(f.hi(), IntVect::new(7, 1, 5));
+        assert_eq!(coarsen_box(f, 2), b);
+        assert_eq!(f.num_pts(), b.num_pts() * 8);
+        // Refine-coarsen roundtrip for negative coordinates too.
+        assert_eq!(coarsen_point(IntVect::new(-1, -4, 3), 4), IntVect::new(-1, -1, 0));
+    }
+
+    #[test]
+    fn prolong_constant_then_restrict_roundtrips() {
+        let cb = IBox::cube(4);
+        let fb = refine_box(cb, 2);
+        let mut coarse = FArrayBox::new(cb.grown(1), 2);
+        coarse.fill_synthetic(3);
+        let mut fine = FArrayBox::new(fb, 2);
+        prolong(&coarse, &mut fine, fb, 2, ProlongOrder::Constant);
+        let mut back = FArrayBox::new(cb, 2);
+        restrict(&fine, &mut back, cb, 2);
+        // Averaging eight equal values accumulates one or two ulps of
+        // rounding in the running sum; equality holds to ~1e-15.
+        for c in 0..2 {
+            for iv in cb.iter() {
+                let (a, b) = (back.at(iv, c), coarse.at(iv, c));
+                assert!((a - b).abs() <= 4.0 * f64::EPSILON * b.abs(), "{iv:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prolong_linear_is_conservative_and_exact_for_linear() {
+        let cb = IBox::cube(4);
+        let fb = refine_box(cb, 2);
+        let mut coarse = FArrayBox::new(cb.grown(1), 1);
+        // Linear field in coarse index space.
+        for iv in coarse.region().iter() {
+            coarse.set(iv, 0, 2.0 * iv[0] as f64 + iv[1] as f64 - iv[2] as f64);
+        }
+        let mut fine = FArrayBox::new(fb, 1);
+        prolong(&coarse, &mut fine, fb, 2, ProlongOrder::Linear);
+        // Conservative: averaging back reproduces the coarse values.
+        let mut back = FArrayBox::new(cb, 1);
+        restrict(&fine, &mut back, cb, 2);
+        for iv in cb.iter() {
+            assert!((back.at(iv, 0) - coarse.at(iv, 0)).abs() < 1e-12, "{iv:?}");
+        }
+        // Exact: fine values match the linear field at fine centers
+        // (coarse spacing = 2 fine cells; fine value of the field at
+        // fine center x_f = (coarse value at its cell) + slope * offset).
+        let f00 = fine.at(IntVect::new(0, 0, 0), 0);
+        let f10 = fine.at(IntVect::new(1, 0, 0), 0);
+        assert!((f10 - f00 - 1.0).abs() < 1e-12, "x-slope across fine cells");
+    }
+
+    #[test]
+    fn restrict_averages_children() {
+        let cb = IBox::cube(2);
+        let fb = refine_box(cb, 2);
+        let mut fine = FArrayBox::new(fb, 1);
+        for (k, iv) in fb.iter().enumerate() {
+            fine.set(iv, 0, k as f64);
+        }
+        let mut coarse = FArrayBox::new(cb, 1);
+        restrict(&fine, &mut coarse, cb, 2);
+        // Check one coarse cell by hand.
+        let civ = IntVect::new(0, 0, 0);
+        let mut sum = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    sum += fine.at(IntVect::new(dx, dy, dz), 0);
+                }
+            }
+        }
+        assert_eq!(coarse.at(civ, 0), sum / 8.0);
+    }
+
+    #[test]
+    fn hierarchy_roundtrip() {
+        let cdom = ProblemDomain::periodic(IBox::cube(8));
+        let fdom = ProblemDomain::periodic(refine_box(IBox::cube(8), 2));
+        let clay = DisjointBoxLayout::uniform(cdom, 4);
+        let flay = DisjointBoxLayout::uniform(fdom, 8);
+        let mut h = AmrHierarchy::new(clay, flay, 2, 2, 1);
+        h.coarse.fill_synthetic(9);
+        h.coarse.exchange();
+        h.fill_fine_from_coarse(ProlongOrder::Constant);
+        // Perturb nothing; average down must reproduce the coarse data.
+        let before: Vec<f64> = (0..h.coarse.num_boxes())
+            .flat_map(|i| h.coarse.fab(i).data().to_vec())
+            .collect();
+        h.average_down();
+        let after: Vec<f64> = (0..h.coarse.num_boxes())
+            .flat_map(|i| h.coarse.fab(i).data().to_vec())
+            .collect();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() <= 4.0 * f64::EPSILON * a.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "refined coarse domain")]
+    fn hierarchy_rejects_mismatched_domains() {
+        let cdom = ProblemDomain::periodic(IBox::cube(8));
+        let fdom = ProblemDomain::periodic(IBox::cube(8));
+        let clay = DisjointBoxLayout::uniform(cdom, 4);
+        let flay = DisjointBoxLayout::uniform(fdom, 4);
+        let _ = AmrHierarchy::new(clay, flay, 2, 1, 0);
+    }
+}

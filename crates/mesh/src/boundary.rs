@@ -1,0 +1,202 @@
+//! Domain-boundary ghost fills for non-periodic directions.
+//!
+//! [`crate::LevelData::exchange`] fills ghost cells that overlap other
+//! boxes (or periodic images); ghost cells *outside* a non-periodic
+//! domain boundary are the application's responsibility ("outside the
+//! domain, boundary conditions may be used to set the ghost cells" —
+//! paper Section II). This module provides the standard cell-centered
+//! fills.
+
+use crate::domain::ProblemDomain;
+use crate::ibox::IBox;
+use crate::intvect::IntVect;
+use crate::leveldata::LevelData;
+use crate::DIM;
+
+/// A boundary condition for one side of one direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BcType {
+    /// Fill ghost cells with a constant value.
+    Dirichlet(f64),
+    /// Zero-gradient (Neumann-0): copy the nearest interior cell.
+    ZeroGradient,
+    /// Linear extrapolation from the two nearest interior cells.
+    LinearExtrap,
+}
+
+/// Boundary conditions for every (direction, side); `sides[d][0]` is the
+/// low side of direction `d`, `sides[d][1]` the high side. Periodic
+/// directions ignore their entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BcSet {
+    /// Per-direction, per-side conditions.
+    pub sides: [[BcType; 2]; DIM],
+}
+
+impl BcSet {
+    /// The same condition everywhere.
+    pub fn uniform(bc: BcType) -> Self {
+        BcSet { sides: [[bc; 2]; DIM] }
+    }
+}
+
+/// Fill every ghost cell of `ld` that lies outside the non-periodic
+/// domain boundary, direction by direction (x, then y, then z), so that
+/// edge/corner ghosts outside several boundaries are filled using
+/// already-filled neighbors. Call **after** [`LevelData::exchange`].
+pub fn fill_domain_ghosts(ld: &mut LevelData, bcs: &BcSet) {
+    let problem: ProblemDomain = ld.layout().problem();
+    let domain = problem.domain_box();
+    let ghost = ld.ghost();
+    if ghost == 0 {
+        return;
+    }
+    for i in 0..ld.num_boxes() {
+        let gb = ld.valid_box(i).grown(ghost);
+        for d in 0..DIM {
+            if problem.is_periodic(d) {
+                continue;
+            }
+            for side in 0..2 {
+                // The slab of gb strictly outside the domain on this side.
+                let region = outside_slab(gb, domain, d, side);
+                if region.is_empty() {
+                    continue;
+                }
+                let bc = bcs.sides[d][side];
+                let boundary = if side == 0 { domain.lo()[d] } else { domain.hi()[d] };
+                let ncomp = ld.ncomp();
+                let fab = ld.fab_mut(i);
+                for c in 0..ncomp {
+                    for iv in region.iter() {
+                        let v = match bc {
+                            BcType::Dirichlet(v) => v,
+                            BcType::ZeroGradient => fab.at(iv.with(d, boundary), c),
+                            BcType::LinearExtrap => {
+                                let inward = if side == 0 { 1 } else { -1 };
+                                let b0 = fab.at(iv.with(d, boundary), c);
+                                let b1 = fab.at(iv.with(d, boundary + inward), c);
+                                let dist = (iv[d] - boundary).abs() as f64;
+                                b0 + (b0 - b1) * dist
+                            }
+                        };
+                        fab.set(iv, c, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The part of `gb` outside `domain` on side `side` of direction `d`,
+/// clamped to the domain in the other directions only as far as `gb`
+/// reaches.
+fn outside_slab(gb: IBox, domain: IBox, d: usize, side: usize) -> IBox {
+    let mut lo: IntVect = gb.lo();
+    let mut hi: IntVect = gb.hi();
+    if side == 0 {
+        hi[d] = domain.lo()[d] - 1;
+    } else {
+        lo[d] = domain.hi()[d] + 1;
+    }
+    IBox::new(lo, hi).intersect(&gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DisjointBoxLayout;
+
+    fn level(n: i32, bs: i32, ghost: i32) -> LevelData {
+        let layout = DisjointBoxLayout::uniform(ProblemDomain::new(IBox::cube(n)), bs);
+        LevelData::new(layout, 2, ghost)
+    }
+
+    #[test]
+    fn dirichlet_fills_exterior_only() {
+        let mut ld = level(8, 8, 2);
+        ld.set_val(1.0);
+        fill_domain_ghosts(&mut ld, &BcSet::uniform(BcType::Dirichlet(7.0)));
+        let domain = IBox::cube(8);
+        let fab = ld.fab(0);
+        for c in 0..2 {
+            for iv in domain.grown(2).iter() {
+                let expect = if domain.contains(iv) { 1.0 } else { 7.0 };
+                assert_eq!(fab.at(iv, c), expect, "{iv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gradient_copies_boundary_cell() {
+        let mut ld = level(8, 8, 2);
+        // phi = x so the gradient is visible.
+        for iv in IBox::cube(8).iter() {
+            let v = iv[0] as f64;
+            ld.fab_mut(0).set(iv, 0, v);
+        }
+        fill_domain_ghosts(&mut ld, &BcSet::uniform(BcType::ZeroGradient));
+        let fab = ld.fab(0);
+        // Low-x ghosts copy x = 0 plane; high-x ghosts copy x = 7 plane.
+        assert_eq!(fab.at(IntVect::new(-1, 3, 3), 0), 0.0);
+        assert_eq!(fab.at(IntVect::new(-2, 3, 3), 0), 0.0);
+        assert_eq!(fab.at(IntVect::new(8, 3, 3), 0), 7.0);
+        assert_eq!(fab.at(IntVect::new(9, 3, 3), 0), 7.0);
+    }
+
+    #[test]
+    fn linear_extrap_continues_linear_field() {
+        let mut ld = level(8, 8, 2);
+        for iv in IBox::cube(8).iter() {
+            ld.fab_mut(0).set(iv, 0, 3.0 * iv[1] as f64 + 1.0);
+        }
+        fill_domain_ghosts(&mut ld, &BcSet::uniform(BcType::LinearExtrap));
+        let fab = ld.fab(0);
+        for g in 1..=2 {
+            let lo = fab.at(IntVect::new(3, -g, 3), 0);
+            assert!((lo - (3.0 * (-g) as f64 + 1.0)).abs() < 1e-12);
+            let hi = fab.at(IntVect::new(3, 7 + g, 3), 0);
+            assert!((hi - (3.0 * (7 + g) as f64 + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corners_get_filled() {
+        // After the x pass fills x ghosts, the y pass can extend into the
+        // xy corners: no ghost point outside the domain stays unset.
+        let mut ld = level(8, 4, 2);
+        ld.set_val(f64::NAN);
+        for i in 0..ld.num_boxes() {
+            let vb = ld.valid_box(i);
+            for iv in vb.iter() {
+                ld.fab_mut(i).set(iv, 0, 1.0);
+                ld.fab_mut(i).set(iv, 1, 1.0);
+            }
+        }
+        ld.exchange();
+        fill_domain_ghosts(&mut ld, &BcSet::uniform(BcType::ZeroGradient));
+        for i in 0..ld.num_boxes() {
+            let gb = ld.valid_box(i).grown(2);
+            for c in 0..2 {
+                for iv in gb.iter() {
+                    assert!(
+                        !ld.fab(i).at(iv, c).is_nan(),
+                        "box {i} point {iv:?} left unfilled"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_conditions_per_side() {
+        let mut ld = level(8, 8, 1);
+        ld.set_val(2.0);
+        let mut bcs = BcSet::uniform(BcType::ZeroGradient);
+        bcs.sides[0][0] = BcType::Dirichlet(-5.0);
+        fill_domain_ghosts(&mut ld, &bcs);
+        let fab = ld.fab(0);
+        assert_eq!(fab.at(IntVect::new(-1, 4, 4), 0), -5.0);
+        assert_eq!(fab.at(IntVect::new(8, 4, 4), 0), 2.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Integer points in index space.
+
+use crate::DIM;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A point in `DIM`-dimensional integer index space.
+///
+/// `IntVect` is the fundamental coordinate type: cell indices, box corners,
+/// ghost-layer widths, and shift offsets are all `IntVect`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct IntVect(pub [i32; DIM]);
+
+impl IntVect {
+    /// The zero vector.
+    pub const ZERO: IntVect = IntVect([0; DIM]);
+    /// The all-ones vector (a unit ghost layer in every direction).
+    pub const UNIT: IntVect = IntVect([1; DIM]);
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        IntVect([x, y, z])
+    }
+
+    /// The same value in every component.
+    #[inline]
+    pub const fn splat(v: i32) -> Self {
+        IntVect([v; DIM])
+    }
+
+    /// Unit vector `e^d` in direction `d` (the paper's `e^d` in Eq. 6).
+    #[inline]
+    pub fn basis(dir: usize) -> Self {
+        debug_assert!(dir < DIM);
+        let mut v = [0; DIM];
+        v[dir] = 1;
+        IntVect(v)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] = v[d].min(other.0[d]);
+        }
+        IntVect(v)
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] = v[d].max(other.0[d]);
+        }
+        IntVect(v)
+    }
+
+    /// `self` with component `dir` replaced by `val`.
+    #[inline]
+    pub fn with(self, dir: usize, val: i32) -> Self {
+        let mut v = self.0;
+        v[dir] = val;
+        IntVect(v)
+    }
+
+    /// Shift by `amount` in direction `dir`.
+    #[inline]
+    pub fn shifted(self, dir: usize, amount: i32) -> Self {
+        let mut v = self.0;
+        v[dir] += amount;
+        IntVect(v)
+    }
+
+    /// True if every component of `self` is `<=` the same component of
+    /// `other`.
+    #[inline]
+    pub fn all_le(self, other: Self) -> bool {
+        (0..DIM).all(|d| self.0[d] <= other.0[d])
+    }
+
+    /// True if every component of `self` is `>=` the same component of
+    /// `other`.
+    #[inline]
+    pub fn all_ge(self, other: Self) -> bool {
+        (0..DIM).all(|d| self.0[d] >= other.0[d])
+    }
+
+    /// Product of the components as `usize` (panics if any is negative).
+    #[inline]
+    pub fn product(self) -> usize {
+        self.0.iter().map(|&c| {
+            debug_assert!(c >= 0, "product of IntVect with negative component");
+            c as usize
+        }).product()
+    }
+
+    /// Sum of components.
+    #[inline]
+    pub fn sum(self) -> i32 {
+        self.0.iter().sum()
+    }
+}
+
+impl Index<usize> for IntVect {
+    type Output = i32;
+    #[inline]
+    fn index(&self, i: usize) -> &i32 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for IntVect {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut i32 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] += rhs.0[d];
+        }
+        IntVect(v)
+    }
+}
+
+impl AddAssign for IntVect {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for d in 0..DIM {
+            self.0[d] += rhs.0[d];
+        }
+    }
+}
+
+impl Sub for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] -= rhs.0[d];
+        }
+        IntVect(v)
+    }
+}
+
+impl SubAssign for IntVect {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for d in 0..DIM {
+            self.0[d] -= rhs.0[d];
+        }
+    }
+}
+
+impl Mul<i32> for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn mul(self, rhs: i32) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] *= rhs;
+        }
+        IntVect(v)
+    }
+}
+
+impl Neg for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn neg(self) -> Self {
+        let mut v = self.0;
+        for d in 0..DIM {
+            v[d] = -v[d];
+        }
+        IntVect(v)
+    }
+}
+
+impl fmt::Debug for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl fmt::Display for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<[i32; DIM]> for IntVect {
+    fn from(v: [i32; DIM]) -> Self {
+        IntVect(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_vectors() {
+        assert_eq!(IntVect::basis(0), IntVect::new(1, 0, 0));
+        assert_eq!(IntVect::basis(1), IntVect::new(0, 1, 0));
+        assert_eq!(IntVect::basis(2), IntVect::new(0, 0, 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVect::new(1, 2, 3);
+        let b = IntVect::new(4, -5, 6);
+        assert_eq!(a + b, IntVect::new(5, -3, 9));
+        assert_eq!(a - b, IntVect::new(-3, 7, -3));
+        assert_eq!(a * 2, IntVect::new(2, 4, 6));
+        assert_eq!(-a, IntVect::new(-1, -2, -3));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = IntVect::new(1, 5, 3);
+        let b = IntVect::new(2, 4, 3);
+        assert_eq!(a.min(b), IntVect::new(1, 4, 3));
+        assert_eq!(a.max(b), IntVect::new(2, 5, 3));
+        assert!(a.min(b).all_le(a));
+        assert!(a.max(b).all_ge(b));
+        assert!(!a.all_le(b));
+        assert!(!a.all_ge(b));
+    }
+
+    #[test]
+    fn product_and_sum() {
+        let a = IntVect::new(2, 3, 4);
+        assert_eq!(a.product(), 24);
+        assert_eq!(a.sum(), 9);
+        assert_eq!(IntVect::ZERO.product(), 0);
+    }
+
+    #[test]
+    fn shifted_and_with() {
+        let a = IntVect::new(1, 2, 3);
+        assert_eq!(a.shifted(1, 10), IntVect::new(1, 12, 3));
+        assert_eq!(a.with(2, -7), IntVect::new(1, 2, -7));
+    }
+}

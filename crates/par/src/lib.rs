@@ -1,0 +1,392 @@
+//! OpenMP-like SPMD substrate.
+//!
+//! The paper parallelizes its schedule variants with OpenMP pragmas:
+//! `parallel for` over boxes, tiles, or z-slices, and — for the wavefront
+//! schedules — repeated parallel regions separated by barriers. Rust's
+//! work-stealing pools (rayon) deliberately hide thread identity and give
+//! no barrier primitive, so this crate provides the *explicit* model the
+//! study needs:
+//!
+//! * [`spmd`] — run a closure on `n` threads (a `#pragma omp parallel`
+//!   region) with a per-region reusable [`Barrier`];
+//! * [`SpmdCtx::static_range`] — the static block partition of an
+//!   iteration range (`schedule(static)`);
+//! * [`SpmdCtx::dynamic_items`] — a shared-counter dynamic scheduler
+//!   (`schedule(dynamic, chunk)`);
+//! * [`parallel_for_static`], [`parallel_for_dynamic`],
+//!   [`parallel_reduce`] — one-shot conveniences;
+//! * [`UnsafeSlice`] — a `Sync` view of a mutable slice for kernels whose
+//!   index-disjointness the caller guarantees (e.g. one box per thread).
+//!
+//! `nthreads == 1` takes an inline fast path with no thread spawn and a
+//! no-op barrier, so single-threaded benchmarking measures the kernels,
+//! not the substrate.
+
+pub mod barrier;
+pub mod pool;
+pub mod slice;
+
+pub use barrier::Barrier;
+pub use pool::SpmdPool;
+pub use slice::UnsafeSlice;
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-thread context handed to the body of an [`spmd`] region.
+pub struct SpmdCtx<'a> {
+    tid: usize,
+    nthreads: usize,
+    barrier: &'a Barrier,
+}
+
+impl<'a> SpmdCtx<'a> {
+    /// Build a context (used by [`spmd`] and [`SpmdPool`]).
+    pub(crate) fn new(tid: usize, nthreads: usize, barrier: &'a Barrier) -> Self {
+        SpmdCtx { tid, nthreads, barrier }
+    }
+
+    /// This thread's id in `0..nthreads`.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads in the region.
+    #[inline]
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Wait until every thread of the region reaches this point.
+    /// Reusable any number of times.
+    #[inline]
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// The contiguous block of `0..total` owned by this thread under a
+    /// static partition: the first `total % nthreads` threads get one
+    /// extra item (OpenMP `schedule(static)` semantics).
+    pub fn static_range(&self, total: usize) -> Range<usize> {
+        static_block(self.tid, self.nthreads, total)
+    }
+
+    /// Iterate the items of `0..total` owned by this thread under a
+    /// round-robin (cyclic) partition: items `tid, tid + n, tid + 2n, …`
+    /// (OpenMP `schedule(static, 1)`).
+    pub fn cyclic_items(&self, total: usize) -> impl Iterator<Item = usize> {
+        let (tid, n) = (self.tid, self.nthreads);
+        (tid..total).step_by(n)
+    }
+
+    /// Dynamically claim chunks of `chunk` items from the shared counter
+    /// until `total` is exhausted, calling `f` for each item
+    /// (OpenMP `schedule(dynamic, chunk)`). All threads of the region must
+    /// pass the same `counter`, `total`, and `chunk`.
+    pub fn dynamic_items(
+        &self,
+        counter: &AtomicUsize,
+        total: usize,
+        chunk: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        let chunk = chunk.max(1);
+        loop {
+            let start = counter.fetch_add(chunk, Ordering::Relaxed);
+            if start >= total {
+                break;
+            }
+            for i in start..(start + chunk).min(total) {
+                f(i);
+            }
+        }
+    }
+}
+
+/// The static block partition: thread `tid` of `n` owns this contiguous
+/// sub-range of `0..total`.
+pub fn static_block(tid: usize, n: usize, total: usize) -> Range<usize> {
+    debug_assert!(tid < n);
+    let base = total / n;
+    let rem = total % n;
+    let lo = tid * base + tid.min(rem);
+    let hi = lo + base + usize::from(tid < rem);
+    lo..hi
+}
+
+/// Run `body` as an SPMD region on `nthreads` threads.
+///
+/// Equivalent to `#pragma omp parallel num_threads(nthreads)`; the body
+/// receives an [`SpmdCtx`] carrying the thread id and the region barrier.
+/// With `nthreads == 1` the body runs inline on the calling thread.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let hits = AtomicUsize::new(0);
+/// pdesched_par::spmd(4, |ctx| {
+///     // Each thread owns a disjoint block of 0..100.
+///     let mine = ctx.static_range(100);
+///     hits.fetch_add(mine.len(), Ordering::Relaxed);
+///     ctx.barrier(); // all threads reach this point together
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub fn spmd<F>(nthreads: usize, body: F)
+where
+    F: Fn(&SpmdCtx) + Sync,
+{
+    assert!(nthreads >= 1);
+    let barrier = Barrier::new(nthreads);
+    if nthreads == 1 {
+        body(&SpmdCtx { tid: 0, nthreads: 1, barrier: &barrier });
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for tid in 0..nthreads {
+            let barrier = &barrier;
+            let body = &body;
+            s.spawn(move |_| {
+                body(&SpmdCtx { tid, nthreads, barrier });
+            });
+        }
+    })
+    .expect("spmd worker panicked");
+}
+
+/// `#pragma omp parallel for schedule(static)` over `0..total`.
+pub fn parallel_for_static<F>(nthreads: usize, total: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if nthreads == 1 || total <= 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    spmd(nthreads.min(total), |ctx| {
+        for i in ctx.static_range(total) {
+            f(i);
+        }
+    });
+}
+
+/// `#pragma omp parallel for schedule(dynamic, chunk)` over `0..total`.
+pub fn parallel_for_dynamic<F>(nthreads: usize, total: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if nthreads == 1 || total <= 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    spmd(nthreads.min(total), |ctx| {
+        ctx.dynamic_items(&counter, total, chunk, &f);
+    });
+}
+
+/// Parallel reduction: maps each index through `f` and folds with `merge`
+/// starting from `identity` (per thread), then merges the per-thread
+/// results in thread order for determinism.
+pub fn parallel_reduce<T, F, M>(nthreads: usize, total: usize, identity: T, f: F, merge: M) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(T, T) -> T + Sync,
+{
+    if nthreads == 1 || total <= 1 {
+        let mut acc = identity;
+        for i in 0..total {
+            acc = merge(acc, f(i));
+        }
+        return acc;
+    }
+    let n = nthreads.min(total);
+    let partials: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    spmd(n, |ctx| {
+        let mut acc = identity.clone();
+        for i in ctx.static_range(total) {
+            acc = merge(acc, f(i));
+        }
+        *partials[ctx.tid()].lock() = Some(acc);
+    });
+    let mut acc = identity;
+    for p in partials {
+        if let Some(v) = p.into_inner() {
+            acc = merge(acc, v);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        for n in 1..=7 {
+            for total in [0usize, 1, 5, 16, 17, 100] {
+                let mut covered = vec![0u32; total];
+                let mut prev_end = 0;
+                for tid in 0..n {
+                    let r = static_block(tid, n, total);
+                    assert_eq!(r.start, prev_end, "blocks must be contiguous");
+                    prev_end = r.end;
+                    for i in r {
+                        covered[i] += 1;
+                    }
+                }
+                assert_eq!(prev_end, total);
+                assert!(covered.iter().all(|&c| c == 1), "n={n} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_balanced() {
+        let sizes: Vec<usize> = (0..5).map(|t| static_block(t, 5, 23).len()).collect();
+        assert_eq!(sizes, vec![5, 5, 5, 4, 4]);
+    }
+
+    #[test]
+    fn spmd_runs_all_tids() {
+        for n in [1, 2, 4, 7] {
+            let seen = AtomicU64::new(0);
+            spmd(n, |ctx| {
+                assert_eq!(ctx.nthreads(), n);
+                seen.fetch_or(1 << ctx.tid(), Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), (1u64 << n) - 1);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Each thread writes its tid in phase 1; after the barrier every
+        // thread must observe all writes.
+        const N: usize = 4;
+        let data: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let fail = AtomicUsize::new(0);
+        spmd(N, |ctx| {
+            data[ctx.tid()].store(ctx.tid(), Ordering::SeqCst);
+            ctx.barrier();
+            for (i, d) in data.iter().enumerate() {
+                if d.load(Ordering::SeqCst) != i {
+                    fail.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            ctx.barrier();
+        });
+        assert_eq!(fail.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn repeated_barriers() {
+        // Sense reversal must make the barrier reusable across many phases.
+        const N: usize = 3;
+        const PHASES: usize = 200;
+        let counter = AtomicUsize::new(0);
+        let bad = AtomicUsize::new(0);
+        spmd(N, |ctx| {
+            for phase in 0..PHASES {
+                counter.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier();
+                if counter.load(Ordering::SeqCst) != (phase + 1) * N {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+                ctx.barrier();
+            }
+        });
+        assert_eq!(bad.load(Ordering::SeqCst), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), PHASES * N);
+    }
+
+    #[test]
+    fn parallel_for_static_covers() {
+        for n in [1, 2, 5] {
+            let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for_static(n, 37, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_for_dynamic_covers() {
+        for n in [1, 2, 4] {
+            for chunk in [1, 3, 16] {
+                let hits: Vec<AtomicUsize> = (0..53).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for_dynamic(n, 53, chunk, |i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                    "n={n} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_more_threads_than_items() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_static(8, 3, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        for n in [1, 2, 4, 6] {
+            let s = parallel_reduce(n, 1000, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(s, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn reduce_deterministic_float_order() {
+        // Per-thread partials merged in thread order: the result must be
+        // identical run to run for a fixed thread count.
+        let run = || {
+            parallel_reduce(4, 10_000, 0.0f64, |i| 1.0 / (1.0 + i as f64), |a, b| a + b)
+        };
+        let a = run();
+        for _ in 0..5 {
+            assert_eq!(a.to_bits(), run().to_bits());
+        }
+    }
+
+    #[test]
+    fn cyclic_items_cover() {
+        let mut covered = vec![0u32; 17];
+        for tid in 0..4 {
+            let ctx_items: Vec<usize> = (tid..17).step_by(4).collect();
+            for i in ctx_items {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dynamic_items_disjoint_complete() {
+        const TOTAL: usize = 101;
+        let hits: Vec<AtomicUsize> = (0..TOTAL).map(|_| AtomicUsize::new(0)).collect();
+        let counter = AtomicUsize::new(0);
+        spmd(4, |ctx| {
+            ctx.dynamic_items(&counter, TOTAL, 7, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+}

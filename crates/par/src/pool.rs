@@ -1,0 +1,256 @@
+//! A persistent SPMD worker pool.
+//!
+//! [`crate::spmd`] spawns OS threads per region — fine for long regions,
+//! wasteful when a time loop enters thousands of small regions (the
+//! `P < Box` schedules enter one region per box per flux evaluation).
+//! `SpmdPool` keeps `n - 1` workers parked and replays regions into
+//! them, amortizing thread creation the way an OpenMP runtime does.
+//!
+//! The calling thread participates as thread 0, so a pool of size `n`
+//! creates `n - 1` OS threads.
+
+use crate::barrier::Barrier;
+use crate::SpmdCtx;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Type-erased region body shared with the workers for one generation.
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// A `Send + Sync` wrapper for the borrowed region body. Soundness:
+/// [`SpmdPool::run`] blocks until every worker finishes the generation,
+/// so the pointee outlives all uses, and the body is `Sync` so shared
+/// calls are safe.
+struct BodyPtr(*const (dyn Fn(&SpmdCtx<'_>) + Sync));
+
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+impl BodyPtr {
+    /// Call the region body.
+    ///
+    /// # Safety
+    /// The pointee must still be alive (guaranteed by `run` blocking
+    /// until all workers finish).
+    unsafe fn call(&self, ctx: &SpmdCtx<'_>) {
+        (*self.0)(ctx)
+    }
+}
+
+struct Shared {
+    /// Monotonic region counter; bumping it wakes the workers.
+    generation: Mutex<u64>,
+    job: Mutex<Option<Job>>,
+    wake: Condvar,
+    /// Workers that finished the current generation.
+    done: AtomicUsize,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// A persistent pool running SPMD regions on a fixed thread count.
+pub struct SpmdPool {
+    nthreads: usize,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Reusable per-pool barrier handed to region bodies.
+    barrier: Arc<Barrier>,
+}
+
+impl SpmdPool {
+    /// Create a pool of `nthreads` (including the caller).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1);
+        let shared = Arc::new(Shared {
+            generation: Mutex::new(0),
+            job: Mutex::new(None),
+            wake: Condvar::new(),
+            done: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let barrier = Arc::new(Barrier::new(nthreads));
+        let mut workers = Vec::new();
+        for tid in 1..nthreads {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("spmd-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared))
+                    .expect("spawn worker"),
+            );
+        }
+        SpmdPool { nthreads, shared, workers, barrier }
+    }
+
+    /// Number of threads (including the caller).
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Run an SPMD region on all threads of the pool. Blocks until every
+    /// thread has finished the body.
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(&SpmdCtx) + Sync,
+    {
+        if self.nthreads == 1 {
+            let b = Barrier::new(1);
+            body(&SpmdCtx::new(0, 1, &b));
+            return;
+        }
+        let nthreads = self.nthreads;
+        let barrier = Arc::clone(&self.barrier);
+        // Safety: we block until all workers finish the region, so the
+        // borrow of `body` outlives every use despite the lifetime
+        // erasure in BodyPtr (see its comment).
+        let body_ref: &(dyn Fn(&SpmdCtx) + Sync) = &body;
+        let sp = BodyPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(&SpmdCtx<'_>) + Sync + '_),
+                *const (dyn Fn(&SpmdCtx<'_>) + Sync + 'static),
+            >(body_ref as *const _)
+        });
+        let barrier2 = Arc::clone(&barrier);
+        let job: Job = Arc::new(move |tid: usize| {
+            let ctx = SpmdCtx::new(tid, nthreads, &barrier2);
+            // Safety: see above — the pointee is alive for the region.
+            unsafe { sp.call(&ctx) };
+        });
+
+        self.shared.done.store(0, Ordering::SeqCst);
+        {
+            *self.shared.job.lock() = Some(Arc::clone(&job));
+            let mut gen = self.shared.generation.lock();
+            *gen += 1;
+            self.shared.wake.notify_all();
+        }
+        // Participate as thread 0.
+        job(0);
+        // Wait for the workers.
+        let mut g = self.shared.done_lock.lock();
+        while self.shared.done.load(Ordering::SeqCst) < self.nthreads - 1 {
+            self.shared.done_cv.wait(&mut g);
+        }
+        *self.shared.job.lock() = None;
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut gen = shared.generation.lock();
+            while *gen == seen_gen && !*shared.shutdown.lock() {
+                shared.wake.wait(&mut gen);
+            }
+            if *shared.shutdown.lock() {
+                return;
+            }
+            seen_gen = *gen;
+            shared.job.lock().clone()
+        };
+        if let Some(job) = job {
+            job(tid);
+            let _g = shared.done_lock.lock();
+            shared.done.fetch_add(1, Ordering::SeqCst);
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+impl Drop for SpmdPool {
+    fn drop(&mut self) {
+        *self.shared.shutdown.lock() = true;
+        {
+            let _gen = self.shared.generation.lock();
+            self.shared.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_all_threads() {
+        let pool = SpmdPool::new(4);
+        for _ in 0..50 {
+            let seen = AtomicU64::new(0);
+            pool.run(|ctx| {
+                seen.fetch_or(1 << ctx.tid(), Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), 0b1111);
+        }
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = SpmdPool::new(1);
+        let mut hits = 0;
+        let cell = parking_lot::Mutex::new(&mut hits);
+        pool.run(|ctx| {
+            assert_eq!(ctx.nthreads(), 1);
+            **cell.lock() += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn pool_barriers_work_across_regions() {
+        let pool = SpmdPool::new(3);
+        let counter = AtomicU64::new(0);
+        let errors = AtomicU64::new(0);
+        for round in 0..20 {
+            pool.run(|ctx| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier();
+                if counter.load(Ordering::SeqCst) != (round + 1) * 3 {
+                    errors.fetch_add(1, Ordering::SeqCst);
+                }
+                ctx.barrier();
+            });
+        }
+        assert_eq!(errors.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pool_captures_borrowed_state() {
+        let pool = SpmdPool::new(4);
+        let mut data = vec![0usize; 64];
+        {
+            let view = crate::UnsafeSlice::new(&mut data);
+            pool.run(|ctx| {
+                for i in ctx.static_range(view.len()) {
+                    unsafe { *view.get_mut(i) = i + 1 };
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn sequential_pools_do_not_interfere() {
+        let a = SpmdPool::new(2);
+        let b = SpmdPool::new(3);
+        let hits = AtomicU64::new(0);
+        a.run(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        b.run(|_| {
+            hits.fetch_add(10, Ordering::SeqCst);
+        });
+        a.run(|_| {
+            hits.fetch_add(100, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2 + 30 + 200);
+    }
+}

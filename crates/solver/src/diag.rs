@@ -1,0 +1,142 @@
+//! Run diagnostics: norms, conservation drift, step-timing summary.
+
+use pdesched_mesh::LevelData;
+
+/// Norms of one component over a level's valid region.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Norms {
+    /// Mean absolute value (L1 / cell count).
+    pub l1: f64,
+    /// Root mean square.
+    pub l2: f64,
+    /// Max absolute value.
+    pub linf: f64,
+}
+
+/// Compute the L1/L2/L∞ norms of component `c` over the valid region.
+pub fn norms(ld: &LevelData, c: usize) -> Norms {
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..ld.num_boxes() {
+        let vb = ld.valid_box(i);
+        let fab = ld.fab(i);
+        for iv in vb.iter() {
+            let v = fab.at(iv, c);
+            sum_abs += v.abs();
+            sum_sq += v * v;
+            max_abs = max_abs.max(v.abs());
+            count += 1;
+        }
+    }
+    let n = count.max(1) as f64;
+    Norms { l1: sum_abs / n, l2: (sum_sq / n).sqrt(), linf: max_abs }
+}
+
+/// Max-norm of the pointwise difference of two levels over their valid
+/// regions, across all components.
+pub fn max_difference(a: &LevelData, b: &LevelData) -> f64 {
+    assert_eq!(a.num_boxes(), b.num_boxes());
+    let mut m = 0.0f64;
+    for i in 0..a.num_boxes() {
+        m = m.max(a.fab(i).max_diff(b.fab(i), a.valid_box(i)));
+    }
+    m
+}
+
+/// A lightweight time-per-step recorder.
+#[derive(Clone, Debug, Default)]
+pub struct StepTimer {
+    samples: Vec<f64>,
+}
+
+impl StepTimer {
+    /// Fresh timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one step duration in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of recorded steps.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean seconds per step.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum (best) step time.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum (worst) step time.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdesched_mesh::{DisjointBoxLayout, IBox, IntVect, ProblemDomain};
+
+    fn level_with(v: f64) -> LevelData {
+        let layout =
+            DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(8)), 4);
+        let mut ld = LevelData::new(layout, 2, 0);
+        ld.set_val(v);
+        ld
+    }
+
+    #[test]
+    fn norms_of_constant_field() {
+        let ld = level_with(-3.0);
+        let n = norms(&ld, 0);
+        assert_eq!(n.l1, 3.0);
+        assert_eq!(n.l2, 3.0);
+        assert_eq!(n.linf, 3.0);
+    }
+
+    #[test]
+    fn norms_of_spike() {
+        let mut ld = level_with(0.0);
+        ld.fab_mut(0).set(IntVect::new(1, 1, 1), 0, 4.0);
+        let n = norms(&ld, 0);
+        assert_eq!(n.linf, 4.0);
+        assert!((n.l1 - 4.0 / 512.0).abs() < 1e-15);
+        assert!((n.l2 - (16.0 / 512.0f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_difference_detects_change() {
+        let a = level_with(1.0);
+        let mut b = level_with(1.0);
+        assert_eq!(max_difference(&a, &b), 0.0);
+        let at = b.valid_box(3).lo();
+        b.fab_mut(3).set(at, 1, 2.5);
+        assert_eq!(max_difference(&a, &b), 1.5);
+    }
+
+    #[test]
+    fn step_timer_stats() {
+        let mut t = StepTimer::new();
+        for s in [0.2, 0.1, 0.3] {
+            t.record(s);
+        }
+        assert_eq!(t.count(), 3);
+        assert!((t.mean() - 0.2).abs() < 1e-15);
+        assert_eq!(t.min(), 0.1);
+        assert_eq!(t.max(), 0.3);
+    }
+}

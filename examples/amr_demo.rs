@@ -1,0 +1,65 @@
+//! Two-level AMR demo: initialize a coarse level, interpolate onto a
+//! refined level, advance the fine level with an overlapped-tile
+//! schedule, and average down — the Berger-Oliger skeleton the paper's
+//! frameworks (Chombo, BoxLib, SAMRAI) implement at scale.
+//!
+//! ```text
+//! cargo run --release --example amr_demo
+//! ```
+
+use pdesched::mesh::amr::{refine_box, AmrHierarchy, ProlongOrder};
+use pdesched::prelude::*;
+use pdesched::solver::diag;
+
+fn main() {
+    let ratio = 2;
+    let coarse_domain = IBox::cube(16);
+    let fine_domain = refine_box(coarse_domain, ratio);
+    let clay = DisjointBoxLayout::uniform(ProblemDomain::periodic(coarse_domain), 8);
+    let flay = DisjointBoxLayout::uniform(ProblemDomain::periodic(fine_domain), 16);
+    println!(
+        "coarse {}^3 in {} boxes; fine {}^3 in {} boxes (ratio {ratio})",
+        coarse_domain.extent(0),
+        clay.num_boxes(),
+        fine_domain.extent(0),
+        flay.num_boxes()
+    );
+
+    let mut h = AmrHierarchy::new(clay, flay, ratio, NCOMP, GHOST);
+    h.coarse.fill_synthetic(123);
+    h.coarse.exchange();
+    h.fill_fine_from_coarse(ProlongOrder::Linear);
+
+    let coarse_total: f64 = (0..NCOMP).map(|c| h.coarse.sum_comp(c)).sum();
+    let fine_total: f64 = (0..NCOMP).map(|c| h.fine.sum_comp(c)).sum();
+    println!(
+        "after prolong: coarse total {coarse_total:.6}, fine total/ratio^3 {:.6}",
+        fine_total / (ratio as f64).powi(3)
+    );
+
+    // Advance the fine level a few steps with the paper's winning
+    // schedule.
+    let cfg = SolverConfig {
+        variant: Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox),
+        nthreads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        dt_dx: 1e-3,
+        integrator: TimeIntegrator::Rk2,
+        bcs: None,
+    };
+    let mut solver = AdvectionSolver::from_state(h.fine.clone(), cfg);
+    solver.run(3);
+    h.fine = solver.state().clone();
+
+    // Synchronize: average the evolved fine data down.
+    h.average_down();
+    let n = diag::norms(&h.coarse, 0);
+    println!("after average_down: coarse L1 {:.6}, L2 {:.6}, Linf {:.6}", n.l1, n.l2, n.linf);
+
+    // Conservation: the fine advance conserves, and averaging down is
+    // conservative, so coarse totals match the original.
+    let coarse_after: f64 = (0..NCOMP).map(|c| h.coarse.sum_comp(c)).sum();
+    let rel = ((coarse_after - coarse_total) / coarse_total.abs()).abs();
+    println!("coarse-total relative drift through the AMR cycle: {rel:.3e}");
+    assert!(rel < 1e-10);
+    println!("conservative AMR cycle ✓");
+}

@@ -1,0 +1,49 @@
+//! Predict the parallel scaling of chosen schedules on the paper's
+//! machines without owning them: measure each schedule's DRAM traffic
+//! through the cache simulator, then apply the roofline-with-contention
+//! time model (the pipeline behind Figures 2–4 and 10–12).
+//!
+//! ```text
+//! cargo run --release --example machine_model [box_size]
+//! ```
+//!
+//! Small default (32) so the traces finish in seconds; the full figures
+//! use `repro` from `pdesched-bench`.
+
+use pdesched::prelude::*;
+
+fn main() {
+    let n: i32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let cache = TrafficCache::new();
+    let wl = Workload { box_n: n, num_boxes: 512 };
+
+    let schedules = [
+        ("Baseline: P>=Box", Variant::baseline()),
+        ("Shift-Fuse: P>=Box", Variant::shift_fuse()),
+        (
+            "Shift-Fuse OT-8: P<Box",
+            Variant::overlapped(IntraTile::ShiftFuse, 8.min(n / 2), Granularity::WithinBox),
+        ),
+    ];
+
+    for spec in [MachineSpec::ivy_bridge_node(), MachineSpec::magny_cours()] {
+        println!("\n=== {} — {} boxes of {n}^3 ===", spec.name, wl.num_boxes);
+        println!(
+            "{:>8} {:>26} {:>26} {:>26}",
+            "threads", schedules[0].0, schedules[1].0, schedules[2].0
+        );
+        let mut threads = vec![1usize, 2, 4, 8];
+        threads.push(spec.cores());
+        threads.dedup();
+        for t in threads {
+            let mut row = format!("{t:>8}");
+            for (_, v) in &schedules {
+                let p = predict_time(&spec, *v, wl, t, &cache);
+                let bound = if p.compute_s >= p.memory_s { "cpu" } else { "mem" };
+                row.push_str(&format!("{:>20.3}s ({bound})", p.seconds));
+            }
+            println!("{row}");
+        }
+    }
+    println!("\n(bound = which roofline term dominates at that thread count)");
+}

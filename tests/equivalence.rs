@@ -1,0 +1,77 @@
+//! Workspace-level equivalence matrix: every schedule variant, across
+//! granularities, thread counts, box sizes (divisible and not), and
+//! domain shapes, must reproduce the reference implementation bitwise.
+
+use pdesched::prelude::*;
+use pdesched_kernels::reference;
+
+fn reference_level(n: IntVect, box_size: i32, seed: u64) -> (LevelData, LevelData) {
+    let domain = IBox::new(IntVect::ZERO, n - IntVect::UNIT);
+    let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(domain), box_size);
+    let mut phi0 = LevelData::new(layout.clone(), NCOMP, GHOST);
+    phi0.fill_synthetic(seed);
+    phi0.exchange();
+    let mut expect = LevelData::new(layout, NCOMP, 0);
+    reference::update_level(&phi0, &mut expect);
+    (phi0, expect)
+}
+
+fn check_all_variants(n: IntVect, box_size: i32, threads: &[usize], seed: u64) {
+    let (phi0, expect) = reference_level(n, box_size, seed);
+    for variant in Variant::enumerate(box_size) {
+        for &t in threads {
+            let mut got = LevelData::new(phi0.layout().clone(), NCOMP, 0);
+            run_level(variant, &phi0, &mut got, t, &NoMem);
+            for i in 0..got.num_boxes() {
+                assert!(
+                    got.fab(i).bit_eq(expect.fab(i), got.valid_box(i)),
+                    "variant '{variant}' threads={t} box {i} (domain {n:?}, box {box_size})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_variants_all_threads_16_box() {
+    check_all_variants(IntVect::splat(32), 16, &[1, 2, 5], 101);
+}
+
+#[test]
+fn all_variants_on_odd_box_size() {
+    // Box of 12: tiles 4 and 8 apply; 8 does not divide 12 (edge tiles).
+    check_all_variants(IntVect::splat(24), 12, &[1, 3], 102);
+}
+
+#[test]
+fn all_variants_on_non_cubic_domain() {
+    // 32 x 16 x 16 domain in 8^3 boxes: 2x4x... boxes per direction.
+    check_all_variants(IntVect::new(32, 16, 16), 8, &[2], 103);
+}
+
+#[test]
+fn single_box_domain() {
+    // One box: P >= Box has exactly one unit of work.
+    check_all_variants(IntVect::splat(12), 12, &[1, 4], 104);
+}
+
+#[test]
+fn many_threads_oversubscribed() {
+    // More threads than boxes, tiles, or slices everywhere.
+    check_all_variants(IntVect::splat(16), 8, &[16], 105);
+}
+
+#[test]
+fn counting_mem_is_thread_safe_and_exact() {
+    // Operation counts must be identical no matter how the work is
+    // distributed.
+    let (phi0, _) = reference_level(IntVect::splat(16), 8, 106);
+    let cells = IBox::cube(8);
+    let expect = pdesched_kernels::ops::exemplar_ops(cells).scale(8);
+    for t in [1, 4] {
+        let counter = CountingMem::new();
+        let mut got = LevelData::new(phi0.layout().clone(), NCOMP, 0);
+        run_level(Variant::shift_fuse(), &phi0, &mut got, t, &counter);
+        assert_eq!(counter.op_count(), expect, "t={t}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Equivalence and accounting for the *extended* variant space:
+//! hierarchical overlapped tiles and the CLI overlapped tiles the paper
+//! pruned — every one must still match the reference bitwise.
+
+use pdesched::core::storage;
+use pdesched::prelude::*;
+use pdesched_kernels::reference;
+
+fn reference_box(n: i32, seed: u64) -> (FArrayBox, FArrayBox, IBox) {
+    let cells = IBox::cube(n);
+    let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
+    phi0.fill_synthetic(seed);
+    let mut expect = FArrayBox::new(cells, NCOMP);
+    reference::update_box(&phi0, &mut expect, cells);
+    (phi0, expect, cells)
+}
+
+#[test]
+fn extended_space_is_bitwise_equivalent() {
+    let n = 12;
+    let (phi0, expect, cells) = reference_box(n, 201);
+    for variant in Variant::enumerate_extended(n) {
+        for threads in [1, 4] {
+            let mut got = FArrayBox::new(cells, NCOMP);
+            run_box(variant, &phi0, &mut got, cells, threads, &NoMem);
+            assert!(got.bit_eq(&expect, cells), "{variant} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn extended_space_storage_accounting() {
+    // Divisible tiles: measured temporaries equal the closed forms.
+    let n = 16;
+    let (phi0, _, cells) = reference_box(n, 202);
+    for variant in Variant::enumerate_extended(n) {
+        let threads = 2;
+        let mut got = FArrayBox::new(cells, NCOMP);
+        let measured = run_box(variant, &phi0, &mut got, cells, threads, &NoMem);
+        let expected = storage::expected(variant, n, threads);
+        assert_eq!(measured, expected, "{variant}");
+    }
+}
+
+#[test]
+fn hierarchical_depth_sweep_on_level() {
+    // Hierarchical OT across inner sizes, over a multi-box level under
+    // intra-box parallelism.
+    let domain = IBox::cube(32);
+    let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(domain), 16);
+    let mut phi0 = LevelData::new(layout.clone(), NCOMP, GHOST);
+    phi0.fill_synthetic(203);
+    phi0.exchange();
+    let mut expect = LevelData::new(layout, NCOMP, 0);
+    reference::update_level(&phi0, &mut expect);
+    for outer in [4, 8] {
+        for inner in [1, 2, 4] {
+            if inner >= outer {
+                continue;
+            }
+            for gran in [Granularity::OverBoxes, Granularity::WithinBox] {
+                let v = Variant::hierarchical(outer, inner, gran);
+                let mut got = LevelData::new(phi0.layout().clone(), NCOMP, 0);
+                run_level(v, &phi0, &mut got, 3, &NoMem);
+                for i in 0..got.num_boxes() {
+                    assert!(
+                        got.fab(i).bit_eq(expect.fab(i), got.valid_box(i)),
+                        "{v} box {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_never_adds_recomputation() {
+    // Inner tiling reuses fluxes through the co-dimension caches, so
+    // total ops equal flat OT with the same outer tile for any inner
+    // size.
+    let n = 16;
+    let (phi0, _, cells) = reference_box(n, 204);
+    let flat = pdesched_kernels::ops::exemplar_ops_overlapped(cells, 8);
+    for inner in [1, 2, 4] {
+        let counter = CountingMem::new();
+        let mut got = FArrayBox::new(cells, NCOMP);
+        run_box(
+            Variant::hierarchical(8, inner, Granularity::WithinBox),
+            &phi0,
+            &mut got,
+            cells,
+            2,
+            &counter,
+        );
+        assert_eq!(counter.op_count(), flat, "inner={inner}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Smoke tests of the figure pipeline with small boxes (cheap traces),
+//! checking structural properties the full-size figures rely on.
+
+use pdesched::machine::figures;
+use pdesched::machine::model::predict_time_analytic;
+use pdesched::prelude::*;
+
+#[test]
+fn figure234_small_has_expected_series_and_monotonicity() {
+    let spec = MachineSpec::sandy_bridge_node();
+    let cache = TrafficCache::new();
+    let fig = figures::figure234_sized(&spec, &cache, "fig4-smoke", 32);
+    assert_eq!(fig.series.len(), 4);
+    for s in &fig.series {
+        // Thread counts ascend; times at 1 thread are the maximum.
+        let first = s.points.first().unwrap().1;
+        for (x, y) in &s.points {
+            assert!(*x >= 1.0);
+            assert!(*y <= first * 1.01, "{}: {y} > 1-thread {first}", s.label);
+            assert!(y.is_finite() && *y > 0.0);
+        }
+    }
+    // The small-box baseline must reach a lower time at full threads
+    // than the large-box baseline (the motivation gap).
+    let small_final = fig.series[0].points.last().unwrap().1;
+    let big_final = fig.series[2].points.last().unwrap().1;
+    assert!(
+        small_final <= big_final * 1.01,
+        "N=16 {small_final} should beat the big-box baseline {big_final}"
+    );
+}
+
+#[test]
+fn figure1_series_are_complete() {
+    let fig = figures::figure1();
+    assert_eq!(fig.series.len(), 4);
+    for s in &fig.series {
+        assert_eq!(s.points.len(), 4);
+    }
+}
+
+#[test]
+fn analytic_predictions_cover_the_extended_space() {
+    // Every extended variant must produce a finite, positive analytic
+    // prediction on every evaluation node.
+    let wl = Workload { box_n: 32, num_boxes: 64 };
+    for spec in MachineSpec::evaluation_nodes() {
+        for v in Variant::enumerate_extended(32) {
+            let p = predict_time_analytic(&spec, v, wl, spec.cores());
+            assert!(
+                p.seconds.is_finite() && p.seconds > 0.0,
+                "{} on {}: {:?}",
+                v,
+                spec.name,
+                p
+            );
+            assert!(p.traffic_bytes > 0 && p.flops > 0);
+        }
+    }
+}
+
+#[test]
+fn thread_counts_are_sane_for_all_nodes() {
+    for spec in MachineSpec::evaluation_nodes() {
+        let t = figures::thread_counts(&spec);
+        assert_eq!(t[0], 1);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*t.last().unwrap(), spec.hw_threads());
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's headline claims, encoded as tests against the model
+//! pipeline (real schedule executions -> cache simulator -> time model).
+//!
+//! Full-size (128^3) traces cost ~10 s each, so these tests run the same
+//! pipeline on a *miniature node*: a machine with proportionally small
+//! caches so that a 32^3 box stresses it the way 128^3 stresses a real
+//! node, while 8^3 boxes fit comfortably the way 16^3 does in reality.
+//! The repro binary regenerates the full-size figures.
+
+use pdesched::prelude::*;
+use pdesched_cachesim::CacheConfig;
+
+/// A scaled-down node: same topology and bandwidth/compute balance as
+/// the Ivy Bridge node, caches sized so that an 8^3 box (with its
+/// temporaries) fits each thread's LLC share the way 16^3 does on the
+/// real node, while 32^3 overflows the whole LLC the way 128^3 does.
+fn mini_node() -> MachineSpec {
+    MachineSpec {
+        name: "mini-node",
+        l1d: CacheConfig::new(2 * 1024, 8),
+        l2: CacheConfig::new(16 * 1024, 8),
+        l3_socket: CacheConfig::new(4 * 1024 * 1024, 16),
+        ..MachineSpec::ivy_bridge_node()
+    }
+}
+
+const BIG: i32 = 32; // plays the role of the paper's 128
+const SMALL: i32 = 8; // plays the role of the paper's 16
+
+fn wl(n: i32) -> Workload {
+    // Fixed total work, like the paper's fixed 50M cells.
+    let total = (BIG as usize).pow(3) * 24;
+    Workload { box_n: n, num_boxes: total / (n as usize).pow(3) }
+}
+
+fn time_at(spec: &MachineSpec, v: Variant, n: i32, t: usize, cache: &TrafficCache) -> f64 {
+    predict_time(spec, v, wl(n), t, cache).seconds
+}
+
+#[test]
+fn headline_small_boxes_scale_but_large_boxes_do_not() {
+    // Figures 2-4, solid lines: baseline N=16 scales nearly perfectly;
+    // baseline N=128 stops scaling after a few threads.
+    let spec = mini_node();
+    let cache = TrafficCache::new();
+    let cores = spec.cores();
+    let b = Variant::baseline();
+
+    let small_1 = time_at(&spec, b, SMALL, 1, &cache);
+    let small_full = time_at(&spec, b, SMALL, cores, &cache);
+    let speedup_small = small_1 / small_full;
+    assert!(
+        speedup_small > 0.6 * cores as f64,
+        "small boxes should scale nearly perfectly: {speedup_small:.1}x on {cores} cores"
+    );
+
+    let big_1 = time_at(&spec, b, BIG, 1, &cache);
+    let big_full = time_at(&spec, b, BIG, cores, &cache);
+    let speedup_big = big_1 / big_full;
+    assert!(
+        speedup_big < 0.5 * cores as f64,
+        "large boxes must hit the bandwidth wall: {speedup_big:.1}x on {cores} cores"
+    );
+}
+
+#[test]
+fn headline_overlapped_tiles_fix_large_boxes() {
+    // The primary result: a well-chosen overlapped-tile schedule lets
+    // the large box match the small box's performance at full thread
+    // count, and beats the large-box baseline by a wide margin.
+    let spec = mini_node();
+    let cache = TrafficCache::new();
+    let cores = spec.cores();
+    let ot = Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox);
+
+    let ot_big = time_at(&spec, ot, BIG, cores, &cache);
+    let base_big = time_at(&spec, Variant::baseline(), BIG, cores, &cache);
+    let base_small = time_at(&spec, Variant::baseline(), SMALL, cores, &cache);
+
+    assert!(
+        ot_big < 0.6 * base_big,
+        "OT must clearly beat the baseline on large boxes: {ot_big:.3} vs {base_big:.3}"
+    );
+    assert!(
+        ot_big < 2.0 * base_small,
+        "OT on large boxes must be comparable to the small-box baseline: \
+         {ot_big:.3} vs {base_small:.3}"
+    );
+}
+
+#[test]
+fn shift_fuse_helps_but_less_than_tiling() {
+    // Figures 10-12: Shift-Fuse improves on the baseline at scale but
+    // overlapped tiling is the top performer.
+    let spec = mini_node();
+    let cache = TrafficCache::new();
+    let cores = spec.cores();
+    let sf = time_at(&spec, Variant::shift_fuse(), BIG, cores, &cache);
+    let base = time_at(&spec, Variant::baseline(), BIG, cores, &cache);
+    let ot = time_at(
+        &spec,
+        Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox),
+        BIG,
+        cores,
+        &cache,
+    );
+    assert!(sf < base, "shift-fuse must beat the baseline: {sf:.3} vs {base:.3}");
+    assert!(ot < sf * 1.05, "overlapped tiling should at least match shift-fuse");
+}
+
+#[test]
+fn wavefront_scales_but_sits_higher() {
+    // Section VI-B: wavefront schedules scale well "but the lines are
+    // offset above" — ramp-up costs them a constant factor.
+    let spec = mini_node();
+    let cache = TrafficCache::new();
+    let cores = spec.cores();
+    let wf = Variant::blocked_wavefront(CompLoop::Inside, 4);
+    let ot = Variant::overlapped(IntraTile::ShiftFuse, 4, Granularity::WithinBox);
+
+    let wf_1 = time_at(&spec, wf, BIG, 1, &cache);
+    let wf_full = time_at(&spec, wf, BIG, cores, &cache);
+    assert!(wf_1 / wf_full > 3.0, "wavefront must still scale substantially");
+    let ot_full = time_at(&spec, ot, BIG, cores, &cache);
+    assert!(
+        wf_full > ot_full,
+        "wavefront should sit above overlapped tiling: {wf_full:.3} vs {ot_full:.3}"
+    );
+}
+
+#[test]
+fn fig9_shape_small_boxes_prefer_over_box_parallelism() {
+    // Figure 9: for small boxes P>=Box wins big (too little intra-box
+    // work); for large boxes the two granularities converge.
+    let spec = mini_node();
+    let cache = TrafficCache::new();
+    let cores = spec.cores();
+    let ot_within = Variant::overlapped(IntraTile::ShiftFuse, 4, Granularity::WithinBox);
+    let ot_over = Variant::overlapped(IntraTile::ShiftFuse, 4, Granularity::OverBoxes);
+
+    let small_within = time_at(&spec, ot_within, SMALL, cores, &cache);
+    let small_over = time_at(&spec, ot_over, SMALL, cores, &cache);
+    assert!(
+        small_over < small_within,
+        "P>=Box must win for small boxes: {small_over:.3} vs {small_within:.3}"
+    );
+
+    let big_within = time_at(&spec, ot_within, BIG, cores, &cache);
+    let big_over = time_at(&spec, ot_over, BIG, cores, &cache);
+    let ratio = big_within / big_over;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "granularities must converge for large boxes: ratio {ratio:.2}"
+    );
+}

@@ -1,0 +1,63 @@
+//! Cross-crate check of the persistent SPMD pool: a time loop that
+//! re-enters parallel regions thousands of times must produce the same
+//! bitwise results through the pool as through per-region spawning.
+
+use pdesched::prelude::*;
+use pdesched_par::SpmdPool;
+
+#[test]
+fn pool_reproduces_spawned_regions() {
+    // Hand-rolled P>=Box distribution through the pool, compared against
+    // run_level's spawned regions.
+    let domain = IBox::cube(16);
+    let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(domain), 8);
+    let mut phi0 = LevelData::new(layout.clone(), NCOMP, GHOST);
+    phi0.fill_synthetic(301);
+    phi0.exchange();
+
+    let mut expect = LevelData::new(layout.clone(), NCOMP, 0);
+    run_level(Variant::shift_fuse(), &phi0, &mut expect, 3, &NoMem);
+
+    let pool = SpmdPool::new(3);
+    let mut got = LevelData::new(layout, NCOMP, 0);
+    let nboxes = got.num_boxes();
+    let boxes: Vec<IBox> = (0..nboxes).map(|i| phi0.valid_box(i)).collect();
+    {
+        let fabs = pdesched_par::UnsafeSlice::new(got.fabs_mut());
+        let phi0 = &phi0;
+        pool.run(|ctx| {
+            for i in ctx.static_range(nboxes) {
+                // Safety: static_range partitions box indices disjointly.
+                let f1 = unsafe { fabs.get_mut(i) };
+                pdesched_core::fuse::run_box_serial(
+                    phi0.fab(i),
+                    f1,
+                    boxes[i],
+                    CompLoop::Outside,
+                    &NoMem,
+                );
+            }
+        });
+    }
+    for i in 0..nboxes {
+        assert!(got.fab(i).bit_eq(expect.fab(i), got.valid_box(i)), "box {i}");
+    }
+}
+
+#[test]
+fn pool_survives_many_region_entries() {
+    // A small solver-style loop: thousands of regions through one pool.
+    let pool = SpmdPool::new(4);
+    let mut data = vec![0u64; 64];
+    for round in 0..2000u64 {
+        let view = pdesched_par::UnsafeSlice::new(&mut data);
+        pool.run(|ctx| {
+            for i in ctx.static_range(view.len()) {
+                // Safety: disjoint static partition.
+                unsafe { *view.get_mut(i) += round };
+            }
+        });
+    }
+    let expect: u64 = (0..2000).sum();
+    assert!(data.iter().all(|&v| v == expect));
+}
