@@ -1,59 +1,44 @@
 //! Throughput of the cache simulator itself (accesses per second) — it
 //! bounds how fast the figure pipeline can measure traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdesched_bench::harness::Group;
 use pdesched_cachesim::{CacheConfig, Hierarchy};
 
-fn bench_streaming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cachesim");
-    const ACCESSES: usize = 200_000;
-    group.throughput(Throughput::Elements(ACCESSES as u64));
-    group.sample_size(20);
+const ACCESSES: usize = 200_000;
 
-    group.bench_function("stream_3level", |b| {
-        let mut sim = Hierarchy::new(&[
-            CacheConfig::new(32 * 1024, 8),
-            CacheConfig::new(256 * 1024, 8),
-            CacheConfig::new(4 * 1024 * 1024, 16),
-        ]);
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                sim.read(i * 8);
-            }
-        });
+fn main() {
+    let group = Group::new("cachesim", 20);
+    eprintln!("cachesim: {ACCESSES} accesses per sample");
+
+    let mut sim = Hierarchy::new(&[
+        CacheConfig::new(32 * 1024, 8),
+        CacheConfig::new(256 * 1024, 8),
+        CacheConfig::new(4 * 1024 * 1024, 16),
+    ]);
+    group.bench("stream_3level", || {
+        for i in 0..ACCESSES {
+            sim.read(i * 8);
+        }
     });
 
-    group.bench_function("hot_l1", |b| {
-        let mut sim = Hierarchy::new(&[
-            CacheConfig::new(32 * 1024, 8),
-            CacheConfig::new(256 * 1024, 8),
-        ]);
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                sim.read((i % 2048) * 8);
-            }
-        });
+    let mut sim =
+        Hierarchy::new(&[CacheConfig::new(32 * 1024, 8), CacheConfig::new(256 * 1024, 8)]);
+    group.bench("hot_l1", || {
+        for i in 0..ACCESSES {
+            sim.read((i % 2048) * 8);
+        }
     });
 
-    group.bench_function("stencil_pattern", |b| {
-        let mut sim = Hierarchy::new(&[
-            CacheConfig::new(32 * 1024, 8),
-            CacheConfig::new(1024 * 1024, 16),
-        ]);
-        let row = 64 * 8; // one 64-double row
-        b.iter(|| {
-            for i in 0..ACCESSES / 4 {
-                let a = i * 8;
-                sim.read(a);
-                sim.read(a + row);
-                sim.read(a + 2 * row);
-                sim.write(a);
-            }
-        });
+    let mut sim =
+        Hierarchy::new(&[CacheConfig::new(32 * 1024, 8), CacheConfig::new(1024 * 1024, 16)]);
+    let row = 64 * 8; // one 64-double row
+    group.bench("stencil_pattern", || {
+        for i in 0..ACCESSES / 4 {
+            let a = i * 8;
+            sim.read(a);
+            sim.read(a + row);
+            sim.read(a + 2 * row);
+            sim.write(a);
+        }
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_streaming);
-criterion_main!(benches);

@@ -2,29 +2,21 @@
 //! same total cell count at different box sizes. Smaller boxes mean
 //! more surface area — more bytes copied and more time in exchange.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdesched_bench::harness::Group;
 use pdesched_kernels::{GHOST, NCOMP};
 use pdesched_mesh::{DisjointBoxLayout, IBox, LevelData, ProblemDomain};
 
-fn bench_exchange(c: &mut Criterion) {
+fn main() {
     let domain = 64;
-    let mut group = c.benchmark_group("exchange_64cubed_domain");
-    group.sample_size(10);
+    let group = Group::new("exchange_64cubed_domain", 10);
     for box_size in [8, 16, 32, 64] {
         let layout =
             DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(domain)), box_size);
         let mut ld = LevelData::new(layout, NCOMP, GHOST);
         ld.fill_synthetic(29);
         // Report the storage blow-up alongside (printed once per size).
-        let ghost_ratio =
-            ld.total_bytes() as f64 / ((domain as f64).powi(3) * NCOMP as f64 * 8.0);
+        let ghost_ratio = ld.total_bytes() as f64 / ((domain as f64).powi(3) * NCOMP as f64 * 8.0);
         eprintln!("box {box_size:>3}: total/physical bytes = {ghost_ratio:.3}");
-        group.bench_with_input(BenchmarkId::from_parameter(box_size), &box_size, |b, _| {
-            b.iter(|| ld.exchange());
-        });
+        group.bench(&format!("{box_size}"), || ld.exchange());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_exchange);
-criterion_main!(benches);

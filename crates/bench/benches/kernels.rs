@@ -3,59 +3,48 @@
 //! direction vs the strided y/z directions is the spatial-locality story
 //! of Section IV-A).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdesched_bench::box_pair;
+use pdesched_bench::harness::Group;
 use pdesched_kernels::boxops::{accumulate_dir, eval_flux1};
 use pdesched_kernels::NCOMP;
 use pdesched_mesh::FArrayBox;
 
-fn bench_flux1(c: &mut Criterion) {
+fn bench_flux1() {
     let n = 64;
     let (phi0, _, cells) = box_pair(n, 17);
-    let mut group = c.benchmark_group("eval_flux1_64cubed");
-    group.sample_size(20);
+    let group = Group::new("eval_flux1_64cubed", 20);
     for d in 0..3 {
         let faces = cells.surrounding_faces(d);
         let mut out = FArrayBox::new(faces, NCOMP);
-        group.bench_with_input(BenchmarkId::new("dir", d), &d, |b, &d| {
-            b.iter(|| eval_flux1(&phi0, d, faces, &mut out, 0..NCOMP));
-        });
+        group.bench(&format!("dir/{d}"), || eval_flux1(&phi0, d, faces, &mut out, 0..NCOMP));
     }
-    group.finish();
 }
 
-fn bench_accumulate(c: &mut Criterion) {
+fn bench_accumulate() {
     let n = 64;
     let (_, mut phi1, cells) = box_pair(n, 19);
-    let mut group = c.benchmark_group("accumulate_64cubed");
-    group.sample_size(20);
+    let group = Group::new("accumulate_64cubed", 20);
     for d in 0..3 {
         let faces = cells.surrounding_faces(d);
         let mut flux = FArrayBox::new(faces, NCOMP);
         flux.fill_synthetic(23);
-        group.bench_with_input(BenchmarkId::new("dir", d), &d, |b, &d| {
-            b.iter(|| accumulate_dir(&mut phi1, &flux, d, cells, 0..NCOMP));
-        });
+        group.bench(&format!("dir/{d}"), || accumulate_dir(&mut phi1, &flux, d, cells, 0..NCOMP));
     }
-    group.finish();
 }
 
-fn bench_gradient(c: &mut Criterion) {
+fn bench_gradient() {
     // The second stencil: fusing the three direction passes reads phi
     // once instead of three times — measurable on one core.
     let n = 64;
     let (phi0, _, cells) = box_pair(n, 21);
     let mut out = FArrayBox::new(cells, 3 * NCOMP);
-    let mut group = c.benchmark_group("gradient_64cubed");
-    group.sample_size(20);
-    group.bench_function("series", |b| {
-        b.iter(|| pdesched_kernels::gradient::gradient_series(&phi0, cells, &mut out));
-    });
-    group.bench_function("fused", |b| {
-        b.iter(|| pdesched_kernels::gradient::gradient_fused(&phi0, cells, &mut out));
-    });
-    group.finish();
+    let group = Group::new("gradient_64cubed", 20);
+    group.bench("series", || pdesched_kernels::gradient::gradient_series(&phi0, cells, &mut out));
+    group.bench("fused", || pdesched_kernels::gradient::gradient_fused(&phi0, cells, &mut out));
 }
 
-criterion_group!(benches, bench_flux1, bench_accumulate, bench_gradient);
-criterion_main!(benches);
+fn main() {
+    bench_flux1();
+    bench_accumulate();
+    bench_gradient();
+}

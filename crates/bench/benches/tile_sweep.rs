@@ -3,47 +3,36 @@
 //! 16 were the most efficient"), run natively for the two tiled
 //! categories.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdesched_bench::box_pair;
+use pdesched_bench::harness::Group;
 use pdesched_core::{run_box, CompLoop, Granularity, IntraTile, NoMem, Variant};
 
-fn bench_tiles(c: &mut Criterion) {
+fn main() {
     let n = 64;
     let (phi0, phi1, cells) = box_pair(n, 13);
-    let mut group = c.benchmark_group("tile_sweep_64cubed");
-    group.sample_size(10);
+    let group = Group::new("tile_sweep_64cubed", 10);
     for tile in [4, 8, 16, 32] {
         let ot = Variant::overlapped(IntraTile::ShiftFuse, tile, Granularity::OverBoxes);
-        group.bench_with_input(BenchmarkId::new("ot-shift-fuse", tile), &ot, |b, &v| {
-            let mut out = phi1.clone();
-            b.iter(|| {
-                out.set_val(0.0);
-                run_box(v, &phi0, &mut out, cells, 1, &NoMem)
-            });
+        let mut out = phi1.clone();
+        group.bench(&format!("ot-shift-fuse/{tile}"), || {
+            out.set_val(0.0);
+            run_box(ot, &phi0, &mut out, cells, 1, &NoMem)
         });
         let mut wf = Variant::blocked_wavefront(CompLoop::Inside, tile);
         wf.gran = Granularity::OverBoxes;
-        group.bench_with_input(BenchmarkId::new("blocked-wf-cli", tile), &wf, |b, &v| {
-            let mut out = phi1.clone();
-            b.iter(|| {
-                out.set_val(0.0);
-                run_box(v, &phi0, &mut out, cells, 1, &NoMem)
-            });
+        let mut out = phi1.clone();
+        group.bench(&format!("blocked-wf-cli/{tile}"), || {
+            out.set_val(0.0);
+            run_box(wf, &phi0, &mut out, cells, 1, &NoMem)
         });
         // Hierarchical ablation: same outer tile, inner tiles of 4.
         if tile > 4 {
             let h = Variant::hierarchical(tile, 4, Granularity::OverBoxes);
-            group.bench_with_input(BenchmarkId::new("hier-ot-inner4", tile), &h, |b, &v| {
-                let mut out = phi1.clone();
-                b.iter(|| {
-                    out.set_val(0.0);
-                    run_box(v, &phi0, &mut out, cells, 1, &NoMem)
-                });
+            let mut out = phi1.clone();
+            group.bench(&format!("hier-ot-inner4/{tile}"), || {
+                out.set_val(0.0);
+                run_box(h, &phi0, &mut out, cells, 1, &NoMem)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tiles);
-criterion_main!(benches);

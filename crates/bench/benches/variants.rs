@@ -2,15 +2,14 @@
 //! schedule category on one box, where the data-locality effects
 //! (fusion, tiling) are measurable even on one core.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdesched_bench::box_pair;
+use pdesched_bench::harness::Group;
 use pdesched_core::{run_box, CompLoop, Granularity, IntraTile, NoMem, Variant};
 
-fn bench_variants(c: &mut Criterion) {
+fn main() {
     let n = 48;
     let (phi0, phi1, cells) = box_pair(n, 11);
-    let mut group = c.benchmark_group("variants_48cubed");
-    group.sample_size(10);
+    let group = Group::new("variants_48cubed", 10);
     let cases: Vec<(&str, Variant)> = vec![
         ("baseline-clo", Variant::baseline()),
         ("baseline-cli", Variant { comp: CompLoop::Inside, ..Variant::baseline() }),
@@ -21,26 +20,14 @@ fn bench_variants(c: &mut Criterion) {
             v.gran = Granularity::OverBoxes;
             v
         }),
-        (
-            "ot-basic-8",
-            Variant::overlapped(IntraTile::Basic, 8, Granularity::OverBoxes),
-        ),
-        (
-            "ot-shift-fuse-8",
-            Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::OverBoxes),
-        ),
+        ("ot-basic-8", Variant::overlapped(IntraTile::Basic, 8, Granularity::OverBoxes)),
+        ("ot-shift-fuse-8", Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::OverBoxes)),
     ];
-    for (name, variant) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &variant, |b, &v| {
-            let mut out = phi1.clone();
-            b.iter(|| {
-                out.set_val(0.0);
-                run_box(v, &phi0, &mut out, cells, 1, &NoMem)
-            });
+    for (name, v) in cases {
+        let mut out = phi1.clone();
+        group.bench(name, || {
+            out.set_val(0.0);
+            run_box(v, &phi0, &mut out, cells, 1, &NoMem)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_variants);
-criterion_main!(benches);

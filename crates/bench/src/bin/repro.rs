@@ -1,14 +1,20 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--fast] [--store PATH] \
-//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|all]...
+//! repro [--fast] [--store PATH] [--threads N] [--json PATH] \
+//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|all]...
 //! ```
 //!
 //! * `--store PATH` — persist/reuse cache-simulator traffic measurements
-//!   (default `target/traffic-cache.txt`); the first full run costs
-//!   ~15 min of trace simulation on one core, subsequent runs are
-//!   instant.
+//!   (default `target/traffic-cache.txt`). The store is versioned: a
+//!   schema change discards stale entries automatically. The first full
+//!   run pays the trace simulation; subsequent runs are instant (the
+//!   per-stage `hits/misses` line proves no re-simulation happened).
+//! * `--threads N` — measurement workers for the parallel sweep engine
+//!   (default: all available cores). Parallelism never changes output:
+//!   measurements are deterministic and figure generation is serial.
+//! * `--json PATH` — also write every figure's series plus per-stage
+//!   wall time and cache counters as JSON (e.g. `BENCH_sweep.json`).
 //! * `--fast` — substitute 64^3 for the 128^3 box in the scaling
 //!   figures (roughly 8x cheaper traces; shapes are preserved but the
 //!   cache-residency crossover shifts).
@@ -16,68 +22,242 @@
 use pdesched_bench::render_figure;
 use pdesched_core::storage::{expected, paper_formula};
 use pdesched_core::{Category, Variant};
-use pdesched_machine::figures;
-use pdesched_machine::{MachineSpec, TrafficCache};
+use pdesched_machine::{figures, sweep};
+use pdesched_machine::{MachineSpec, SweepEngine, TrafficCache};
+
+/// Wall time and cache activity of one regenerated target.
+struct Stage {
+    name: String,
+    seconds: f64,
+    hits: u64,
+    misses: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut store = String::from("target/traffic-cache.txt");
+    let mut json: Option<String> = None;
     let mut fast = false;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut wanted: Vec<String> = Vec::new();
+    fn usage(msg: &str) -> ! {
+        eprintln!("repro: {msg}");
+        eprintln!("usage: repro [--fast] [--store PATH] [--threads N] [--json PATH] [TARGET]...");
+        std::process::exit(2);
+    }
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => fast = true,
-            "--store" => store = it.next().expect("--store needs a path"),
+            "--store" => store = it.next().unwrap_or_else(|| usage("--store needs a path")),
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage("--json needs a path"))),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs a number"))
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "fig1", "table1", "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",
-            "bandwidth", "ablation",
+            "fig1",
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "bandwidth",
+            "ablation",
+            "sweep",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
     let cache = TrafficCache::with_store(&store);
+    let engine = SweepEngine::new(threads).with_progress(true);
     let machines = MachineSpec::evaluation_nodes();
+    let big_n = if fast { 64 } else { 128 };
     if fast {
         eprintln!("[repro] --fast: using 64^3 in place of 128^3 (shape-preserving, cheaper)");
     }
+    eprintln!(
+        "[repro] store {store} ({} entries), {} measurement threads",
+        cache.len(),
+        engine.nthreads()
+    );
+
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut json_figures: Vec<figures::Figure> = Vec::new();
     for w in &wanted {
         let t0 = std::time::Instant::now();
+        let before = cache.stats();
+        let mut fig: Option<figures::Figure> = None;
         match w.as_str() {
-            "fig1" => print!("{}", render_figure(&figures::figure1())),
+            "fig1" => fig = Some(figures::figure1()),
             "table1" => print_table1(),
-            "fig2" => print!("{}", render_figure(&fig234(&machines[0], &cache, "fig2", fast))),
-            "fig3" => print!("{}", render_figure(&fig234(&machines[1], &cache, "fig3", fast))),
-            "fig4" => print!("{}", render_figure(&fig234(&machines[2], &cache, "fig4", fast))),
-            "fig9" => print!("{}", render_figure(&figures::figure9(&cache))),
-            "fig10" => print!("{}", render_figure(&figures::figure1012(&machines[0], &cache, "fig10"))),
-            "fig11" => print!("{}", render_figure(&figures::figure1012(&machines[1], &cache, "fig11"))),
-            "fig12" => print!("{}", render_figure(&figures::figure1012(&machines[2], &cache, "fig12"))),
-            "bandwidth" => print_bandwidth(&cache),
+            "fig2" | "fig3" | "fig4" => {
+                let spec = &machines[w[3..].parse::<usize>().unwrap() - 2];
+                prewarm(&engine, &cache, w, figures::figure234_points(spec, big_n));
+                fig = Some(figures::figure234_sized(spec, &cache, w, big_n));
+            }
+            "fig9" => {
+                prewarm(&engine, &cache, w, figures::figure9_points());
+                fig = Some(figures::figure9(&cache));
+            }
+            "fig10" | "fig11" | "fig12" => {
+                let spec = &machines[w[3..].parse::<usize>().unwrap() - 10];
+                prewarm(&engine, &cache, w, figures::figure1012_points(spec));
+                fig = Some(figures::figure1012(spec, &cache, w));
+            }
+            "bandwidth" => {
+                prewarm(&engine, &cache, w, figures::bandwidth_points());
+                print_bandwidth(&cache);
+            }
             "ablation" => print_ablation(),
-            "sweep" => print_sweep(),
-            other => eprintln!("[repro] unknown target '{other}'"),
+            "sweep" => print_sweep(&cache, &engine),
+            other => {
+                eprintln!("[repro] unknown target '{other}'");
+                continue;
+            }
         }
-        eprintln!("[repro] {w} done in {:.1?} ({} traces cached)", t0.elapsed(), cache.len());
+        if let Some(f) = fig {
+            print!("{}", render_figure(&f));
+            json_figures.push(f);
+        }
+        let s = cache.stats();
+        let stage = Stage {
+            name: w.clone(),
+            seconds: t0.elapsed().as_secs_f64(),
+            hits: s.hits - before.hits,
+            misses: s.misses - before.misses,
+        };
+        eprintln!(
+            "[repro] {w} done in {:.1?} ({} hits / {} misses, {} traces cached)",
+            t0.elapsed(),
+            stage.hits,
+            stage.misses,
+            cache.len()
+        );
+        stages.push(stage);
+    }
+    let total = cache.stats();
+    eprintln!(
+        "[repro] all done: {} cache hits, {} simulations, {} traces cached",
+        total.hits,
+        total.misses,
+        cache.len()
+    );
+    if let Some(path) = json {
+        let doc = render_json(&stages, &json_figures, &cache, fast, engine.nthreads());
+        std::fs::write(&path, doc).expect("write --json output");
+        eprintln!("[repro] wrote {path}");
     }
 }
 
-fn fig234(
-    spec: &MachineSpec,
+/// Prewarm one target's simulation points, narrating to stderr.
+fn prewarm(
+    engine: &SweepEngine,
     cache: &TrafficCache,
-    id: &str,
-    fast: bool,
-) -> figures::Figure {
-    if fast {
-        figures::figure234_sized(spec, cache, id, 64)
+    target: &str,
+    points: Vec<pdesched_machine::SimPoint>,
+) {
+    let r = engine.prewarm(cache, &points);
+    if r.measured > 0 {
+        eprintln!(
+            "[repro] {target}: measured {} of {} unique points in {:.1}s on {} threads",
+            r.measured,
+            r.unique,
+            r.seconds,
+            engine.nthreads()
+        );
     } else {
-        figures::figure234(spec, cache, id)
+        eprintln!("[repro] {target}: all {} points already cached", r.unique);
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize stages + figures + cache counters as JSON (no external
+/// dependencies, so the writer is by hand; the shape is stable and
+/// documented in the README).
+fn render_json(
+    stages: &[Stage],
+    figs: &[figures::Figure],
+    cache: &TrafficCache,
+    fast: bool,
+    threads: usize,
+) -> String {
+    use std::fmt::Write;
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"fast\": {fast},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let s = cache.stats();
+    let _ = writeln!(
+        j,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+        s.hits,
+        s.misses,
+        cache.len()
+    );
+    let _ = writeln!(j, "  \"stages\": [");
+    for (i, st) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"target\": \"{}\", \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}}}{comma}",
+            json_escape(&st.name),
+            st.seconds,
+            st.hits,
+            st.misses
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"figures\": [");
+    for (i, f) in figs.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"id\": \"{}\",", json_escape(&f.id));
+        let _ = writeln!(j, "      \"title\": \"{}\",", json_escape(&f.title));
+        let _ = writeln!(j, "      \"xlabel\": \"{}\",", json_escape(&f.xlabel));
+        let _ = writeln!(j, "      \"ylabel\": \"{}\",", json_escape(&f.ylabel));
+        let _ = writeln!(j, "      \"series\": [");
+        for (k, srs) in f.series.iter().enumerate() {
+            let pts: Vec<String> = srs.points.iter().map(|(x, y)| format!("[{x}, {y}]")).collect();
+            let comma = if k + 1 < f.series.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "        {{\"label\": \"{}\", \"points\": [{}]}}{comma}",
+                json_escape(&srs.label),
+                pts.join(", ")
+            );
+        }
+        let _ = writeln!(j, "      ]");
+        let comma = if i + 1 < figs.len() { "," } else { "" };
+        let _ = writeln!(j, "    }}{comma}");
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
 }
 
 fn print_table1() {
@@ -147,13 +327,13 @@ fn print_ablation() {
     }
 }
 
-/// Full design-space ranking per machine (analytic model): the "which
-/// schedule should I use here?" answer the paper's conclusions call
-/// for automating.
-fn print_sweep() {
+/// Full design-space ranking per machine: the analytic model screens
+/// every candidate instantly, then the simulator-backed model confirms
+/// the N=16 short list (measurements prewarmed in parallel).
+fn print_sweep(cache: &TrafficCache, engine: &SweepEngine) {
     for spec in MachineSpec::evaluation_nodes() {
         for n in [16, 128] {
-            let ranked = pdesched_machine::sweep::rank_all(&spec, n);
+            let ranked = sweep::rank_all(&spec, n);
             println!(
                 "== Top schedules on {} for N={n} ({} candidates, {} threads) ==",
                 spec.name,
@@ -163,6 +343,11 @@ fn print_sweep() {
             for r in ranked.iter().take(5) {
                 println!("  {:<36} {:>10.4}s", r.variant.name(), r.prediction.seconds);
             }
+        }
+        let confirmed = sweep::rank_top_measured(&spec, 16, 3, cache, engine);
+        println!("-- simulator-confirmed top 3 for N=16 --");
+        for r in &confirmed {
+            println!("  {:<36} {:>10.4}s", r.variant.name(), r.prediction.seconds);
         }
     }
 }

@@ -1,7 +1,48 @@
 //! Rendering and setup helpers shared by the `repro` binary and the
-//! Criterion benches.
+//! native benches.
 
 use pdesched_machine::figures::Figure;
+
+pub mod harness {
+    //! A std-only micro-benchmark harness (offline stand-in for
+    //! Criterion): warm up once, take N timed samples, report
+    //! min/median/mean on stderr.
+
+    use std::time::{Duration, Instant};
+
+    /// A named group of benchmarks sharing a sample count.
+    pub struct Group {
+        name: String,
+        samples: usize,
+    }
+
+    impl Group {
+        /// A group taking `samples` timed runs per benchmark.
+        pub fn new(name: impl Into<String>, samples: usize) -> Self {
+            Group { name: name.into(), samples: samples.max(1) }
+        }
+
+        /// Time `f`, discarding one warm-up run.
+        pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) {
+            std::hint::black_box(f());
+            let mut times: Vec<Duration> = (0..self.samples)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    t0.elapsed()
+                })
+                .collect();
+            times.sort();
+            let min = times[0];
+            let median = times[times.len() / 2];
+            let mean = times.iter().sum::<Duration>() / times.len() as u32;
+            eprintln!(
+                "{}/{id}: min {min:.1?}  median {median:.1?}  mean {mean:.1?}  ({} samples)",
+                self.name, self.samples
+            );
+        }
+    }
+}
 
 /// Render a [`Figure`] as an aligned text table: one row per x value,
 /// one column per series.
@@ -59,7 +100,10 @@ fn truncate(s: &str, n: usize) -> String {
 
 /// Build a filled single-box test pair: `phi0` with 2 ghost layers of
 /// synthetic data and a zeroed `phi1`, over an `n^3` box.
-pub fn box_pair(n: i32, seed: u64) -> (pdesched_mesh::FArrayBox, pdesched_mesh::FArrayBox, pdesched_mesh::IBox) {
+pub fn box_pair(
+    n: i32,
+    seed: u64,
+) -> (pdesched_mesh::FArrayBox, pdesched_mesh::FArrayBox, pdesched_mesh::IBox) {
     use pdesched_kernels::{GHOST, NCOMP};
     use pdesched_mesh::{FArrayBox, IBox};
     let cells = IBox::cube(n);

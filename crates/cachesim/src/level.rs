@@ -89,10 +89,7 @@ impl CacheLevel {
             return None;
         }
         // Evict true-LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("associativity >= 1");
+        let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("associativity >= 1");
         let evicted = (victim.tag, victim.dirty);
         *victim = Way { tag: line, valid: true, dirty, lru: clock };
         Some(evicted)

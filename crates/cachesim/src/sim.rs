@@ -77,7 +77,10 @@ impl Hierarchy {
         Hierarchy {
             line,
             line_shift: line.trailing_zeros(),
-            stats: Stats { levels: vec![LevelStats::default(); levels.len()], ..Default::default() },
+            stats: Stats {
+                levels: vec![LevelStats::default(); levels.len()],
+                ..Default::default()
+            },
             levels,
         }
     }

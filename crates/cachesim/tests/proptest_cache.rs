@@ -1,10 +1,11 @@
 //! Property tests: the set-associative level must behave exactly like
 //! an executable-specification LRU model, and hierarchy traffic must
-//! obey monotonicity invariants.
+//! obey monotonicity invariants (seeded generator-driven cases; see
+//! `pdesched-testkit`).
 
 use pdesched_cachesim::level::Probe;
 use pdesched_cachesim::{CacheConfig, CacheLevel, Hierarchy};
-use proptest::prelude::*;
+use pdesched_testkit::check;
 use std::collections::VecDeque;
 
 /// Executable specification: per-set LRU lists.
@@ -37,18 +38,14 @@ impl SpecCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The level's hit/miss sequence equals the LRU specification for
-    /// arbitrary access streams and geometries.
-    #[test]
-    fn level_matches_lru_spec(
-        sets_log in 0u32..4,
-        ways in 1usize..5,
-        lines in proptest::collection::vec(0u64..64, 1..300),
-    ) {
-        let sets = 1usize << sets_log;
+/// The level's hit/miss sequence equals the LRU specification for
+/// arbitrary access streams and geometries.
+#[test]
+fn level_matches_lru_spec() {
+    check(0x31, 64, |rng| {
+        let sets = 1usize << rng.range_i32(0, 4);
+        let ways = rng.range_usize(1, 5);
+        let lines = rng.vec(1, 300, |r| r.next_u64() % 64);
         let cfg = CacheConfig { size: sets * 64 * ways, line: 64, assoc: ways };
         let mut level = CacheLevel::new(cfg);
         let mut spec = SpecCache::new(cfg);
@@ -58,23 +55,21 @@ proptest! {
                 level.fill(line, false);
             }
             let want = spec.access(line);
-            prop_assert_eq!(got, want, "access #{} line {}", i, line);
+            assert_eq!(got, want, "access #{i} line {line}");
         }
         // Occupancy never exceeds capacity.
-        prop_assert!(level.occupancy() <= sets * ways);
-    }
+        assert!(level.occupancy() <= sets * ways);
+    });
+}
 
-    /// DRAM read traffic is bounded below by the distinct-line count
-    /// (compulsory misses) and above by the access count.
-    #[test]
-    fn traffic_bounds(
-        addrs in proptest::collection::vec(0usize..32768, 1..400),
-        write_mask in proptest::collection::vec(any::<bool>(), 400),
-    ) {
-        let mut h = Hierarchy::new(&[
-            CacheConfig::new(1024, 2),
-            CacheConfig::new(8192, 4),
-        ]);
+/// DRAM read traffic is bounded below by the distinct-line count
+/// (compulsory misses) and above by the access count.
+#[test]
+fn traffic_bounds() {
+    check(0x32, 64, |rng| {
+        let addrs = rng.vec(1, 400, |r| r.range_usize(0, 32768));
+        let write_mask: Vec<bool> = (0..400).map(|_| rng.bool()).collect();
+        let mut h = Hierarchy::new(&[CacheConfig::new(1024, 2), CacheConfig::new(8192, 4)]);
         let mut distinct = std::collections::HashSet::new();
         for (i, &a) in addrs.iter().enumerate() {
             distinct.insert(a / 64);
@@ -85,19 +80,20 @@ proptest! {
             }
         }
         let s = h.stats();
-        prop_assert!(s.dram_lines_read >= distinct.len() as u64);
-        prop_assert!(s.dram_lines_read <= addrs.len() as u64);
+        assert!(s.dram_lines_read >= distinct.len() as u64);
+        assert!(s.dram_lines_read <= addrs.len() as u64);
         // Writebacks can only come from written lines.
         h.flush();
         let written: u64 = h.stats().dram_lines_written;
-        prop_assert!(written <= h.stats().writes.max(1));
-    }
+        assert!(written <= h.stats().writes.max(1));
+    });
+}
 
-    /// A larger cache never produces more DRAM reads on the same trace.
-    #[test]
-    fn bigger_cache_never_reads_more(
-        addrs in proptest::collection::vec(0usize..16384, 1..300),
-    ) {
+/// A larger cache never produces more DRAM reads on the same trace.
+#[test]
+fn bigger_cache_never_reads_more() {
+    check(0x33, 64, |rng| {
+        let addrs = rng.vec(1, 300, |r| r.range_usize(0, 16384));
         let small = CacheConfig::new(512, 2);
         let big = CacheConfig::new(4096, 2);
         let run = |cfg: CacheConfig| {
@@ -107,27 +103,25 @@ proptest! {
             }
             h.stats().dram_lines_read
         };
-        prop_assert!(run(big) <= run(small));
-    }
+        assert!(run(big) <= run(small));
+    });
+}
 
-    /// Hit + miss totals across levels are consistent: every L2 access
-    /// is an L1 miss.
-    #[test]
-    fn level_access_counts_chain(
-        addrs in proptest::collection::vec(0usize..8192, 1..300),
-    ) {
-        let mut h = Hierarchy::new(&[
-            CacheConfig::new(512, 2),
-            CacheConfig::new(2048, 4),
-        ]);
+/// Hit + miss totals across levels are consistent: every L2 access
+/// is an L1 miss.
+#[test]
+fn level_access_counts_chain() {
+    check(0x34, 64, |rng| {
+        let addrs = rng.vec(1, 300, |r| r.range_usize(0, 8192));
+        let mut h = Hierarchy::new(&[CacheConfig::new(512, 2), CacheConfig::new(2048, 4)]);
         for &a in &addrs {
             h.read(a);
         }
         let s = h.stats();
         let l1 = s.levels[0];
         let l2 = s.levels[1];
-        prop_assert_eq!(l1.hits + l1.misses, addrs.len() as u64);
-        prop_assert_eq!(l2.hits + l2.misses, l1.misses);
-        prop_assert_eq!(s.dram_lines_read, l2.misses);
-    }
+        assert_eq!(l1.hits + l1.misses, addrs.len() as u64);
+        assert_eq!(l2.hits + l2.misses, l1.misses);
+        assert_eq!(s.dram_lines_read, l2.misses);
+    });
 }

@@ -112,11 +112,7 @@ mod tests {
 
     #[test]
     fn overlap_reports_redundancy_percentage() {
-        let v = Variant::overlapped(
-            IntraTile::ShiftFuse,
-            8,
-            Granularity::WithinBox,
-        );
+        let v = Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox);
         let d = describe(v, 32, 4);
         assert!(d.recomputation.contains("extra operations"), "{}", d.recomputation);
         let base = describe(Variant::baseline(), 32, 4);

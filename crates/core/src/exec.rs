@@ -84,8 +84,8 @@ pub fn run_level<M: Mem>(
             let boxes: Vec<IBox> = (0..nboxes).map(|i| phi0.valid_box(i)).collect();
             let fabs = UnsafeSlice::new(phi1.fabs_mut());
             let nt = nthreads.max(1).min(nboxes);
-            let peaks: Vec<parking_lot::Mutex<TempStorage>> =
-                (0..nt).map(|_| parking_lot::Mutex::new(TempStorage::default())).collect();
+            let peaks: Vec<std::sync::Mutex<TempStorage>> =
+                (0..nt).map(|_| std::sync::Mutex::new(TempStorage::default())).collect();
             pdesched_par::spmd(nt, |ctx| {
                 let mut peak = TempStorage::default();
                 for i in ctx.static_range(nboxes) {
@@ -95,11 +95,11 @@ pub fn run_level<M: Mem>(
                     let s = run_box(variant, phi0.fab(i), f1, boxes[i], 1, mem);
                     peak = peak.max(s);
                 }
-                *peaks[ctx.tid()].lock() = peak;
+                *peaks[ctx.tid()].lock().unwrap() = peak;
             });
             let mut total = TempStorage::default();
             for p in peaks {
-                total = total.add(p.into_inner());
+                total = total.add(p.into_inner().unwrap());
             }
             total
         }
@@ -116,7 +116,12 @@ pub fn run_level<M: Mem>(
 }
 
 /// Convenience: run without instrumentation.
-pub fn run_level_plain(variant: Variant, phi0: &LevelData, phi1: &mut LevelData, nthreads: usize) -> TempStorage {
+pub fn run_level_plain(
+    variant: Variant,
+    phi0: &LevelData,
+    phi1: &mut LevelData,
+    nthreads: usize,
+) -> TempStorage {
     run_level(variant, phi0, phi1, nthreads, &NoMem)
 }
 

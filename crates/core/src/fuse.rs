@@ -26,6 +26,10 @@ use pdesched_mesh::{FArrayBox, IBox, IntVect};
 pub struct FuseBufs {
     ycache: Vec<f64>,
     zcache: Vec<f64>,
+    /// Deterministic trace bases of the two caches (see
+    /// `pdesched_mesh::trace_addr`).
+    ybase: usize,
+    zbase: usize,
     vel: [Option<FArrayBox>; 3],
     shape: Option<(IBox, CompLoop)>,
     peak: TempStorage,
@@ -37,6 +41,8 @@ impl FuseBufs {
         FuseBufs {
             ycache: Vec::new(),
             zcache: Vec::new(),
+            ybase: 0,
+            zbase: 0,
             vel: [None, None, None],
             shape: None,
             peak: TempStorage::default(),
@@ -57,6 +63,8 @@ impl FuseBufs {
         let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
         self.ycache = vec![0.0; nx * kc];
         self.zcache = vec![0.0; nx * ny * kc];
+        self.ybase = pdesched_mesh::trace_addr::alloc(self.ycache.len() * 8);
+        self.zbase = pdesched_mesh::trace_addr::alloc(self.zcache.len() * 8);
         // The carried x scalars live in registers/stack; count the pair.
         let flux = 2 * kc + self.ycache.len() + self.zcache.len();
         let mut vel = 0;
@@ -163,10 +171,9 @@ fn fused_tile_clo_comp<M: Mem>(
     let velx = bufs.vel[0].take().expect("CLO buffers");
     let vely = bufs.vel[1].take().expect("CLO buffers");
     let velz = bufs.vel[2].take().expect("CLO buffers");
+    let (ybase, zbase) = (bufs.ybase, bufs.zbase);
     let ycache = &mut bufs.ycache;
     let zcache = &mut bufs.zcache;
-    let ybase = ycache.as_ptr() as usize;
-    let zbase = zcache.as_ptr() as usize;
     for z in lo[2]..=hi[2] {
         for y in lo[1]..=hi[1] {
             let mut fxlo = 0.0;
@@ -229,10 +236,9 @@ fn fused_tile_cli<M: Mem>(
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let nx = cells.extent(0) as usize;
+    let (ybase, zbase) = (bufs.ybase, bufs.zbase);
     let ycache = &mut bufs.ycache;
     let zcache = &mut bufs.zcache;
-    let ybase = ycache.as_ptr() as usize;
-    let zbase = zcache.as_ptr() as usize;
     let mut fxlo = [0.0f64; NCOMP];
     let mut fxhi = [0.0f64; NCOMP];
     let mut fylo = [0.0f64; NCOMP];
@@ -365,11 +371,7 @@ mod tests {
             let m = CountingMem::new();
             let mut g = got.clone();
             run_box_serial(&phi0, &mut g, cells, comp, &m);
-            assert_eq!(
-                m.op_count(),
-                pdesched_kernels::ops::exemplar_ops(cells),
-                "{comp:?}"
-            );
+            assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells), "{comp:?}");
         }
         let _ = &mut got;
     }

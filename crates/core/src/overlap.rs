@@ -45,8 +45,8 @@ pub fn run_box<M: Mem>(
     let tiles = cells.tiles(tile);
     let phi1v = SharedFab::new(phi1);
     let nthreads = nthreads.min(tiles.len()).max(1);
-    let peaks: Vec<parking_lot::Mutex<TempStorage>> =
-        (0..nthreads).map(|_| parking_lot::Mutex::new(TempStorage::default())).collect();
+    let peaks: Vec<std::sync::Mutex<TempStorage>> =
+        (0..nthreads).map(|_| std::sync::Mutex::new(TempStorage::default())).collect();
     spmd(nthreads, |ctx| {
         let range = ctx.static_range(tiles.len());
         let peak = match intra {
@@ -72,11 +72,11 @@ pub fn run_box<M: Mem>(
                 bufs.peak()
             }
         };
-        *peaks[ctx.tid()].lock() = peak;
+        *peaks[ctx.tid()].lock().unwrap() = peak;
     });
     let mut total = TempStorage::default();
     for p in peaks {
-        total = total.add(p.into_inner());
+        total = total.add(p.into_inner().unwrap());
     }
     total
 }
@@ -131,10 +131,7 @@ mod tests {
         run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 2, &m);
         assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
         // Accumulations are never redundant.
-        assert_eq!(
-            m.op_count().accum,
-            pdesched_kernels::ops::exemplar_ops(cells).accum
-        );
+        assert_eq!(m.op_count().accum, pdesched_kernels::ops::exemplar_ops(cells).accum);
         // Interpolations exceed the exact count (surface recomputation).
         assert!(m.op_count().interp > pdesched_kernels::ops::exemplar_ops(cells).interp);
     }
@@ -142,8 +139,10 @@ mod tests {
     #[test]
     fn storage_scales_with_threads() {
         let (phi0, _, mut got, cells) = setup(8);
-        let s1 = run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 1, &NoMem);
-        let s2 = run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 2, &NoMem);
+        let s1 =
+            run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 1, &NoMem);
+        let s2 =
+            run_box(&phi0, &mut got, cells, IntraTile::ShiftFuse, CompLoop::Outside, 4, 2, &NoMem);
         assert_eq!(s2.flux_f64, 2 * s1.flux_f64);
         assert_eq!(s2.vel_f64, 2 * s1.vel_f64);
         // Tile-local, independent of box size: matches the T-formulas.
@@ -169,16 +168,7 @@ mod tests {
         // tiling must not add recomputation.
         let (phi0, _, mut got, cells) = setup(8);
         let m = CountingMem::new();
-        run_box(
-            &phi0,
-            &mut got,
-            cells,
-            IntraTile::Hierarchical(2),
-            CompLoop::Inside,
-            4,
-            2,
-            &m,
-        );
+        run_box(&phi0, &mut got, cells, IntraTile::Hierarchical(2), CompLoop::Inside, 4, 2, &m);
         assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
     }
 

@@ -16,6 +16,9 @@ use pdesched_mesh::{FArrayBox, IntVect};
 #[derive(Clone, Copy)]
 pub struct SharedFab {
     ptr: *mut f64,
+    /// Deterministic trace base of the underlying buffer (see
+    /// `pdesched_mesh::trace_addr`).
+    abase: usize,
     lo: IntVect,
     nx: usize,
     ny: usize,
@@ -34,6 +37,7 @@ impl SharedFab {
         let s = region.size();
         SharedFab {
             ptr: fab.data_mut().as_mut_ptr(),
+            abase: fab.base_addr(),
             lo: region.lo(),
             nx: s[0] as usize,
             ny: s[1] as usize,
@@ -53,10 +57,11 @@ impl SharedFab {
         ((c * self.nz + z) * self.ny + y) * self.nx + x
     }
 
-    /// Byte address of linear index `i` (for `Mem` hooks).
+    /// Byte address of linear index `i` (for `Mem` hooks): based on the
+    /// buffer's deterministic trace address, not its heap pointer.
     #[inline(always)]
     pub fn addr(&self, i: usize) -> usize {
-        self.ptr as usize + i * 8
+        self.abase + i * 8
     }
 
     /// Stride between adjacent points along direction `d`.
@@ -219,9 +224,9 @@ mod tests {
             let mut all = [0.0; NCOMP];
             face_fluxes_all(&f, d, face, &mut all, &NoMem);
             let vel = face_interp_at(&f, d, face, vel_comp(d), &NoMem);
-            for c in 0..NCOMP {
+            for (c, a) in all.iter().enumerate().take(NCOMP) {
                 let one = face_flux_one(&f, d, face, c, vel, &NoMem);
-                assert_eq!(all[c].to_bits(), one.to_bits(), "d={d} c={c}");
+                assert_eq!(a.to_bits(), one.to_bits(), "d={d} c={c}");
             }
         }
     }

@@ -66,12 +66,8 @@ pub fn expected(variant: Variant, n: i32, nthreads: usize) -> TempStorage {
             // an N^2 plane cache (per component for CLI), plus the three
             // per-direction velocity face arrays for CLO.
             Granularity::OverBoxes => match variant.comp {
-                CompLoop::Outside => {
-                    TempStorage { flux_f64: 2 + n + n * n, vel_f64: 3 * faces }
-                }
-                CompLoop::Inside => {
-                    TempStorage { flux_f64: c * (2 + n + n * n), vel_f64: 0 }
-                }
+                CompLoop::Outside => TempStorage { flux_f64: 2 + n + n * n, vel_f64: 3 * faces },
+                CompLoop::Inside => TempStorage { flux_f64: c * (2 + n + n * n), vel_f64: 0 },
             },
             // Per-iteration wavefront: the co-dimension caches of the
             // blocked wavefront with T = 1.
@@ -93,19 +89,13 @@ pub fn expected(variant: Variant, n: i32, nthreads: usize) -> TempStorage {
                     CompLoop::Outside => {
                         TempStorage { flux_f64: 2 + t + t * t, vel_f64: 3 * tfaces }
                     }
-                    CompLoop::Inside => {
-                        TempStorage { flux_f64: c * (2 + t + t * t), vel_f64: 0 }
-                    }
+                    CompLoop::Inside => TempStorage { flux_f64: c * (2 + t + t * t), vel_f64: 0 },
                 },
                 // Hierarchical: co-dimension caches sized to the outer
                 // tile, plus the CLO velocity arrays per outer tile.
                 IntraTile::Hierarchical(_) => match variant.comp {
-                    CompLoop::Outside => {
-                        TempStorage { flux_f64: 3 * t * t, vel_f64: 3 * tfaces }
-                    }
-                    CompLoop::Inside => {
-                        TempStorage { flux_f64: 3 * c * t * t, vel_f64: 0 }
-                    }
+                    CompLoop::Outside => TempStorage { flux_f64: 3 * t * t, vel_f64: 3 * tfaces },
+                    CompLoop::Inside => TempStorage { flux_f64: 3 * c * t * t, vel_f64: 0 },
                 },
             };
             TempStorage { flux_f64: per_thread.flux_f64 * p, vel_f64: per_thread.vel_f64 * p }
@@ -136,16 +126,13 @@ pub fn paper_formula(category: Category, n: i32, t: i32, p: usize) -> TempStorag
     let tp1 = (t + 1).pow(3);
     match category {
         Category::Series => TempStorage { flux_f64: c * np1, vel_f64: np1 },
-        Category::ShiftFuse => {
-            TempStorage { flux_f64: 2 + 2 * n + 2 * n * n, vel_f64: 3 * np1 }
-        }
+        Category::ShiftFuse => TempStorage { flux_f64: 2 + 2 * n + 2 * n * n, vel_f64: 3 * np1 },
         Category::BlockedWavefront => {
             TempStorage { flux_f64: 2 * (3 * c * n * n), vel_f64: 3 * np1 }
         }
-        Category::OverlappedTile => TempStorage {
-            flux_f64: p * c * (2 + 2 * t + 2 * t * t),
-            vel_f64: p * c * (3 * tp1),
-        },
+        Category::OverlappedTile => {
+            TempStorage { flux_f64: p * c * (2 + 2 * t + 2 * t * t), vel_f64: p * c * (3 * tp1) }
+        }
     }
 }
 
@@ -188,15 +175,8 @@ mod tests {
     fn fused_is_far_smaller_than_series() {
         let n = 128;
         let series = expected(Variant::baseline(), n, 1).total_f64();
-        let fused_cli = expected(
-            Variant {
-                comp: CompLoop::Inside,
-                ..Variant::shift_fuse()
-            },
-            n,
-            1,
-        )
-        .total_f64();
+        let fused_cli =
+            expected(Variant { comp: CompLoop::Inside, ..Variant::shift_fuse() }, n, 1).total_f64();
         assert!(fused_cli * 50 < series, "fused {fused_cli} vs series {series}");
     }
 

@@ -22,8 +22,12 @@ pub enum Category {
 
 impl Category {
     /// All categories.
-    pub const ALL: [Category; 4] =
-        [Category::Series, Category::ShiftFuse, Category::BlockedWavefront, Category::OverlappedTile];
+    pub const ALL: [Category; 4] = [
+        Category::Series,
+        Category::ShiftFuse,
+        Category::BlockedWavefront,
+        Category::OverlappedTile,
+    ];
 
     /// Does this category take a tile size?
     pub fn tiled(self) -> bool {
@@ -366,7 +370,7 @@ mod tests {
         assert!(!h.valid_for_box(16)); // outer must be < box
         let bad = Variant { intra: IntraTile::Hierarchical(16), ..h };
         assert!(!bad.valid_for_box(128)); // inner must be < outer
-        // Extended enumeration adds CLI OT and hierarchical variants.
+                                          // Extended enumeration adds CLI OT and hierarchical variants.
         let base = Variant::enumerate(128).len();
         let ext = Variant::enumerate_extended(128);
         assert!(ext.len() > base + 10);

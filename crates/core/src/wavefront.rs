@@ -79,11 +79,12 @@ pub fn run_box<M: Mem>(
     let mut xcache = vec![0.0f64; ny * nz * kc];
     let mut ycache = vec![0.0f64; nx * nz * kc];
     let mut zcache = vec![0.0f64; nx * ny * kc];
-    let mut storage = TempStorage {
-        flux_f64: xcache.len() + ycache.len() + zcache.len(),
-        vel_f64: 0,
-    };
+    let mut storage =
+        TempStorage { flux_f64: xcache.len() + ycache.len() + zcache.len(), vel_f64: 0 };
     let caches = Caches {
+        xbase: pdesched_mesh::trace_addr::alloc(xcache.len() * 8),
+        ybase: pdesched_mesh::trace_addr::alloc(ycache.len() * 8),
+        zbase: pdesched_mesh::trace_addr::alloc(zcache.len() * 8),
         x: UnsafeSlice::new(&mut xcache),
         y: UnsafeSlice::new(&mut ycache),
         z: UnsafeSlice::new(&mut zcache),
@@ -153,6 +154,11 @@ pub struct WavefrontBufs {
     xcache: Vec<f64>,
     ycache: Vec<f64>,
     zcache: Vec<f64>,
+    /// Deterministic trace bases of the three caches (see
+    /// `pdesched_mesh::trace_addr`).
+    xbase: usize,
+    ybase: usize,
+    zbase: usize,
     vels: Vec<FArrayBox>,
     shape: Option<(IBox, CompLoop)>,
     peak: TempStorage,
@@ -165,6 +171,9 @@ impl WavefrontBufs {
             xcache: Vec::new(),
             ycache: Vec::new(),
             zcache: Vec::new(),
+            xbase: 0,
+            ybase: 0,
+            zbase: 0,
             vels: Vec::new(),
             shape: None,
             peak: TempStorage::default(),
@@ -187,6 +196,9 @@ impl WavefrontBufs {
         self.xcache = vec![0.0; ny * nz * kc];
         self.ycache = vec![0.0; nx * nz * kc];
         self.zcache = vec![0.0; nx * ny * kc];
+        self.xbase = pdesched_mesh::trace_addr::alloc(self.xcache.len() * 8);
+        self.ybase = pdesched_mesh::trace_addr::alloc(self.ycache.len() * 8);
+        self.zbase = pdesched_mesh::trace_addr::alloc(self.zcache.len() * 8);
         let mut vel = 0;
         self.vels.clear();
         if comp == CompLoop::Outside {
@@ -237,6 +249,9 @@ pub fn run_tile_serial<M: Mem>(
         }
     }
     let caches = Caches {
+        xbase: bufs.xbase,
+        ybase: bufs.ybase,
+        zbase: bufs.zbase,
         x: UnsafeSlice::new(&mut bufs.xcache),
         y: UnsafeSlice::new(&mut bufs.ycache),
         z: UnsafeSlice::new(&mut bufs.zcache),
@@ -271,6 +286,11 @@ struct Caches<'a> {
     x: UnsafeSlice<'a, f64>,
     y: UnsafeSlice<'a, f64>,
     z: UnsafeSlice<'a, f64>,
+    /// Deterministic trace bases of the three caches (see
+    /// `pdesched_mesh::trace_addr`).
+    xbase: usize,
+    ybase: usize,
+    zbase: usize,
     lo: IntVect,
     nx: usize,
     ny: usize,
@@ -334,9 +354,7 @@ fn tile_cli<M: Mem>(
 ) {
     let (lo, hi) = (t.lo(), t.hi());
     let blo = cells.lo();
-    let xbase = caches.x.as_addr();
-    let ybase = caches.y.as_addr();
-    let zbase = caches.z.as_addr();
+    let (xbase, ybase, zbase) = (caches.xbase, caches.ybase, caches.zbase);
     let mut flo = [0.0f64; NCOMP];
     let mut fhi = [0.0f64; NCOMP];
     for z in lo[2]..=hi[2] {
@@ -437,9 +455,7 @@ fn tile_clo<M: Mem>(
 ) {
     let (lo, hi) = (t.lo(), t.hi());
     let blo = cells.lo();
-    let xbase = caches.x.as_addr();
-    let ybase = caches.y.as_addr();
-    let zbase = caches.z.as_addr();
+    let (xbase, ybase, zbase) = (caches.xbase, caches.ybase, caches.zbase);
     for z in lo[2]..=hi[2] {
         for y in lo[1]..=hi[1] {
             for x in lo[0]..=hi[0] {
@@ -529,10 +545,8 @@ mod tests {
                         let same_y = a.lo()[1] == b.lo()[1];
                         let same_z = a.lo()[2] == b.lo()[2];
                         let same_x = a.lo()[0] == b.lo()[0];
-                        assert!(
-                            !(same_x && same_y) && !(same_y && same_z) && !(same_x && same_z),
-                            "dependent tiles in one wavefront"
-                        );
+                        let pairs = [same_x, same_y, same_z].iter().filter(|&&s| s).count();
+                        assert!(pairs <= 1, "dependent tiles in one wavefront");
                     }
                 }
             }

@@ -14,7 +14,13 @@ use pdesched_mesh::{FArrayBox, IBox, IntVect};
 ///
 /// `phi` must cover `faces` grown by 2 cells in direction `d` on the low
 /// side and 1 on the high side (i.e. the usual 2-ghost box).
-pub fn eval_flux1(phi: &FArrayBox, d: usize, faces: IBox, out: &mut FArrayBox, comps: std::ops::Range<usize>) {
+pub fn eval_flux1(
+    phi: &FArrayBox,
+    d: usize,
+    faces: IBox,
+    out: &mut FArrayBox,
+    comps: std::ops::Range<usize>,
+) {
     let lo = faces.lo();
     let hi = faces.hi();
     if faces.is_empty() {
@@ -52,7 +58,12 @@ pub fn eval_flux1(phi: &FArrayBox, d: usize, faces: IBox, out: &mut FArrayBox, c
 /// `EvalFlux2` over a face box with an explicit velocity array
 /// (single-component, same face box): `flux[c] *= vel` for `c` in
 /// `comps`.
-pub fn eval_flux2(flux: &mut FArrayBox, vel: &FArrayBox, faces: IBox, comps: std::ops::Range<usize>) {
+pub fn eval_flux2(
+    flux: &mut FArrayBox,
+    vel: &FArrayBox,
+    faces: IBox,
+    comps: std::ops::Range<usize>,
+) {
     if faces.is_empty() {
         return;
     }
@@ -127,7 +138,13 @@ pub fn extract_velocity(flux: &FArrayBox, d: usize, faces: IBox, vel: &mut FArra
 /// Divergence accumulation over a cell box: for each cell `i` and
 /// component `c` in `comps`,
 /// `phi1[i, c] += flux[i + e^d, c] - flux[i, c]`.
-pub fn accumulate_dir(phi1: &mut FArrayBox, flux: &FArrayBox, d: usize, cells: IBox, comps: std::ops::Range<usize>) {
+pub fn accumulate_dir(
+    phi1: &mut FArrayBox,
+    flux: &FArrayBox,
+    d: usize,
+    cells: IBox,
+    comps: std::ops::Range<usize>,
+) {
     if cells.is_empty() {
         return;
     }

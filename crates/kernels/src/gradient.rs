@@ -83,18 +83,10 @@ pub fn gradient_fused(phi: &FArrayBox, cells: IBox, out: &mut FArrayBox) {
                 let pd = phi.data();
                 for _ in 0..nx {
                     let gx = grad_point(pd[src - 2], pd[src - 1], pd[src + 1], pd[src + 2]);
-                    let gy = grad_point(
-                        pd[src - 2 * sy],
-                        pd[src - sy],
-                        pd[src + sy],
-                        pd[src + 2 * sy],
-                    );
-                    let gz = grad_point(
-                        pd[src - 2 * sz],
-                        pd[src - sz],
-                        pd[src + sz],
-                        pd[src + 2 * sz],
-                    );
+                    let gy =
+                        grad_point(pd[src - 2 * sy], pd[src - sy], pd[src + sy], pd[src + 2 * sy]);
+                    let gz =
+                        grad_point(pd[src - 2 * sz], pd[src - sz], pd[src + sz], pd[src + 2 * sz]);
                     out.data_mut()[dx] = gx;
                     out.data_mut()[dy] = gy;
                     out.data_mut()[dz] = gz;

@@ -20,7 +20,11 @@
 
 // Pointer-walk inner loops and per-direction index arithmetic are the
 // deliberate idiom here; the flagged clippy styles would obscure them.
-#![allow(clippy::needless_range_loop, clippy::explicit_counter_loop, clippy::should_implement_trait)]
+#![allow(
+    clippy::needless_range_loop,
+    clippy::explicit_counter_loop,
+    clippy::should_implement_trait
+)]
 pub mod boxops;
 pub mod ghost;
 pub mod gradient;

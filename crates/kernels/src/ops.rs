@@ -28,7 +28,11 @@ impl OpCount {
 
     /// Component-wise sum.
     pub fn add(self, o: OpCount) -> OpCount {
-        OpCount { interp: self.interp + o.interp, flux: self.flux + o.flux, accum: self.accum + o.accum }
+        OpCount {
+            interp: self.interp + o.interp,
+            flux: self.flux + o.flux,
+            accum: self.accum + o.accum,
+        }
     }
 
     /// Scale all counts.
@@ -100,10 +104,7 @@ mod tests {
         assert_eq!(oc.interp, (nfaces * NCOMP as i64) as u64);
         assert_eq!(oc.flux, oc.interp);
         assert_eq!(oc.accum, (n * n * n * NCOMP as i64 * 3) as u64);
-        assert_eq!(
-            oc.flops(),
-            oc.interp * 5 + oc.flux + oc.accum * 2
-        );
+        assert_eq!(oc.flops(), oc.interp * 5 + oc.flux + oc.accum * 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! foundation of the equivalence test suite.
 
 use crate::boxops::{accumulate_dir, eval_flux1, eval_flux2, extract_velocity};
-use crate::{NCOMP};
+use crate::NCOMP;
 use pdesched_mesh::{FArrayBox, IBox, LevelData};
 
 /// Apply one exemplar update to a single box: `phi1 += div(F(phi0))`

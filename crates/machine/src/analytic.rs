@@ -55,8 +55,7 @@ pub fn compulsory(n: i32) -> u64 {
 /// resident regime).
 pub fn working_set(variant: Variant, n: i32) -> u64 {
     let v = volumes(n);
-    let temps =
-        pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
+    let temps = pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
     match variant.category {
         // The series schedule needs phi0, phi1, the flux array and the
         // velocity live at once.
@@ -128,8 +127,7 @@ pub fn analytic_box_traffic(variant: Variant, n: i32, cache_bytes: u64) -> u64 {
         }
         Category::OverlappedTile => {
             let t = variant.tile_size();
-            let temps =
-                pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
+            let temps = pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
             let box_ws = v.phi0 + v.phi1 + temps;
             if box_ws <= cache_bytes {
                 return compulsory(n) + temps;
@@ -141,11 +139,8 @@ pub fn analytic_box_traffic(variant: Variant, n: i32, cache_bytes: u64) -> u64 {
             let tiles = (n as u64).div_ceil(t as u64).pow(3);
             let tile_halo = ((t + 2 * GHOST) as u64).pow(3) * NCOMP as u64 * W;
             let phi0_traffic = (tile_halo * tiles).max(v.phi0);
-            let passes: u64 = if variant.intra == IntraTile::Basic && ws > cache_bytes {
-                3
-            } else {
-                1
-            };
+            let passes: u64 =
+                if variant.intra == IntraTile::Basic && ws > cache_bytes { 3 } else { 1 };
             phi0_traffic * passes + 2 * v.phi1
         }
     }
@@ -155,8 +150,8 @@ pub fn analytic_box_traffic(variant: Variant, n: i32, cache_bytes: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::traffic::measure_box_traffic;
-    use pdesched_core::Granularity;
     use pdesched_cachesim::CacheConfig;
+    use pdesched_core::Granularity;
 
     fn hierarchy(llc: usize) -> Vec<CacheConfig> {
         vec![CacheConfig::new(16 * 1024, 8), CacheConfig::new(llc, 16)]
@@ -227,12 +222,9 @@ mod tests {
     fn working_set_scales_with_category() {
         let n = 64;
         let series = working_set(Variant::baseline(), n);
-        let fused =
-            working_set(Variant { comp: CompLoop::Inside, ..Variant::shift_fuse() }, n);
-        let ot = working_set(
-            Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox),
-            n,
-        );
+        let fused = working_set(Variant { comp: CompLoop::Inside, ..Variant::shift_fuse() }, n);
+        let ot =
+            working_set(Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox), n);
         assert!(fused < series / 4, "fused ws {fused} vs series {series}");
         assert!(ot < fused, "ot ws {ot} vs fused {fused}");
     }

@@ -1,0 +1,218 @@
+//! The parallel sweep engine: prewarm every traffic measurement a
+//! figure or ranking will need, concurrently, then generate serially.
+//!
+//! Figure generation spends essentially all of its time inside
+//! [`crate::traffic::measure_box_traffic`] — full schedule executions
+//! replayed through the cache simulator. Those measurements are
+//! independent across (variant, box size, hierarchy) points, so the
+//! engine fans them out over a [`SpmdPool`] (the repo's own OpenMP-style
+//! substrate — the machinery under study runs the study). The figure
+//! generators themselves stay serial and read everything back as cache
+//! hits, which keeps their output *byte-identical* to a fully serial
+//! run: parallelism only changes the order measurements complete, never
+//! a measured value (each point is simulated exactly once, from a fixed
+//! seed) nor the order points are read back.
+
+use crate::model::prediction_hierarchy;
+use crate::spec::MachineSpec;
+use crate::traffic::TrafficCache;
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::Variant;
+use pdesched_par::SpmdPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One independent simulation point: `variant` updating an `n`^3 box
+/// through the hierarchy `configs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimPoint {
+    /// The schedule to execute.
+    pub variant: Variant,
+    /// Box edge length.
+    pub n: i32,
+    /// Cache hierarchy (L1 first).
+    pub configs: Vec<CacheConfig>,
+}
+
+impl SimPoint {
+    /// The point [`crate::model::predict_time`] will look up for
+    /// `(spec, variant, box_n, threads)` — same hierarchy computation,
+    /// so prewarming this point guarantees the prediction is a hit.
+    pub fn for_prediction(
+        spec: &MachineSpec,
+        variant: Variant,
+        box_n: i32,
+        threads: usize,
+    ) -> SimPoint {
+        SimPoint { variant, n: box_n, configs: prediction_hierarchy(spec, threads) }
+    }
+}
+
+/// What one [`SweepEngine::prewarm`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrewarmReport {
+    /// Points requested (before dedup).
+    pub requested: usize,
+    /// Distinct points after dedup.
+    pub unique: usize,
+    /// Points actually simulated (the rest were already cached).
+    pub measured: usize,
+    /// Wall-clock seconds spent in the parallel measurement region.
+    pub seconds: f64,
+}
+
+/// A persistent worker pool that fills a [`TrafficCache`] in parallel.
+pub struct SweepEngine {
+    pool: SpmdPool,
+    progress: bool,
+}
+
+impl SweepEngine {
+    /// An engine with `threads` measurement workers (including the
+    /// caller) and no progress output.
+    pub fn new(threads: usize) -> Self {
+        SweepEngine { pool: SpmdPool::new(threads.max(1)), progress: false }
+    }
+
+    /// Emit one stderr line per completed measurement (for the `repro`
+    /// binary's progress display).
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Measurement workers (including the caller).
+    pub fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+
+    /// Measure every point of `points` not already in `cache`,
+    /// dynamically scheduled over the pool (costs vary by orders of
+    /// magnitude with box size, so static partitioning would straggle).
+    /// Big boxes go first to keep the tail short.
+    pub fn prewarm(&self, cache: &TrafficCache, points: &[SimPoint]) -> PrewarmReport {
+        let t0 = std::time::Instant::now();
+        let mut todo: Vec<&SimPoint> = Vec::new();
+        for p in points {
+            if !todo.contains(&p) && !cache.contains(p.variant, p.n, &p.configs) {
+                todo.push(p);
+            }
+        }
+        let unique = {
+            let mut seen: Vec<&SimPoint> = Vec::new();
+            for p in points {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                }
+            }
+            seen.len()
+        };
+        todo.sort_by_key(|p| std::cmp::Reverse(p.n));
+        let total = todo.len();
+        let counter = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        self.pool.run(|ctx| {
+            ctx.dynamic_items(&counter, total, 1, |i| {
+                let p = todo[i];
+                cache.get(p.variant, p.n, &p.configs);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.progress {
+                    eprintln!(
+                        "[sweep] measured {d}/{total}: {} n={} (thread {})",
+                        p.variant,
+                        p.n,
+                        ctx.tid()
+                    );
+                }
+            });
+        });
+        PrewarmReport {
+            requested: points.len(),
+            unique,
+            measured: total,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::CacheStats;
+    use pdesched_cachesim::CacheConfig;
+
+    fn tiny() -> Vec<CacheConfig> {
+        vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)]
+    }
+
+    fn points() -> Vec<SimPoint> {
+        let mut p = Vec::new();
+        for v in [Variant::baseline(), Variant::shift_fuse()] {
+            for n in [8, 12] {
+                p.push(SimPoint { variant: v, n, configs: tiny() });
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn parallel_prewarm_equals_serial_measurement() {
+        // The whole point of the engine: same numbers as the serial
+        // path, bit for bit.
+        let serial = TrafficCache::new();
+        for p in points() {
+            serial.get(p.variant, p.n, &p.configs);
+        }
+        let parallel = TrafficCache::new();
+        let engine = SweepEngine::new(4);
+        engine.prewarm(&parallel, &points());
+        for p in points() {
+            let a = serial.get(p.variant, p.n, &p.configs);
+            let b = parallel.get(p.variant, p.n, &p.configs);
+            assert_eq!(a, b, "{} n={}", p.variant, p.n);
+        }
+    }
+
+    #[test]
+    fn prewarm_dedupes_and_skips_cached() {
+        let cache = TrafficCache::new();
+        let engine = SweepEngine::new(2);
+        // Duplicate the list: 8 requested, 4 unique.
+        let mut pts = points();
+        pts.extend(points());
+        let r = engine.prewarm(&cache, &pts);
+        assert_eq!((r.requested, r.unique, r.measured), (8, 4, 4));
+        assert_eq!(cache.stats().misses, 4, "each unique point simulated exactly once");
+        // Second prewarm: everything cached, nothing measured.
+        let r2 = engine.prewarm(&cache, &pts);
+        assert_eq!(r2.measured, 0);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn prewarmed_cache_answers_without_missing() {
+        let cache = TrafficCache::new();
+        SweepEngine::new(3).prewarm(&cache, &points());
+        let before = cache.stats();
+        for p in points() {
+            cache.get(p.variant, p.n, &p.configs);
+        }
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses, "all reads must be hits");
+        assert_eq!(after, CacheStats { hits: before.hits + 4, misses: before.misses });
+    }
+
+    #[test]
+    fn for_prediction_matches_predict_time_lookup() {
+        // A point built by the engine must be the exact key predict_time
+        // reads: prewarm it, predict, and verify zero misses.
+        let spec = MachineSpec::i5_desktop();
+        let cache = TrafficCache::new();
+        let v = Variant::shift_fuse();
+        let p = SimPoint::for_prediction(&spec, v, 16, spec.cores());
+        SweepEngine::new(2).prewarm(&cache, &[p]);
+        let misses_before = cache.stats().misses;
+        let wl = crate::model::Workload::paper(16);
+        crate::model::predict_time(&spec, v, wl, spec.cores(), &cache);
+        assert_eq!(cache.stats().misses, misses_before, "prediction must hit the prewarmed key");
+    }
+}

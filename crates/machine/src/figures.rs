@@ -5,6 +5,7 @@
 //! Paper-reference values for EXPERIMENTS.md comparisons are in the
 //! bandwidth experiment's rows.
 
+use crate::engine::SimPoint;
 use crate::model::{predict_time, Workload};
 use crate::spec::MachineSpec;
 use crate::traffic::TrafficCache;
@@ -70,6 +71,7 @@ pub fn thread_counts(spec: &MachineSpec) -> Vec<usize> {
     if spec.smt > 1 {
         t.push(spec.hw_threads());
     }
+    t.retain(|&x| x <= spec.hw_threads());
     t.sort_unstable();
     t.dedup();
     t
@@ -107,13 +109,22 @@ fn within(mut v: Variant) -> Variant {
 pub fn best_variant_fig234(spec: &MachineSpec) -> (String, Variant) {
     if spec.name.contains("Magny") {
         // Fig. 2: Shift-Fuse OT-16: P>=Box.
-        ("Shift-Fuse OT-16: P>=Box".into(), Variant::overlapped(IntraTile::ShiftFuse, 16, Granularity::OverBoxes))
+        (
+            "Shift-Fuse OT-16: P>=Box".into(),
+            Variant::overlapped(IntraTile::ShiftFuse, 16, Granularity::OverBoxes),
+        )
     } else if spec.name.contains("Ivy") {
         // Fig. 3: Shift-Fuse OT-8: P<Box.
-        ("Shift-Fuse OT-8: P<Box".into(), Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox))
+        (
+            "Shift-Fuse OT-8: P<Box".into(),
+            Variant::overlapped(IntraTile::ShiftFuse, 8, Granularity::WithinBox),
+        )
     } else {
         // Fig. 4: Shift-Fuse OT-16: P<Box.
-        ("Shift-Fuse OT-16: P<Box".into(), Variant::overlapped(IntraTile::ShiftFuse, 16, Granularity::WithinBox))
+        (
+            "Shift-Fuse OT-16: P<Box".into(),
+            Variant::overlapped(IntraTile::ShiftFuse, 16, Granularity::WithinBox),
+        )
     }
 }
 
@@ -132,7 +143,14 @@ pub fn figure234_sized(spec: &MachineSpec, cache: &TrafficCache, id: &str, big_n
     let (best_label, best) = best_variant_fig234(spec);
     let series = vec![
         scaling_series(spec, "Baseline: P>=Box, N=16", Variant::baseline(), wl16, cache, &threads),
-        scaling_series(spec, "Shift-Fuse: P>=Box, N=16", Variant::shift_fuse(), wl16, cache, &threads),
+        scaling_series(
+            spec,
+            "Shift-Fuse: P>=Box, N=16",
+            Variant::shift_fuse(),
+            wl16,
+            cache,
+            &threads,
+        ),
         scaling_series(
             spec,
             &format!("Baseline: P>=Box, N={big_n}"),
@@ -152,6 +170,25 @@ pub fn figure234_sized(spec: &MachineSpec, cache: &TrafficCache, id: &str, big_n
     }
 }
 
+/// Every traffic measurement [`figure234_sized`] will perform, for
+/// parallel prewarming by the sweep engine.
+pub fn figure234_points(spec: &MachineSpec, big_n: i32) -> Vec<SimPoint> {
+    let threads = thread_counts(spec);
+    let (_, best) = best_variant_fig234(spec);
+    let mut pts = Vec::new();
+    for (variant, n) in [
+        (Variant::baseline(), 16),
+        (Variant::shift_fuse(), 16),
+        (Variant::baseline(), big_n),
+        (best, big_n),
+    ] {
+        for &t in &threads {
+            pts.push(SimPoint::for_prediction(spec, variant, n, t));
+        }
+    }
+    pts
+}
+
 /// The seven N=128 schedules plotted in Figures 10–12 for each machine.
 pub fn n128_variants(spec: &MachineSpec) -> Vec<(String, Variant)> {
     let ot = Variant::overlapped;
@@ -164,7 +201,10 @@ pub fn n128_variants(spec: &MachineSpec) -> Vec<(String, Variant)> {
             ("Blocked WF-CLO-16: P<Box".into(), Variant::blocked_wavefront(CompLoop::Outside, 16)),
             ("Shift-Fuse OT-8: P<Box".into(), ot(IntraTile::ShiftFuse, 8, Granularity::WithinBox)),
             ("Basic-Sched OT-8: P<Box".into(), ot(IntraTile::Basic, 8, Granularity::WithinBox)),
-            ("Shift-Fuse OT-16: P>=Box".into(), ot(IntraTile::ShiftFuse, 16, Granularity::OverBoxes)),
+            (
+                "Shift-Fuse OT-16: P>=Box".into(),
+                ot(IntraTile::ShiftFuse, 16, Granularity::OverBoxes),
+            ),
             ("Basic-Sched OT-16: P>=Box".into(), ot(IntraTile::Basic, 16, Granularity::OverBoxes)),
         ]
     } else if spec.name.contains("Ivy") {
@@ -178,7 +218,10 @@ pub fn n128_variants(spec: &MachineSpec) -> Vec<(String, Variant)> {
     } else {
         vec![
             ("Blocked WF-CLI-16: P<Box".into(), Variant::blocked_wavefront(CompLoop::Inside, 16)),
-            ("Shift-Fuse OT-16: P<Box".into(), ot(IntraTile::ShiftFuse, 16, Granularity::WithinBox)),
+            (
+                "Shift-Fuse OT-16: P<Box".into(),
+                ot(IntraTile::ShiftFuse, 16, Granularity::WithinBox),
+            ),
             ("Basic-Sched OT-16: P<Box".into(), ot(IntraTile::Basic, 16, Granularity::WithinBox)),
             ("Shift-Fuse OT-8: P>=Box".into(), ot(IntraTile::ShiftFuse, 8, Granularity::OverBoxes)),
             ("Basic-Sched OT-16: P>=Box".into(), ot(IntraTile::Basic, 16, Granularity::OverBoxes)),
@@ -226,6 +269,36 @@ pub fn fig9_candidates(gran: Granularity, n: i32) -> Vec<Variant> {
     out
 }
 
+/// Every traffic measurement [`figure1012`] will perform.
+pub fn figure1012_points(spec: &MachineSpec) -> Vec<SimPoint> {
+    let threads = thread_counts(spec);
+    let mut pts = Vec::new();
+    for (_, variant) in n128_variants(spec) {
+        for &t in &threads {
+            pts.push(SimPoint::for_prediction(spec, variant, 128, t));
+        }
+    }
+    pts
+}
+
+/// Every traffic measurement [`figure9`] will perform.
+pub fn figure9_points() -> Vec<SimPoint> {
+    let machines = [MachineSpec::magny_cours(), MachineSpec::ivy_bridge_node()];
+    let mut pts = Vec::new();
+    for spec in &machines {
+        for gran in [Granularity::OverBoxes, Granularity::WithinBox] {
+            for n in [16, 32, 64, 128] {
+                for v in fig9_candidates(gran, n) {
+                    for t in [spec.cores() / 2, spec.cores()] {
+                        pts.push(SimPoint::for_prediction(spec, v, n, t.max(1)));
+                    }
+                }
+            }
+        }
+    }
+    pts
+}
+
 /// Figure 9: fastest configuration per box size, for parallelization
 /// over boxes vs within boxes, on the AMD and Ivy Bridge nodes.
 pub fn figure9(cache: &TrafficCache) -> Figure {
@@ -250,10 +323,7 @@ pub fn figure9(cache: &TrafficCache) -> Figure {
                 }
                 points.push((n as f64, best));
             }
-            series.push(Series {
-                label: format!("{} {}", short_name(spec), glabel),
-                points,
-            });
+            series.push(Series { label: format!("{} {}", short_name(spec), glabel), points });
         }
     }
     Figure {
@@ -290,18 +360,33 @@ pub struct BandwidthRow {
     pub paper_gbs: Option<f64>,
 }
 
-/// The VTune bandwidth observations of Section VI-B, reproduced on the
-/// i5 desktop model.
-pub fn bandwidth_experiment(cache: &TrafficCache) -> Vec<BandwidthRow> {
-    let spec = MachineSpec::i5_desktop();
-    let rows: Vec<(&str, Variant, i32, usize, Option<f64>)> = vec![
+/// The (schedule, N, threads, paper GB/s) rows of the Section VI-B
+/// experiment.
+fn bandwidth_rows() -> Vec<(&'static str, Variant, i32, usize, Option<f64>)> {
+    vec![
         ("Baseline", Variant::baseline(), 16, 1, Some(4.9)),
         ("Baseline", Variant::baseline(), 16, 4, Some(14.5)),
         ("Baseline", Variant::baseline(), 128, 1, Some(18.3)),
         ("Shift-Fuse", Variant::shift_fuse(), 16, 1, Some(3.9)),
         ("Shift-Fuse", Variant::shift_fuse(), 128, 1, Some(9.4)),
-    ];
-    rows.into_iter()
+    ]
+}
+
+/// Every traffic measurement [`bandwidth_experiment`] will perform.
+pub fn bandwidth_points() -> Vec<SimPoint> {
+    let spec = MachineSpec::i5_desktop();
+    bandwidth_rows()
+        .into_iter()
+        .map(|(_, v, n, t, _)| SimPoint::for_prediction(&spec, v, n, t))
+        .collect()
+}
+
+/// The VTune bandwidth observations of Section VI-B, reproduced on the
+/// i5 desktop model.
+pub fn bandwidth_experiment(cache: &TrafficCache) -> Vec<BandwidthRow> {
+    let spec = MachineSpec::i5_desktop();
+    bandwidth_rows()
+        .into_iter()
         .map(|(label, v, n, t, paper)| {
             let p = predict_time(&spec, v, Workload::paper(n), t, cache);
             BandwidthRow {
@@ -353,6 +438,60 @@ mod tests {
                 assert!(var.valid_for_box(128));
             }
         }
+    }
+
+    #[test]
+    fn prewarmed_figure234_generates_without_simulating() {
+        // The point enumerator must cover the generator exactly: after a
+        // parallel prewarm, figure generation is all cache hits — and
+        // therefore byte-identical to a serial run.
+        use crate::engine::SweepEngine;
+        let spec = MachineSpec::i5_desktop();
+        let big_n = 16; // keep the test cheap; the enumeration logic is size-blind
+        let serial_cache = TrafficCache::new();
+        let serial = figure234_sized(&spec, &serial_cache, "figX", big_n);
+        let cache = TrafficCache::new();
+        let engine = SweepEngine::new(4);
+        engine.prewarm(&cache, &figure234_points(&spec, big_n));
+        let misses_before = cache.stats().misses;
+        let warm = figure234_sized(&spec, &cache, "figX", big_n);
+        assert_eq!(cache.stats().misses, misses_before, "generation must not simulate");
+        for (a, b) in serial.series.iter().zip(&warm.series) {
+            assert_eq!(a.label, b.label);
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "{}", a.label);
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{}", a.label);
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_points_cover_experiment() {
+        use crate::engine::SweepEngine;
+        let cache = TrafficCache::new();
+        SweepEngine::new(2).prewarm(&cache, &bandwidth_points());
+        let misses_before = cache.stats().misses;
+        let rows = bandwidth_experiment(&cache);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(cache.stats().misses, misses_before, "experiment must not simulate");
+    }
+
+    #[test]
+    fn point_enumerators_match_generator_shapes() {
+        // Structural coverage for the expensive figures (their actual
+        // simulation is exercised by the repro binary, not unit tests):
+        // one point per (series, thread count) for the scaling figures,
+        // and per (machine, gran, n, candidate, thread pick) for fig 9.
+        for spec in MachineSpec::evaluation_nodes() {
+            let nt = thread_counts(&spec).len();
+            assert_eq!(figure234_points(&spec, 128).len(), 4 * nt, "{}", spec.name);
+            assert_eq!(figure1012_points(&spec).len(), 7 * nt, "{}", spec.name);
+        }
+        let per_machine: usize = [16, 32, 64, 128]
+            .iter()
+            .map(|&n| 2 * 2 * fig9_candidates(Granularity::OverBoxes, n).len())
+            .sum();
+        assert_eq!(figure9_points().len(), 2 * per_machine);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod adapter;
 pub mod analytic;
+pub mod engine;
 pub mod figures;
 pub mod model;
 pub mod spec;
@@ -39,6 +40,7 @@ pub mod sweep;
 pub mod traffic;
 
 pub use adapter::TraceMem;
+pub use engine::{PrewarmReport, SimPoint, SweepEngine};
 pub use model::{predict_time, Prediction, Workload};
 pub use spec::MachineSpec;
-pub use traffic::{measure_box_traffic, BoxTraffic, TrafficCache};
+pub use traffic::{measure_box_traffic, BoxTraffic, CacheStats, TrafficCache};

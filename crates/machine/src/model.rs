@@ -147,6 +147,20 @@ fn compute_rate(spec: &MachineSpec, t: usize) -> f64 {
     effective * spec.core_gflops
 }
 
+/// The cache hierarchy a prediction at `threads` threads simulates
+/// against: private L1/L2 plus the LLC share left to one thread when the
+/// run's socket-0 threads compete for it. This is the *single* place the
+/// (machine, threads) pair turns into a traffic-measurement point — the
+/// sweep engine enumerates points through it, so prewarmed keys always
+/// match what [`predict_time`] will ask for.
+pub fn prediction_hierarchy(
+    spec: &MachineSpec,
+    threads: usize,
+) -> Vec<pdesched_cachesim::CacheConfig> {
+    let threads_on_socket0 = spec.threads_per_socket(threads.min(spec.cores()))[0].max(1);
+    spec.hierarchy_for(threads_on_socket0)
+}
+
 /// Predict the execution time of one whole-workload exemplar update.
 pub fn predict_time(
     spec: &MachineSpec,
@@ -157,8 +171,7 @@ pub fn predict_time(
 ) -> Prediction {
     assert!(threads >= 1 && threads <= spec.hw_threads());
     // Traffic: per-box measurement with the per-thread LLC share.
-    let threads_on_socket0 = spec.threads_per_socket(threads.min(spec.cores()))[0].max(1);
-    let hierarchy = spec.hierarchy_for(threads_on_socket0);
+    let hierarchy = prediction_hierarchy(spec, threads);
     let per_box_traffic = cache.get(variant, wl.box_n, &hierarchy);
     predict_with_traffic(spec, variant, wl, threads, per_box_traffic.dram_bytes)
 }
@@ -210,8 +223,8 @@ fn predict_with_traffic(
     let mut seconds = compute_s.max(memory_s) + overhead_s;
     if threads > spec.cores() {
         let barrier_heavy = barriers_per_box(variant, wl.box_n) > 0;
-        let ht_tolerant = variant.category == Category::OverlappedTile
-            && variant.gran == Granularity::WithinBox;
+        let ht_tolerant =
+            variant.category == Category::OverlappedTile && variant.gran == Granularity::WithinBox;
         seconds *= if barrier_heavy {
             OVERSUB_BARRIER_PENALTY
         } else if ht_tolerant {

@@ -6,8 +6,10 @@
 //! and returns the ranking; the top candidates can then be re-evaluated
 //! with the simulator-backed model for confirmation.
 
-use crate::model::{predict_time_analytic, Prediction, Workload};
+use crate::engine::{SimPoint, SweepEngine};
+use crate::model::{predict_time, predict_time_analytic, Prediction, Workload};
 use crate::spec::MachineSpec;
+use crate::traffic::TrafficCache;
 use pdesched_core::Variant;
 
 /// One ranked entry.
@@ -41,16 +43,43 @@ pub fn rank_variants(
 /// Rank the full extended variant space for a box size at full cores.
 pub fn rank_all(spec: &MachineSpec, box_n: i32) -> Vec<RankedVariant> {
     let wl = Workload::paper(box_n);
-    let variants: Vec<Variant> = Variant::enumerate_extended(box_n)
-        .into_iter()
-        .filter(|v| v.valid_for_box(box_n))
-        .collect();
+    let variants: Vec<Variant> =
+        Variant::enumerate_extended(box_n).into_iter().filter(|v| v.valid_for_box(box_n)).collect();
     rank_variants(spec, &variants, wl, spec.cores())
 }
 
 /// The fastest variant for a box size on a machine (analytic model).
 pub fn best_variant(spec: &MachineSpec, box_n: i32) -> RankedVariant {
     rank_all(spec, box_n).into_iter().next().expect("non-empty variant space")
+}
+
+/// Re-rank the analytic top `k` with the simulator-backed model, the
+/// measurements prewarmed in parallel by `engine`. This is the paper's
+/// two-stage recipe — screen the whole space instantly, confirm the
+/// short list with real traces — with the confirmation fanned out over
+/// the pool.
+pub fn rank_top_measured(
+    spec: &MachineSpec,
+    box_n: i32,
+    k: usize,
+    cache: &TrafficCache,
+    engine: &SweepEngine,
+) -> Vec<RankedVariant> {
+    let top: Vec<Variant> = rank_all(spec, box_n).into_iter().take(k).map(|r| r.variant).collect();
+    let threads = spec.cores();
+    let points: Vec<SimPoint> =
+        top.iter().map(|&v| SimPoint::for_prediction(spec, v, box_n, threads)).collect();
+    engine.prewarm(cache, &points);
+    let wl = Workload::paper(box_n);
+    let mut out: Vec<RankedVariant> = top
+        .into_iter()
+        .map(|variant| RankedVariant {
+            variant,
+            prediction: predict_time(spec, variant, wl, threads, cache),
+        })
+        .collect();
+    out.sort_by(|a, b| a.prediction.seconds.total_cmp(&b.prediction.seconds));
+    out
 }
 
 #[cfg(test)]
@@ -74,14 +103,24 @@ mod tests {
         // full threads, the winner is never the plain series baseline.
         for spec in MachineSpec::evaluation_nodes() {
             let best = best_variant(&spec, 128);
-            assert_ne!(
-                best.variant.category,
-                Category::Series,
-                "{}: {}",
-                spec.name,
-                best.variant
-            );
+            assert_ne!(best.variant.category, Category::Series, "{}: {}", spec.name, best.variant);
         }
+    }
+
+    #[test]
+    fn measured_reranking_is_sorted_and_prewarmed() {
+        let spec = MachineSpec::i5_desktop();
+        let cache = TrafficCache::new();
+        let engine = SweepEngine::new(2);
+        let ranked = rank_top_measured(&spec, 16, 3, &cache, &engine);
+        assert_eq!(ranked.len(), 3);
+        for w in ranked.windows(2) {
+            assert!(w[0].prediction.seconds <= w[1].prediction.seconds);
+        }
+        // Every prediction was answered from the prewarmed cache.
+        let s = cache.stats();
+        assert_eq!(s.misses as usize, cache.len());
+        assert!(s.hits >= 3, "predictions must hit, got {s:?}");
     }
 
     #[test]

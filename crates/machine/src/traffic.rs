@@ -2,12 +2,19 @@
 //! stream through the cache simulator, report bytes moved.
 
 use crate::adapter::TraceMem;
-use parking_lot::Mutex;
 use pdesched_cachesim::{CacheConfig, Hierarchy};
 use pdesched_core::{run_box_traced, Variant};
 use pdesched_kernels::{GHOST, NCOMP};
 use pdesched_mesh::{FArrayBox, IBox};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// On-disk store schema version. Bump whenever anything that feeds a
+/// measurement changes shape — the key format, the traced kernel, the
+/// simulator's replacement policy — and every stale store self-discards
+/// instead of serving wrong numbers.
+pub const STORE_VERSION: u32 = 2;
 
 /// Measured traffic for one exemplar update of one box.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,6 +43,11 @@ pub struct BoxTraffic {
 /// increment naturally includes the writeback of the previous box's dirty
 /// output lines — exactly the steady-state behavior.
 pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
+    // Deterministic trace layout: every buffer below (and every
+    // temporary inside the runs) gets its virtual address from this
+    // thread's allocation order, so the measurement is a pure function
+    // of (variant, n, configs) — identical on any thread of any run.
+    pdesched_mesh::trace_addr::reset();
     // Amortize cold-start (first touch of the reusable temporaries) and
     // the final flush across several boxes: cheap small boxes get more
     // repetitions; large boxes stream through the caches anyway, so one
@@ -56,8 +68,13 @@ pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) ->
         })
         .collect();
     let trace = TraceMem::new(Hierarchy::new(configs));
+    // Rewind the scratch region between boxes: each run's temporaries
+    // occupy the same virtual addresses (a real allocator hands the
+    // just-freed blocks back), so the warm-up box really does heat them.
+    let scratch = pdesched_mesh::trace_addr::mark();
     for pair in &mut boxes {
         let (phi0, phi1) = pair;
+        pdesched_mesh::trace_addr::rewind(scratch);
         run_box_traced(variant, phi0, phi1, cells, &trace);
     }
     let sim = trace.finish();
@@ -72,28 +89,55 @@ pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) ->
     }
 }
 
+/// Hit/miss counters of a [`TrafficCache`] at one instant.
+///
+/// `misses` counts actual cache simulations; a warm store therefore
+/// proves itself by keeping `misses` at zero across a whole figure run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory (including store-loaded entries).
+    pub hits: u64,
+    /// Lookups that ran the cache simulator.
+    pub misses: u64,
+}
+
 /// A memoizing cache of per-box traffic measurements: figure generation
 /// asks for the same (variant, box size, hierarchy) many times across
 /// thread counts and machines because the scaled LLC shares quantize to
 /// a few distinct sizes. With a store path, measurements persist across
 /// processes (a 128^3 trace costs ~10 s of simulation; the store makes
 /// figure regeneration instant after the first run).
+///
+/// The store is a line-oriented text file with a `v{STORE_VERSION}`
+/// header; a version mismatch discards the stale contents rather than
+/// serving measurements taken under a different key schema or simulator.
 #[derive(Default)]
 pub struct TrafficCache {
     map: Mutex<HashMap<String, BoxTraffic>>,
     store: Option<std::path::PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
+/// The memoization key. Everything a measurement depends on is spelled
+/// out: the full schedule variant, the box size, the ghost radius (a
+/// kernel-wide constant today, but part of the measured working set), and
+/// each cache level's geometry — which is how the *machine and thread
+/// count* enter, via `MachineSpec::hierarchy_for(threads_on_socket)`.
 fn cache_key(variant: Variant, n: i32, configs: &[CacheConfig]) -> String {
     use std::fmt::Write;
     let mut k = format!(
-        "{:?}/{:?}/{:?}/{:?}/{:?}/n{}",
-        variant.category, variant.gran, variant.comp, variant.intra, variant.tile, n
+        "{:?}/{:?}/{:?}/{:?}/{:?}/n{}/g{}",
+        variant.category, variant.gran, variant.comp, variant.intra, variant.tile, n, GHOST
     );
     for c in configs {
         let _ = write!(k, "/{}-{}-{}", c.size, c.assoc, c.line);
     }
     k
+}
+
+fn store_header() -> String {
+    format!("# pdesched-traffic-store v{STORE_VERSION}")
 }
 
 impl TrafficCache {
@@ -103,45 +147,64 @@ impl TrafficCache {
     }
 
     /// A cache backed by a line-oriented text file; existing entries are
-    /// loaded, new measurements appended.
+    /// loaded, new measurements appended. A missing, headerless, or
+    /// wrong-version file is discarded and re-initialized with the
+    /// current [`STORE_VERSION`] header.
     pub fn with_store(path: impl Into<std::path::PathBuf>) -> Self {
         let path = path.into();
         let mut map = HashMap::new();
+        let mut valid = false;
         if let Ok(text) = std::fs::read_to_string(&path) {
-            for line in text.lines() {
-                let mut it = line.split_whitespace();
-                let (Some(key), Some(d), Some(r), Some(w), Some(l1), Some(llc)) =
-                    (it.next(), it.next(), it.next(), it.next(), it.next(), it.next())
-                else {
-                    continue;
-                };
-                let parse = |s: &str| s.parse::<u64>().ok();
-                if let (Some(d), Some(r), Some(w), Ok(l1), Ok(llc)) =
-                    (parse(d), parse(r), parse(w), l1.parse::<f64>(), llc.parse::<f64>())
-                {
-                    map.insert(
-                        key.to_string(),
-                        BoxTraffic { dram_bytes: d, reads: r, writes: w, l1_hit: l1, llc_hit: llc },
-                    );
+            let mut lines = text.lines();
+            valid = lines.next() == Some(store_header().as_str());
+            if valid {
+                for line in lines {
+                    let mut it = line.split_whitespace();
+                    let (Some(key), Some(d), Some(r), Some(w), Some(l1), Some(llc)) =
+                        (it.next(), it.next(), it.next(), it.next(), it.next(), it.next())
+                    else {
+                        continue;
+                    };
+                    let parse = |s: &str| s.parse::<u64>().ok();
+                    if let (Some(d), Some(r), Some(w), Ok(l1), Ok(llc)) =
+                        (parse(d), parse(r), parse(w), l1.parse::<f64>(), llc.parse::<f64>())
+                    {
+                        map.insert(
+                            key.to_string(),
+                            BoxTraffic {
+                                dram_bytes: d,
+                                reads: r,
+                                writes: w,
+                                l1_hit: l1,
+                                llc_hit: llc,
+                            },
+                        );
+                    }
                 }
             }
         }
-        TrafficCache { map: Mutex::new(map), store: Some(path) }
+        if !valid {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&path, store_header() + "\n");
+        }
+        TrafficCache { map: Mutex::new(map), store: Some(path), ..Default::default() }
     }
 
     /// Measured (or memoized) traffic.
     pub fn get(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
         let key = cache_key(variant, n, configs);
-        if let Some(t) = self.map.lock().get(&key) {
+        if let Some(t) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let t = measure_box_traffic(variant, n, configs);
-        self.map.lock().insert(key.clone(), t);
+        self.map.lock().unwrap().insert(key.clone(), t);
         if let Some(path) = &self.store {
             use std::io::Write;
-            if let Ok(mut f) =
-                std::fs::OpenOptions::new().create(true).append(true).open(path)
-            {
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
                 let _ = writeln!(
                     f,
                     "{key} {} {} {} {} {}",
@@ -152,14 +215,29 @@ impl TrafficCache {
         t
     }
 
+    /// Whether a measurement for this point is already held (no
+    /// simulation, no counter update) — the sweep engine uses this to
+    /// schedule only the genuinely missing points.
+    pub fn contains(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> bool {
+        self.map.lock().unwrap().contains_key(&cache_key(variant, n, configs))
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of distinct measurements held.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().unwrap().len()
     }
 
     /// True when nothing has been measured yet.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.map.lock().unwrap().is_empty()
     }
 }
 
@@ -189,15 +267,15 @@ mod tests {
         let lower = compulsory_bytes(n, GHOST);
         for variant in [Variant::baseline(), Variant::shift_fuse()] {
             let t = measure_box_traffic(variant, n, &big_hierarchy());
-            assert!(
-                t.dram_bytes >= lower,
-                "{variant}: {} < compulsory {lower}",
-                t.dram_bytes
-            );
+            assert!(t.dram_bytes >= lower, "{variant}: {} < compulsory {lower}", t.dram_bytes);
             // Amortized cold-start of the temporaries and line-granule
-            // rounding leave a modest residual above compulsory.
+            // rounding leave a modest residual above compulsory. The
+            // deterministic trace layout keeps each temporary in its own
+            // line-aligned region (a real allocator lets consecutive
+            // reallocations alias), so the residual includes each
+            // region's cold fill and final flush once.
             assert!(
-                (t.dram_bytes as f64) < lower as f64 * 1.35,
+                (t.dram_bytes as f64) < lower as f64 * 1.5,
                 "{variant}: {} >> compulsory {lower}",
                 t.dram_bytes
             );
@@ -244,6 +322,54 @@ mod tests {
         let b = cache2.get(Variant::baseline(), 8, &cfg);
         assert_eq!(a, b);
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn stale_store_version_is_discarded() {
+        let path = std::env::temp_dir().join(format!("pdesched-stale-{}", std::process::id()));
+        let cfg = big_hierarchy();
+        // Simulate a store written by an older schema: wrong header, plus
+        // an entry whose key matches the *current* format. It must not be
+        // trusted.
+        let key = cache_key(Variant::baseline(), 8, &cfg);
+        std::fs::write(&path, format!("# pdesched-traffic-store v1\n{key} 1 1 1 0.5 0.5\n"))
+            .unwrap();
+        let cache = TrafficCache::with_store(&path);
+        assert!(cache.is_empty(), "stale-version entries must be dropped");
+        let t = cache.get(Variant::baseline(), 8, &cfg);
+        assert_ne!(t.dram_bytes, 1, "must re-measure, not echo the stale line");
+        // The file is re-initialized with the current header and the
+        // fresh measurement.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&store_header()), "store must carry the current version header");
+        let reload = TrafficCache::with_store(&path);
+        assert_eq!(reload.len(), 1);
+        assert_eq!(reload.get(Variant::baseline(), 8, &cfg), t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let cache = TrafficCache::new();
+        let cfg = big_hierarchy();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.get(Variant::baseline(), 8, &cfg);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        cache.get(Variant::baseline(), 8, &cfg);
+        cache.get(Variant::baseline(), 8, &cfg);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        // `contains` probes without perturbing the counters.
+        assert!(cache.contains(Variant::baseline(), 8, &cfg));
+        assert!(!cache.contains(Variant::shift_fuse(), 8, &cfg));
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn key_distinguishes_hierarchies() {
+        let cache = TrafficCache::new();
+        cache.get(Variant::baseline(), 8, &big_hierarchy());
+        cache.get(Variant::baseline(), 8, &small_hierarchy());
+        assert_eq!(cache.len(), 2, "different hierarchies are different points");
     }
 
     #[test]

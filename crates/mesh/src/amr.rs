@@ -29,16 +29,10 @@ pub fn refine_box(b: IBox, r: i32) -> IBox {
 /// contains every coarse cell any fine cell maps into).
 pub fn coarsen_box(b: IBox, r: i32) -> IBox {
     assert!(r >= 1);
-    let lo = IntVect::new(
-        b.lo()[0].div_euclid(r),
-        b.lo()[1].div_euclid(r),
-        b.lo()[2].div_euclid(r),
-    );
-    let hi = IntVect::new(
-        b.hi()[0].div_euclid(r),
-        b.hi()[1].div_euclid(r),
-        b.hi()[2].div_euclid(r),
-    );
+    let lo =
+        IntVect::new(b.lo()[0].div_euclid(r), b.lo()[1].div_euclid(r), b.lo()[2].div_euclid(r));
+    let hi =
+        IntVect::new(b.hi()[0].div_euclid(r), b.hi()[1].div_euclid(r), b.hi()[2].div_euclid(r));
     IBox::new(lo, hi)
 }
 
@@ -81,8 +75,7 @@ pub fn prolong(
                     for d in 0..DIM {
                         // Central slope, limited to the available data.
                         let slope = 0.5
-                            * (coarse.at(civ.shifted(d, 1), c)
-                                - coarse.at(civ.shifted(d, -1), c));
+                            * (coarse.at(civ.shifted(d, 1), c) - coarse.at(civ.shifted(d, -1), c));
                         // Fine-cell center offset within the coarse cell
                         // in units of the coarse spacing: (i_f + 1/2)/r -
                         // (i_c + 1/2).
@@ -295,13 +288,11 @@ mod tests {
         h.coarse.exchange();
         h.fill_fine_from_coarse(ProlongOrder::Constant);
         // Perturb nothing; average down must reproduce the coarse data.
-        let before: Vec<f64> = (0..h.coarse.num_boxes())
-            .flat_map(|i| h.coarse.fab(i).data().to_vec())
-            .collect();
+        let before: Vec<f64> =
+            (0..h.coarse.num_boxes()).flat_map(|i| h.coarse.fab(i).data().to_vec()).collect();
         h.average_down();
-        let after: Vec<f64> = (0..h.coarse.num_boxes())
-            .flat_map(|i| h.coarse.fab(i).data().to_vec())
-            .collect();
+        let after: Vec<f64> =
+            (0..h.coarse.num_boxes()).flat_map(|i| h.coarse.fab(i).data().to_vec()).collect();
         assert_eq!(before.len(), after.len());
         for (a, b) in before.iter().zip(&after) {
             assert!((a - b).abs() <= 4.0 * f64::EPSILON * a.abs(), "{a} vs {b}");

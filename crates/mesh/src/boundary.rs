@@ -179,10 +179,7 @@ mod tests {
             let gb = ld.valid_box(i).grown(2);
             for c in 0..2 {
                 for iv in gb.iter() {
-                    assert!(
-                        !ld.fab(i).at(iv, c).is_nan(),
-                        "box {i} point {iv:?} left unfilled"
-                    );
+                    assert!(!ld.fab(i).at(iv, c).is_nan(), "box {i} point {iv:?} left unfilled");
                 }
             }
         }

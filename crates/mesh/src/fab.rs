@@ -11,7 +11,7 @@ use crate::intvect::IntVect;
 /// at adjacent `x` are contiguous, while the components of one cell are
 /// `nx*ny*nz` elements apart ("the individual components in a cell are
 /// very far apart in memory").
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug)]
 pub struct FArrayBox {
     region: IBox,
     ncomp: usize,
@@ -19,6 +19,34 @@ pub struct FArrayBox {
     ny: usize,
     nz: usize,
     data: Vec<f64>,
+    /// Virtual base address for memory-trace hooks (see
+    /// [`crate::trace_addr`]): assigned at construction so traces depend
+    /// on allocation order, never on heap placement.
+    abase: usize,
+}
+
+impl Clone for FArrayBox {
+    fn clone(&self) -> Self {
+        // A clone is a new buffer: it gets its own trace address, like
+        // any other allocation.
+        FArrayBox {
+            region: self.region,
+            ncomp: self.ncomp,
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.nz,
+            data: self.data.clone(),
+            abase: crate::trace_addr::alloc(self.data.len() * 8),
+        }
+    }
+}
+
+impl PartialEq for FArrayBox {
+    fn eq(&self, other: &Self) -> bool {
+        // Trace addresses are identity, not value; equality is over the
+        // defined region and its contents.
+        self.region == other.region && self.ncomp == other.ncomp && self.data == other.data
+    }
 }
 
 impl FArrayBox {
@@ -27,7 +55,9 @@ impl FArrayBox {
     pub fn new(region: IBox, ncomp: usize) -> Self {
         let s = region.size();
         let (nx, ny, nz) = (s[0] as usize, s[1] as usize, s[2] as usize);
-        FArrayBox { region, ncomp, nx, ny, nz, data: vec![0.0; nx * ny * nz * ncomp] }
+        let data = vec![0.0; nx * ny * nz * ncomp];
+        let abase = crate::trace_addr::alloc(data.len() * 8);
+        FArrayBox { region, ncomp, nx, ny, nz, data, abase }
     }
 
     /// The box this array is defined over (including any ghost region the
@@ -124,10 +154,12 @@ impl FArrayBox {
         &mut self.data
     }
 
-    /// Base address of the data, for building realistic memory traces.
+    /// Base address of the data for building memory traces: a
+    /// deterministic virtual address (see [`crate::trace_addr`]), not the
+    /// heap pointer, so traces are reproducible across threads and runs.
     #[inline]
     pub fn base_addr(&self) -> usize {
-        self.data.as_ptr() as usize
+        self.abase
     }
 
     /// Fill every value with `v`.

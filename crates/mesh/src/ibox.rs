@@ -138,7 +138,11 @@ impl IBox {
     /// (negative shrinks). This is how a ghost region is obtained.
     #[inline]
     pub fn grown(&self, g: i32) -> IBox {
-        IBox { lo: self.lo - IntVect::splat(g), hi: self.hi + IntVect::splat(g), centering: self.centering }
+        IBox {
+            lo: self.lo - IntVect::splat(g),
+            hi: self.hi + IntVect::splat(g),
+            centering: self.centering,
+        }
     }
 
     /// Grow by a per-direction amount on both sides.
@@ -150,11 +154,7 @@ impl IBox {
     /// Grow by `g` on both sides in direction `d` only.
     #[inline]
     pub fn grown_dir(&self, d: usize, g: i32) -> IBox {
-        IBox {
-            lo: self.lo.shifted(d, -g),
-            hi: self.hi.shifted(d, g),
-            centering: self.centering,
-        }
+        IBox { lo: self.lo.shifted(d, -g), hi: self.hi.shifted(d, g), centering: self.centering }
     }
 
     /// Translate the whole box by `offset`.
@@ -220,11 +220,7 @@ impl IBox {
     /// Number of tiles per direction for tile size `tile`.
     pub fn tile_counts(&self, tile: i32) -> IntVect {
         let n = self.size();
-        IntVect::new(
-            (n[0] + tile - 1) / tile,
-            (n[1] + tile - 1) / tile,
-            (n[2] + tile - 1) / tile,
-        )
+        IntVect::new((n[0] + tile - 1) / tile, (n[1] + tile - 1) / tile, (n[2] + tile - 1) / tile)
     }
 }
 

@@ -91,10 +91,13 @@ impl IntVect {
     /// Product of the components as `usize` (panics if any is negative).
     #[inline]
     pub fn product(self) -> usize {
-        self.0.iter().map(|&c| {
-            debug_assert!(c >= 0, "product of IntVect with negative component");
-            c as usize
-        }).product()
+        self.0
+            .iter()
+            .map(|&c| {
+                debug_assert!(c >= 0, "product of IntVect with negative component");
+                c as usize
+            })
+            .product()
     }
 
     /// Sum of components.

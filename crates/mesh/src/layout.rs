@@ -114,17 +114,13 @@ impl DisjointBoxLayout {
                 for bz in lo_idx[2]..=hi_idx[2] {
                     for by in lo_idx[1]..=hi_idx[1] {
                         for bx in lo_idx[0]..=hi_idx[0] {
-                            out.push(
-                                ((bz * g.counts[1] + by) * g.counts[0] + bx) as usize,
-                            );
+                            out.push(((bz * g.counts[1] + by) * g.counts[0] + bx) as usize);
                         }
                     }
                 }
                 out
             }
-            None => (0..self.boxes.len())
-                .filter(|&j| self.boxes[j].intersects(&target))
-                .collect(),
+            None => (0..self.boxes.len()).filter(|&j| self.boxes[j].intersects(&target)).collect(),
         }
     }
 }

@@ -40,11 +40,7 @@ impl LevelData {
                 );
             }
         }
-        let fabs = layout
-            .boxes()
-            .iter()
-            .map(|b| FArrayBox::new(b.grown(ghost), ncomp))
-            .collect();
+        let fabs = layout.boxes().iter().map(|b| FArrayBox::new(b.grown(ghost), ncomp)).collect();
         LevelData { layout, ghost, ncomp, fabs, plan: OnceLock::new() }
     }
 
@@ -131,9 +127,7 @@ impl LevelData {
 
     /// The cached exchange plan for this level (built on first use).
     pub fn exchange_plan(&self) -> Arc<ExchangePlan> {
-        self.plan
-            .get_or_init(|| Arc::new(ExchangePlan::build(&self.layout, self.ghost)))
-            .clone()
+        self.plan.get_or_init(|| Arc::new(ExchangePlan::build(&self.layout, self.ghost))).clone()
     }
 
     /// Fill all ghost cells from the valid regions of neighboring boxes,

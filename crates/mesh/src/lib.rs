@@ -32,6 +32,7 @@ pub mod ibox;
 pub mod intvect;
 pub mod layout;
 pub mod leveldata;
+pub mod trace_addr;
 
 pub use boundary::{fill_domain_ghosts, BcSet, BcType};
 pub use copier::{CopyOp, ExchangePlan};

@@ -1,0 +1,99 @@
+//! Deterministic virtual base addresses for memory traces.
+//!
+//! The `Mem` hooks downstream (see `pdesched-core`) report *byte
+//! addresses* so a cache simulator can replay real set conflicts. Using
+//! heap pointers for those addresses makes every measurement depend on
+//! where the allocator happened to place each buffer — which varies
+//! across processes, across threads, and across allocator state, so two
+//! traces of the identical computation need not agree.
+//!
+//! Instead, every [`crate::FArrayBox`] draws its trace base from this
+//! per-thread bump allocator at construction. Buffers are laid out
+//! consecutively (cache-line aligned, one guard line apart) in the order
+//! they are created, so a traced computation's address stream is a pure
+//! function of its allocation and access order: the same measurement
+//! yields the same bytes on any thread of any run. Call [`reset`] at the
+//! start of a measurement to make its layout independent of whatever ran
+//! before it on the same thread.
+
+use std::cell::Cell;
+
+/// Base of the virtual trace address space. Far above any index
+/// arithmetic an 8-byte-element array can produce, so virtual and
+/// accidental small addresses can never collide.
+const TRACE_BASE: usize = 1 << 40;
+
+/// Alignment and inter-buffer guard: one 64-byte cache line.
+const LINE: usize = 64;
+
+thread_local! {
+    static NEXT: Cell<usize> = const { Cell::new(TRACE_BASE) };
+}
+
+/// Reset this thread's virtual address space to the origin. Measurements
+/// call this first so their layout depends only on their own allocation
+/// order.
+pub fn reset() {
+    NEXT.with(|n| n.set(TRACE_BASE));
+}
+
+/// Claim a `bytes`-sized region; returns its line-aligned base address.
+/// A guard line separates consecutive regions so distinct buffers never
+/// share a cache line.
+pub fn alloc(bytes: usize) -> usize {
+    NEXT.with(|n| {
+        let base = n.get();
+        n.set(base + bytes.div_ceil(LINE) * LINE + LINE);
+        base
+    })
+}
+
+/// The current allocation cursor, for [`rewind`].
+pub fn mark() -> usize {
+    NEXT.with(|n| n.get())
+}
+
+/// Rewind the cursor to a previous [`mark`]: subsequent allocations
+/// reuse the addresses handed out since the mark. Steady-state traffic
+/// measurements use this so the scratch buffers of consecutive box
+/// updates alias — the virtual analogue of a real allocator handing the
+/// just-freed block back.
+pub fn rewind(m: usize) {
+    NEXT.with(|n| n.set(m));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_makes_layout_reproducible() {
+        reset();
+        let a = alloc(100);
+        let b = alloc(8);
+        reset();
+        assert_eq!(alloc(100), a);
+        assert_eq!(alloc(8), b);
+    }
+
+    #[test]
+    fn regions_are_disjoint_aligned_and_guarded() {
+        reset();
+        let a = alloc(100); // rounds to 128, plus a guard line
+        let b = alloc(8);
+        assert_eq!(a % LINE, 0);
+        assert_eq!(b % LINE, 0);
+        assert!(b >= a + 128 + LINE);
+    }
+
+    #[test]
+    fn threads_have_independent_spaces() {
+        reset();
+        let a = alloc(64);
+        let t = std::thread::spawn(|| {
+            reset();
+            alloc(64)
+        });
+        assert_eq!(a, t.join().unwrap(), "fresh spaces agree regardless of thread");
+    }
+}

@@ -1,115 +1,143 @@
-//! Property-based tests of the mesh substrate's algebraic invariants.
+//! Property-based tests of the mesh substrate's algebraic invariants
+//! (seeded generator-driven cases; see `pdesched-testkit`).
 
 use pdesched_mesh::{DisjointBoxLayout, FArrayBox, IBox, IntVect, LevelData, ProblemDomain};
-use proptest::prelude::*;
+use pdesched_testkit::{check, Rng};
 
-fn arb_ivec(lo: i32, hi: i32) -> impl Strategy<Value = IntVect> {
-    (lo..hi, lo..hi, lo..hi).prop_map(|(x, y, z)| IntVect::new(x, y, z))
+fn arb_ivec(rng: &mut Rng, lo: i32, hi: i32) -> IntVect {
+    IntVect::new(rng.range_i32(lo, hi), rng.range_i32(lo, hi), rng.range_i32(lo, hi))
 }
 
-fn arb_box() -> impl Strategy<Value = IBox> {
-    (arb_ivec(-8, 8), arb_ivec(0, 8))
-        .prop_map(|(lo, size)| IBox::new(lo, lo + size))
+fn arb_box(rng: &mut Rng) -> IBox {
+    let lo = arb_ivec(rng, -8, 8);
+    let size = arb_ivec(rng, 0, 8);
+    IBox::new(lo, lo + size)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Intersection is commutative, idempotent, and contained in both.
-    #[test]
-    fn intersect_algebra(a in arb_box(), b in arb_box()) {
+/// Intersection is commutative, idempotent, and contained in both.
+#[test]
+fn intersect_algebra() {
+    check(0x11, 64, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
         let ab = a.intersect(&b);
         let ba = b.intersect(&a);
-        prop_assert_eq!(ab.is_empty(), ba.is_empty());
+        assert_eq!(ab.is_empty(), ba.is_empty());
         if !ab.is_empty() {
-            prop_assert_eq!(ab, ba);
-            prop_assert!(a.contains_box(&ab));
-            prop_assert!(b.contains_box(&ab));
-            prop_assert_eq!(ab.intersect(&a), ab);
+            assert_eq!(ab, ba);
+            assert!(a.contains_box(&ab));
+            assert!(b.contains_box(&ab));
+            assert_eq!(ab.intersect(&a), ab);
         }
-    }
+    });
+}
 
-    /// A point is in the intersection iff it is in both boxes.
-    #[test]
-    fn intersect_pointwise(a in arb_box(), b in arb_box(), p in arb_ivec(-10, 18)) {
+/// A point is in the intersection iff it is in both boxes.
+#[test]
+fn intersect_pointwise() {
+    check(0x12, 64, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
+        let p = arb_ivec(rng, -10, 18);
         let ab = a.intersect(&b);
-        prop_assert_eq!(ab.contains(p), a.contains(p) && b.contains(p));
-    }
+        assert_eq!(ab.contains(p), a.contains(p) && b.contains(p));
+    });
+}
 
-    /// grow is invertible and changes the point count predictably.
-    #[test]
-    fn grow_shrink_roundtrip(a in arb_box(), g in 0i32..4) {
+/// grow is invertible and changes the point count predictably.
+#[test]
+fn grow_shrink_roundtrip() {
+    check(0x13, 64, |rng| {
+        let a = arb_box(rng);
+        let g = rng.range_i32(0, 4);
         let grown = a.grown(g);
-        prop_assert_eq!(grown.grown(-g), a);
+        assert_eq!(grown.grown(-g), a);
         for d in 0..3 {
-            prop_assert_eq!(grown.extent(d), a.extent(d) + 2 * g);
+            assert_eq!(grown.extent(d), a.extent(d) + 2 * g);
         }
-    }
+    });
+}
 
-    /// Shifting preserves shape and count.
-    #[test]
-    fn shift_preserves(a in arb_box(), s in arb_ivec(-5, 5)) {
+/// Shifting preserves shape and count.
+#[test]
+fn shift_preserves() {
+    check(0x14, 64, |rng| {
+        let a = arb_box(rng);
+        let s = arb_ivec(rng, -5, 5);
         let b = a.shifted(s);
-        prop_assert_eq!(a.num_pts(), b.num_pts());
-        prop_assert_eq!(a.size(), b.size());
-        prop_assert_eq!(b.shifted(-s), a);
-    }
+        assert_eq!(a.num_pts(), b.num_pts());
+        assert_eq!(a.size(), b.size());
+        assert_eq!(b.shifted(-s), a);
+    });
+}
 
-    /// Tiles partition the box exactly for any tile size.
-    #[test]
-    fn tiles_partition(a in arb_box(), t in 1i32..6) {
+/// Tiles partition the box exactly for any tile size.
+#[test]
+fn tiles_partition() {
+    check(0x15, 64, |rng| {
+        let a = arb_box(rng);
+        let t = rng.range_i32(1, 6);
         let tiles = a.tiles(t);
         let total: usize = tiles.iter().map(|b| b.num_pts()).sum();
-        prop_assert_eq!(total, a.num_pts());
+        assert_eq!(total, a.num_pts());
         // Every point is in exactly one tile.
         for p in a.iter().take(200) {
             let count = tiles.iter().filter(|b| b.contains(p)).count();
-            prop_assert_eq!(count, 1);
+            assert_eq!(count, 1);
         }
-    }
+    });
+}
 
-    /// The box iterator visits exactly num_pts distinct in-box points.
-    #[test]
-    fn iterator_is_exact(a in arb_box()) {
+/// The box iterator visits exactly num_pts distinct in-box points.
+#[test]
+fn iterator_is_exact() {
+    check(0x16, 64, |rng| {
+        let a = arb_box(rng);
         let pts: Vec<IntVect> = a.iter().collect();
-        prop_assert_eq!(pts.len(), a.num_pts());
+        assert_eq!(pts.len(), a.num_pts());
         let mut sorted = pts.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), pts.len());
-        prop_assert!(pts.iter().all(|p| a.contains(*p)));
-    }
+        assert_eq!(sorted.len(), pts.len());
+        assert!(pts.iter().all(|p| a.contains(*p)));
+    });
+}
 
-    /// FArrayBox linear indices are a bijection onto 0..len.
-    #[test]
-    fn fab_index_bijection(size in arb_ivec(1, 5), ncomp in 1usize..4) {
+/// FArrayBox linear indices are a bijection onto 0..len.
+#[test]
+fn fab_index_bijection() {
+    check(0x17, 64, |rng| {
+        let size = arb_ivec(rng, 1, 5);
+        let ncomp = rng.range_usize(1, 4);
         let b = IBox::new(IntVect::ZERO, size);
         let f = FArrayBox::new(b, ncomp);
         let mut seen = vec![false; f.len()];
         for c in 0..ncomp {
             for iv in b.iter() {
                 let i = f.index(iv, c);
-                prop_assert!(!seen[i], "duplicate index {i}");
+                assert!(!seen[i], "duplicate index {i}");
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
 
-    /// Exchange correctness for arbitrary (box size, ghost) combinations:
-    /// each interior/periodic ghost holds the synthetic value of its
-    /// wrapped global location.
-    #[test]
-    fn exchange_fills_ghosts(
-        boxes_per_dim in 1i32..3,
-        box_size in proptest::sample::select(vec![4i32, 6, 8]),
-        ghost in 1i32..4,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(ghost <= box_size);
+/// Exchange correctness for arbitrary (box size, ghost) combinations:
+/// each interior/periodic ghost holds the synthetic value of its
+/// wrapped global location.
+#[test]
+fn exchange_fills_ghosts() {
+    check(0x18, 64, |rng| {
+        let boxes_per_dim = rng.range_i32(1, 3);
+        let box_size = *rng.choose(&[4i32, 6, 8]);
+        let ghost = rng.range_i32(1, 4);
+        let seed = rng.next_u64();
+        if ghost > box_size {
+            return;
+        }
         let n = boxes_per_dim * box_size;
-        let layout = DisjointBoxLayout::uniform(
-            ProblemDomain::periodic(IBox::cube(n)), box_size);
+        let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(n)), box_size);
         let mut ld = LevelData::new(layout, 2, ghost);
         // Fill valid regions only.
         ld.set_val(f64::NAN);
@@ -129,11 +157,10 @@ proptest! {
             let fab = ld.fab(i);
             for c in 0..2 {
                 for iv in gb.iter() {
-                    let expect =
-                        pdesched_mesh::fab::synthetic_value(problem.wrap(iv), c, seed);
-                    prop_assert_eq!(fab.at(iv, c).to_bits(), expect.to_bits());
+                    let expect = pdesched_mesh::fab::synthetic_value(problem.wrap(iv), c, seed);
+                    assert_eq!(fab.at(iv, c).to_bits(), expect.to_bits());
                 }
             }
         }
-    }
+    });
 }

@@ -1,7 +1,7 @@
 //! A reusable sense-reversing barrier.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A reusable barrier for a fixed party count.
 ///
@@ -55,7 +55,7 @@ impl Barrier {
             self.remaining.store(self.count, Ordering::Release);
             // Publish the flip under the lock so blocked waiters cannot
             // miss the notification.
-            let _g = self.lock.lock();
+            let _g = self.lock.lock().unwrap();
             self.sense.store(!my_sense, Ordering::Release);
             self.cv.notify_all();
             return;
@@ -67,11 +67,11 @@ impl Barrier {
             if spins < SPIN_LIMIT {
                 std::hint::spin_loop();
             } else {
-                let mut g = self.lock.lock();
+                let g = self.lock.lock().unwrap();
                 if self.sense.load(Ordering::Acquire) != my_sense {
                     return;
                 }
-                self.cv.wait(&mut g);
+                drop(self.cv.wait(g).unwrap());
             }
         }
     }
@@ -98,9 +98,9 @@ mod tests {
         let b = Barrier::new(N);
         let phase_counts: Vec<AtomicUsize> = (0..PHASES).map(|_| AtomicUsize::new(0)).collect();
         let errors = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..N {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for (p, pc) in phase_counts.iter().enumerate() {
                         pc.fetch_add(1, Ordering::SeqCst);
                         b.wait();
@@ -116,8 +116,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(errors.load(Ordering::SeqCst), 0);
     }
 
@@ -125,8 +124,8 @@ mod tests {
     fn two_threads_alternate() {
         let b = Barrier::new(2);
         let turn = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            s.spawn(|_| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
                 for i in 0..100 {
                     while turn.load(Ordering::SeqCst) != 2 * i {
                         std::hint::spin_loop();
@@ -135,7 +134,7 @@ mod tests {
                     b.wait();
                 }
             });
-            s.spawn(|_| {
+            s.spawn(|| {
                 for i in 0..100 {
                     while turn.load(Ordering::SeqCst) != 2 * i + 1 {
                         std::hint::spin_loop();
@@ -144,8 +143,7 @@ mod tests {
                     b.wait();
                 }
             });
-        })
-        .unwrap();
+        });
         assert_eq!(turn.load(Ordering::SeqCst), 200);
     }
 }

@@ -142,16 +142,15 @@ where
         body(&SpmdCtx { tid: 0, nthreads: 1, barrier: &barrier });
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..nthreads {
             let barrier = &barrier;
             let body = &body;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 body(&SpmdCtx { tid, nthreads, barrier });
             });
         }
-    })
-    .expect("spmd worker panicked");
+    });
 }
 
 /// `#pragma omp parallel for schedule(static)` over `0..total`.
@@ -206,18 +205,18 @@ where
         return acc;
     }
     let n = nthreads.min(total);
-    let partials: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let partials: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     spmd(n, |ctx| {
         let mut acc = identity.clone();
         for i in ctx.static_range(total) {
             acc = merge(acc, f(i));
         }
-        *partials[ctx.tid()].lock() = Some(acc);
+        *partials[ctx.tid()].lock().unwrap() = Some(acc);
     });
     let mut acc = identity;
     for p in partials {
-        if let Some(v) = p.into_inner() {
+        if let Some(v) = p.into_inner().unwrap() {
             acc = merge(acc, v);
         }
     }
@@ -327,10 +326,7 @@ mod tests {
                 parallel_for_dynamic(n, 53, chunk, |i| {
                     hits[i].fetch_add(1, Ordering::SeqCst);
                 });
-                assert!(
-                    hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
-                    "n={n} chunk={chunk}"
-                );
+                assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1), "n={n} chunk={chunk}");
             }
         }
     }
@@ -356,9 +352,7 @@ mod tests {
     fn reduce_deterministic_float_order() {
         // Per-thread partials merged in thread order: the result must be
         // identical run to run for a fixed thread count.
-        let run = || {
-            parallel_reduce(4, 10_000, 0.0f64, |i| 1.0 / (1.0 + i as f64), |a, b| a + b)
-        };
+        let run = || parallel_reduce(4, 10_000, 0.0f64, |i| 1.0 / (1.0 + i as f64), |a, b| a + b);
         let a = run();
         for _ in 0..5 {
             assert_eq!(a.to_bits(), run().to_bits());
@@ -367,7 +361,7 @@ mod tests {
 
     #[test]
     fn cyclic_items_cover() {
-        let mut covered = vec![0u32; 17];
+        let mut covered = [0u32; 17];
         for tid in 0..4 {
             let ctx_items: Vec<usize> = (tid..17).step_by(4).collect();
             for i in ctx_items {

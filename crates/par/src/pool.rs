@@ -11,9 +11,8 @@
 
 use crate::barrier::Barrier;
 use crate::SpmdCtx;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Type-erased region body shared with the workers for one generation.
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
@@ -123,19 +122,20 @@ impl SpmdPool {
 
         self.shared.done.store(0, Ordering::SeqCst);
         {
-            *self.shared.job.lock() = Some(Arc::clone(&job));
-            let mut gen = self.shared.generation.lock();
+            *self.shared.job.lock().unwrap() = Some(Arc::clone(&job));
+            let mut gen = self.shared.generation.lock().unwrap();
             *gen += 1;
             self.shared.wake.notify_all();
         }
         // Participate as thread 0.
         job(0);
         // Wait for the workers.
-        let mut g = self.shared.done_lock.lock();
+        let mut g = self.shared.done_lock.lock().unwrap();
         while self.shared.done.load(Ordering::SeqCst) < self.nthreads - 1 {
-            self.shared.done_cv.wait(&mut g);
+            g = self.shared.done_cv.wait(g).unwrap();
         }
-        *self.shared.job.lock() = None;
+        drop(g);
+        *self.shared.job.lock().unwrap() = None;
     }
 }
 
@@ -143,19 +143,19 @@ fn worker_loop(tid: usize, shared: &Shared) {
     let mut seen_gen = 0u64;
     loop {
         let job = {
-            let mut gen = shared.generation.lock();
-            while *gen == seen_gen && !*shared.shutdown.lock() {
-                shared.wake.wait(&mut gen);
+            let mut gen = shared.generation.lock().unwrap();
+            while *gen == seen_gen && !*shared.shutdown.lock().unwrap() {
+                gen = shared.wake.wait(gen).unwrap();
             }
-            if *shared.shutdown.lock() {
+            if *shared.shutdown.lock().unwrap() {
                 return;
             }
             seen_gen = *gen;
-            shared.job.lock().clone()
+            shared.job.lock().unwrap().clone()
         };
         if let Some(job) = job {
             job(tid);
-            let _g = shared.done_lock.lock();
+            let _g = shared.done_lock.lock().unwrap();
             shared.done.fetch_add(1, Ordering::SeqCst);
             shared.done_cv.notify_one();
         }
@@ -164,9 +164,9 @@ fn worker_loop(tid: usize, shared: &Shared) {
 
 impl Drop for SpmdPool {
     fn drop(&mut self) {
-        *self.shared.shutdown.lock() = true;
+        *self.shared.shutdown.lock().unwrap() = true;
         {
-            let _gen = self.shared.generation.lock();
+            let _gen = self.shared.generation.lock().unwrap();
             self.shared.wake.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -196,10 +196,10 @@ mod tests {
     fn pool_of_one_runs_inline() {
         let pool = SpmdPool::new(1);
         let mut hits = 0;
-        let cell = parking_lot::Mutex::new(&mut hits);
+        let cell = Mutex::new(&mut hits);
         pool.run(|ctx| {
             assert_eq!(ctx.nthreads(), 1);
-            **cell.lock() += 1;
+            **cell.lock().unwrap() += 1;
         });
         assert_eq!(hits, 1);
     }

@@ -1,42 +1,44 @@
-//! Property tests for the SPMD substrate's scheduling primitives.
+//! Property tests for the SPMD substrate's scheduling primitives
+//! (seeded generator-driven cases; see `pdesched-testkit`).
 
 use pdesched_par::{parallel_for_dynamic, parallel_for_static, parallel_reduce, static_block};
-use proptest::prelude::*;
+use pdesched_testkit::check;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Static blocks partition any range exactly, contiguously, and
-    /// balanced within one item.
-    #[test]
-    fn static_block_partition(n in 1usize..16, total in 0usize..2000) {
+/// Static blocks partition any range exactly, contiguously, and
+/// balanced within one item.
+#[test]
+fn static_block_partition() {
+    check(0x21, 48, |rng| {
+        let n = rng.range_usize(1, 16);
+        let total = rng.range_usize(0, 2000);
         let mut covered = 0usize;
         let mut prev_end = 0usize;
         let mut sizes = Vec::new();
         for tid in 0..n {
             let r = static_block(tid, n, total);
-            prop_assert_eq!(r.start, prev_end);
+            assert_eq!(r.start, prev_end);
             prev_end = r.end;
             sizes.push(r.len());
             covered += r.len();
         }
-        prop_assert_eq!(covered, total);
-        prop_assert_eq!(prev_end, total);
+        assert_eq!(covered, total);
+        assert_eq!(prev_end, total);
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "imbalance {} vs {}", max, min);
-    }
+        assert!(max - min <= 1, "imbalance {max} vs {min}");
+    });
+}
 
-    /// Every parallel-for covers each index exactly once, for any
-    /// thread count and chunking.
-    #[test]
-    fn parallel_for_exactly_once(
-        n in 1usize..7,
-        total in 0usize..200,
-        chunk in 1usize..32,
-        dynamic in any::<bool>(),
-    ) {
+/// Every parallel-for covers each index exactly once, for any
+/// thread count and chunking.
+#[test]
+fn parallel_for_exactly_once() {
+    check(0x22, 48, |rng| {
+        let n = rng.range_usize(1, 7);
+        let total = rng.range_usize(0, 200);
+        let chunk = rng.range_usize(1, 32);
+        let dynamic = rng.bool();
         let hits: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
         if dynamic {
             parallel_for_dynamic(n, total, chunk, |i| {
@@ -48,20 +50,27 @@ proptest! {
             });
         }
         for (i, h) in hits.iter().enumerate() {
-            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {}", i);
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
         }
-    }
+    });
+}
 
-    /// Integer reductions are independent of the thread count.
-    #[test]
-    fn reduce_thread_count_invariant(
-        n1 in 1usize..6,
-        n2 in 1usize..6,
-        total in 0usize..500,
-    ) {
+/// Integer reductions are independent of the thread count.
+#[test]
+fn reduce_thread_count_invariant() {
+    check(0x23, 48, |rng| {
+        let n1 = rng.range_usize(1, 6);
+        let n2 = rng.range_usize(1, 6);
+        let total = rng.range_usize(0, 500);
         let run = |n: usize| {
-            parallel_reduce(n, total, 0u64, |i| (i as u64).wrapping_mul(2654435761), u64::wrapping_add)
+            parallel_reduce(
+                n,
+                total,
+                0u64,
+                |i| (i as u64).wrapping_mul(2654435761),
+                u64::wrapping_add,
+            )
         };
-        prop_assert_eq!(run(n1), run(n2));
-    }
+        assert_eq!(run(n1), run(n2));
+    });
 }

@@ -92,8 +92,7 @@ mod tests {
     use pdesched_mesh::{DisjointBoxLayout, IBox, IntVect, ProblemDomain};
 
     fn level_with(v: f64) -> LevelData {
-        let layout =
-            DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(8)), 4);
+        let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(8)), 4);
         let mut ld = LevelData::new(layout, 2, 0);
         ld.set_val(v);
         ld

@@ -333,11 +333,7 @@ mod tests {
             s
         };
         let variants = [
-            SolverConfig {
-                variant: Variant::shift_fuse(),
-                nthreads: 3,
-                ..Default::default()
-            },
+            SolverConfig { variant: Variant::shift_fuse(), nthreads: 3, ..Default::default() },
             SolverConfig {
                 variant: Variant::blocked_wavefront(CompLoop::Inside, 4),
                 nthreads: 2,
@@ -369,9 +365,8 @@ mod tests {
         let mut r = AdvectionSolver::new(layout(8, 8), cfg, 9);
         e.run(2);
         r.run(2);
-        let any_diff = (0..e.state().num_boxes()).any(|i| {
-            !e.state().fab(i).bit_eq(r.state().fab(i), e.state().valid_box(i))
-        });
+        let any_diff = (0..e.state().num_boxes())
+            .any(|i| !e.state().fab(i).bit_eq(r.state().fab(i), e.state().valid_box(i)));
         assert!(any_diff, "RK2 must not equal Euler");
     }
 
@@ -391,8 +386,8 @@ mod tests {
         let mut s4 = AdvectionSolver::new(layout(8, 8), cfg4, 13);
         let before = s4.totals();
         s4.run(2);
-        for c in 0..NCOMP {
-            assert!((s4.totals()[c] - before[c]).abs() < 1e-9 * before[c].abs().max(1.0));
+        for (c, b) in before.iter().enumerate().take(NCOMP) {
+            assert!((s4.totals()[c] - b).abs() < 1e-9 * b.abs().max(1.0));
         }
         let cfg2 = SolverConfig { integrator: TimeIntegrator::Rk2, ..Default::default() };
         let mut s2 = AdvectionSolver::new(layout(8, 8), cfg2, 13);
@@ -425,10 +420,7 @@ mod tests {
         };
         let e_euler = coarse(TimeIntegrator::Euler);
         let e_rk4 = coarse(TimeIntegrator::Rk4);
-        assert!(
-            e_rk4 < e_euler / 10.0,
-            "rk4 error {e_rk4} not ≪ euler error {e_euler}"
-        );
+        assert!(e_rk4 < e_euler / 10.0, "rk4 error {e_rk4} not ≪ euler error {e_euler}");
     }
 
     #[test]
@@ -437,12 +429,9 @@ mod tests {
         // interpolants and fluxes, so the divergence vanishes and the
         // solution never changes.
         use pdesched_mesh::{BcSet, BcType, IntVect, ProblemDomain};
-        let lay =
-            DisjointBoxLayout::uniform(ProblemDomain::new(IBox::cube(8)), 8);
-        let cfg = SolverConfig {
-            bcs: Some(BcSet::uniform(BcType::ZeroGradient)),
-            ..Default::default()
-        };
+        let lay = DisjointBoxLayout::uniform(ProblemDomain::new(IBox::cube(8)), 8);
+        let cfg =
+            SolverConfig { bcs: Some(BcSet::uniform(BcType::ZeroGradient)), ..Default::default() };
         let mut phi = LevelData::new(lay.clone(), NCOMP, GHOST);
         phi.set_val(1.5);
         let mut s = AdvectionSolver::from_state(phi, cfg);
@@ -458,9 +447,8 @@ mod tests {
     #[test]
     fn from_state_rejects_ghostless_data() {
         let phi = LevelData::new(layout(8, 8), NCOMP, 0);
-        let result = std::panic::catch_unwind(|| {
-            AdvectionSolver::from_state(phi, SolverConfig::default())
-        });
+        let result =
+            std::panic::catch_unwind(|| AdvectionSolver::from_state(phi, SolverConfig::default()));
         assert!(result.is_err());
     }
 }

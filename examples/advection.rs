@@ -21,7 +21,11 @@ fn main() {
         DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(n_domain)), box_size);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let cfg = SolverConfig {
-        variant: Variant::overlapped(IntraTile::ShiftFuse, 8.min(box_size / 2), Granularity::WithinBox),
+        variant: Variant::overlapped(
+            IntraTile::ShiftFuse,
+            8.min(box_size / 2),
+            Granularity::WithinBox,
+        ),
         nthreads: threads,
         dt_dx: 5e-4,
         integrator: TimeIntegrator::Rk2,

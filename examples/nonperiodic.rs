@@ -20,10 +20,7 @@ fn main() {
         integrator: TimeIntegrator::Rk4,
         bcs: Some(BcSet::uniform(BcType::ZeroGradient)),
     };
-    println!(
-        "non-periodic 32^3, zero-gradient boundaries, RK4, schedule '{}'",
-        cfg.variant.name()
-    );
+    println!("non-periodic 32^3, zero-gradient boundaries, RK4, schedule '{}'", cfg.variant.name());
     let mut solver = AdvectionSolver::new(layout, cfg, 99);
     let n0 = diag::norms(solver.state(), 0);
     println!("initial:  L1 {:.6}  L2 {:.6}  Linf {:.6}", n0.l1, n0.l2, n0.linf);

@@ -42,21 +42,12 @@ fn main() {
         let storage = run_level(variant, &phi0, &mut phi1, threads, &NoMem);
         let dt = t0.elapsed();
         let checksum: f64 = (0..NCOMP).map(|c| phi1.sum_comp(c)).sum();
-        println!(
-            "{:<34} {:>8.1?} {:>14} {:>12.3e}",
-            variant.name(),
-            dt,
-            storage.bytes(),
-            checksum
-        );
+        println!("{:<34} {:>8.1?} {:>14} {:>12.3e}", variant.name(), dt, storage.bytes(), checksum);
         match &reference {
             None => reference = Some(phi1),
             Some(r) => {
                 for i in 0..phi1.num_boxes() {
-                    assert!(
-                        phi1.fab(i).bit_eq(r.fab(i), phi1.valid_box(i)),
-                        "schedules disagree!"
-                    );
+                    assert!(phi1.fab(i).bit_eq(r.fab(i), phi1.valid_box(i)), "schedules disagree!");
                 }
             }
         }

@@ -15,9 +15,10 @@ use std::time::Instant;
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: i32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
-    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    );
+    let threads: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
 
     let cells = IBox::cube(n);
     let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);

@@ -58,8 +58,8 @@ pub use pdesched_solver as solver;
 /// The names almost every user needs.
 pub mod prelude {
     pub use pdesched_core::{
-        run_box, run_level, Category, CompLoop, CountingMem, Granularity, IntraTile, Mem,
-        NoMem, TempStorage, Variant,
+        run_box, run_level, Category, CompLoop, CountingMem, Granularity, IntraTile, Mem, NoMem,
+        TempStorage, Variant,
     };
     pub use pdesched_kernels::{GHOST, NCOMP};
     pub use pdesched_machine::{predict_time, MachineSpec, TrafficCache, Workload};

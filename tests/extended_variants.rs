@@ -63,10 +63,7 @@ fn hierarchical_depth_sweep_on_level() {
                 let mut got = LevelData::new(phi0.layout().clone(), NCOMP, 0);
                 run_level(v, &phi0, &mut got, 3, &NoMem);
                 for i in 0..got.num_boxes() {
-                    assert!(
-                        got.fab(i).bit_eq(expect.fab(i), got.valid_box(i)),
-                        "{v} box {i}"
-                    );
+                    assert!(got.fab(i).bit_eq(expect.fab(i), got.valid_box(i)), "{v} box {i}");
                 }
             }
         }

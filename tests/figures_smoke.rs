@@ -47,13 +47,7 @@ fn analytic_predictions_cover_the_extended_space() {
     for spec in MachineSpec::evaluation_nodes() {
         for v in Variant::enumerate_extended(32) {
             let p = predict_time_analytic(&spec, v, wl, spec.cores());
-            assert!(
-                p.seconds.is_finite() && p.seconds > 0.0,
-                "{} on {}: {:?}",
-                v,
-                spec.name,
-                p
-            );
+            assert!(p.seconds.is_finite() && p.seconds > 0.0, "{} on {}: {:?}", v, spec.name, p);
             assert!(p.traffic_bytes > 0 && p.flops > 0);
         }
     }

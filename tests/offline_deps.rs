@@ -1,0 +1,98 @@
+//! Regression guard: the workspace must build without network access.
+//!
+//! The original seed declared registry dependencies (crossbeam,
+//! parking_lot, rand, proptest, criterion); in an offline environment
+//! `cargo build` died resolving them before compiling a single line,
+//! which is exactly how the tier-1 suite went red. Those crates were
+//! replaced with std- and workspace-internal equivalents. This test
+//! pins the fix at its root: every dependency of every workspace member
+//! must resolve to a local path, never to a registry or a git URL.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 8, "expected the full workspace, found {}", out.len());
+    out
+}
+
+/// Parse the dependency entries out of a manifest without a TOML crate
+/// (which would itself be a registry dependency). Returns
+/// `(section, name, spec)` for each entry in a `*dependencies*` table.
+fn dependency_entries(toml: &str) -> Vec<(String, String, String)> {
+    let mut section = String::new();
+    let mut entries = Vec::new();
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').to_string();
+            continue;
+        }
+        if !section.contains("dependencies") || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, spec)) = line.split_once('=') {
+            // Dotted form `foo.workspace = true` == `foo = { workspace = true }`.
+            let (name, spec) = match key.trim().split_once('.') {
+                Some((name, attr)) => (name.to_string(), format!("{{ {attr} = {} }}", spec.trim())),
+                None => (key.trim().to_string(), spec.trim().to_string()),
+            };
+            entries.push((section.clone(), name, spec));
+        }
+    }
+    entries
+}
+
+#[test]
+fn every_dependency_is_a_local_path() {
+    for manifest in workspace_manifests() {
+        let toml = fs::read_to_string(&manifest).expect("readable manifest");
+        for (section, name, spec) in dependency_entries(&toml) {
+            let local = spec.contains("path") || spec.contains("workspace = true");
+            assert!(
+                local,
+                "{}: [{}] {} = {} is not a path dependency; \
+                 registry/git deps cannot resolve in the offline build",
+                manifest.display(),
+                section,
+                name,
+                spec
+            );
+            assert!(
+                !spec.contains("git"),
+                "{}: [{}] {} = {} pulls from git",
+                manifest.display(),
+                section,
+                name,
+                spec
+            );
+        }
+    }
+}
+
+#[test]
+fn no_banned_registry_crates_linger() {
+    // The five crates the seed depended on. Keep them out of every
+    // manifest so the workspace never silently regrows a network edge.
+    let banned = ["crossbeam", "parking_lot", "rand", "proptest", "criterion"];
+    for manifest in workspace_manifests() {
+        let toml = fs::read_to_string(&manifest).expect("readable manifest");
+        for (section, name, _) in dependency_entries(&toml) {
+            assert!(
+                !banned.iter().any(|b| name == *b || name.starts_with(&format!("{b}-"))),
+                "{}: [{}] reintroduces banned registry crate '{}'",
+                manifest.display(),
+                section,
+                name
+            );
+        }
+    }
+}

@@ -2,45 +2,41 @@
 //! sizes, tile sizes, thread counts, and data, every variant is
 //! bitwise-equivalent to the reference, its storage accounting matches
 //! the closed-form expectation, and the overlapped-tile recomputation
-//! matches the analytic redundancy.
+//! matches the analytic redundancy (seeded generator-driven cases; see
+//! `pdesched-testkit`).
 
 use pdesched::prelude::*;
 use pdesched_core::storage;
 use pdesched_kernels::{ops, reference};
-use proptest::prelude::*;
+use pdesched_testkit::{check, Rng};
 
-fn arb_variant(box_n: i32) -> impl Strategy<Value = Variant> {
+fn arb_variant(rng: &mut Rng, box_n: i32) -> Variant {
     let tiles: Vec<i32> = [2, 3, 4, 8].into_iter().filter(|&t| t < box_n).collect();
-    let cat = prop_oneof![
-        Just(Category::Series),
-        Just(Category::ShiftFuse),
-        Just(Category::BlockedWavefront),
-        Just(Category::OverlappedTile),
-    ];
-    let gran = prop_oneof![Just(Granularity::OverBoxes), Just(Granularity::WithinBox)];
-    let comp = prop_oneof![Just(CompLoop::Outside), Just(CompLoop::Inside)];
-    let intra = prop_oneof![Just(IntraTile::Basic), Just(IntraTile::ShiftFuse)];
-    (cat, gran, comp, intra, proptest::sample::select(tiles)).prop_map(
-        move |(category, gran, comp, intra, tile)| {
-            let tile = category.tiled().then_some(tile);
-            Variant { category, gran, comp, intra, tile }
-        },
-    )
+    let category = *rng.choose(&[
+        Category::Series,
+        Category::ShiftFuse,
+        Category::BlockedWavefront,
+        Category::OverlappedTile,
+    ]);
+    let gran = *rng.choose(&[Granularity::OverBoxes, Granularity::WithinBox]);
+    let comp = *rng.choose(&[CompLoop::Outside, CompLoop::Inside]);
+    let intra = *rng.choose(&[IntraTile::Basic, IntraTile::ShiftFuse]);
+    let tile = category.tiled().then(|| *rng.choose(&tiles));
+    Variant { category, gran, comp, intra, tile }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any variant, any thread count, any data: bitwise equal to the
-    /// reference series-of-loops implementation.
-    #[test]
-    fn every_schedule_is_bitwise_equivalent(
-        n in 5i32..13,
-        variant in arb_variant(5),
-        threads in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(variant.valid_for_box(n));
+/// Any variant, any thread count, any data: bitwise equal to the
+/// reference series-of-loops implementation.
+#[test]
+fn every_schedule_is_bitwise_equivalent() {
+    check(0x41, 24, |rng| {
+        let n = rng.range_i32(5, 13);
+        let variant = arb_variant(rng, 5);
+        let threads = rng.range_usize(1, 6);
+        let seed = rng.next_u64();
+        if !variant.valid_for_box(n) {
+            return;
+        }
         let cells = IBox::cube(n);
         let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
         phi0.fill_synthetic(seed);
@@ -48,42 +44,48 @@ proptest! {
         reference::update_box(&phi0, &mut expect, cells);
         let mut got = FArrayBox::new(cells, NCOMP);
         run_box(variant, &phi0, &mut got, cells, threads, &NoMem);
-        prop_assert!(got.bit_eq(&expect, cells), "{variant} t={threads} n={n}");
-    }
+        assert!(got.bit_eq(&expect, cells), "{variant} t={threads} n={n}");
+    });
+}
 
-    /// Measured temporary storage equals the closed-form expectation for
-    /// tile sizes that divide the box.
-    #[test]
-    fn storage_matches_formula(
-        n_tiles in 2i32..4,
-        tile in proptest::sample::select(vec![2i32, 4]),
-        variant in arb_variant(5),
-        threads in 1usize..5,
-    ) {
+/// Measured temporary storage equals the closed-form expectation for
+/// tile sizes that divide the box.
+#[test]
+fn storage_matches_formula() {
+    check(0x42, 24, |rng| {
+        let n_tiles = rng.range_i32(2, 4);
+        let tile = *rng.choose(&[2i32, 4]);
+        let variant = arb_variant(rng, 5);
+        let threads = rng.range_usize(1, 5);
         let n = n_tiles * tile * 2;
         let mut v = variant;
         if v.category.tiled() {
             v.tile = Some(tile);
         }
-        prop_assume!(v.valid_for_box(n));
+        if !v.valid_for_box(n) {
+            return;
+        }
         let cells = IBox::cube(n);
         let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
         phi0.fill_synthetic(1);
         let mut got = FArrayBox::new(cells, NCOMP);
         let measured = run_box(v, &phi0, &mut got, cells, threads, &NoMem);
         let expected = storage::expected(v, n, threads);
-        prop_assert_eq!(measured, expected, "{} n={} t={}", v, n, threads);
-    }
+        assert_eq!(measured, expected, "{v} n={n} t={threads}");
+    });
+}
 
-    /// Instrumented operation counts equal the analytic model: exact for
-    /// recomputation-free schedules, the overlap formula for tiles.
-    #[test]
-    fn op_counts_match_analytics(
-        n in 6i32..11,
-        variant in arb_variant(6),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(variant.valid_for_box(n));
+/// Instrumented operation counts equal the analytic model: exact for
+/// recomputation-free schedules, the overlap formula for tiles.
+#[test]
+fn op_counts_match_analytics() {
+    check(0x43, 24, |rng| {
+        let n = rng.range_i32(6, 11);
+        let variant = arb_variant(rng, 6);
+        let seed = rng.next_u64();
+        if !variant.valid_for_box(n) {
+            return;
+        }
         let cells = IBox::cube(n);
         let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
         phi0.fill_synthetic(seed);
@@ -91,46 +93,47 @@ proptest! {
         let counter = CountingMem::new();
         run_box(variant, &phi0, &mut got, cells, 2, &counter);
         let expect = match variant.category {
-            Category::OverlappedTile =>
-                ops::exemplar_ops_overlapped(cells, variant.tile_size()),
+            Category::OverlappedTile => ops::exemplar_ops_overlapped(cells, variant.tile_size()),
             _ => ops::exemplar_ops(cells),
         };
-        prop_assert_eq!(counter.op_count(), expect, "{}", variant);
-    }
+        assert_eq!(counter.op_count(), expect, "{variant}");
+    });
+}
 
-    /// Ghost exchange is idempotent: exchanging twice equals exchanging
-    /// once.
-    #[test]
-    fn exchange_is_idempotent(
-        box_size in proptest::sample::select(vec![4i32, 8]),
-        nboxes in 1i32..3,
-        seed in any::<u64>(),
-    ) {
+/// Ghost exchange is idempotent: exchanging twice equals exchanging
+/// once.
+#[test]
+fn exchange_is_idempotent() {
+    check(0x44, 24, |rng| {
+        let box_size = *rng.choose(&[4i32, 8]);
+        let nboxes = rng.range_i32(1, 3);
+        let seed = rng.next_u64();
         let n = box_size * nboxes;
-        let layout = DisjointBoxLayout::uniform(
-            ProblemDomain::periodic(IBox::cube(n)), box_size);
+        let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(n)), box_size);
         let mut a = LevelData::new(layout, NCOMP, GHOST);
         a.fill_synthetic(seed);
         a.exchange();
         let snapshot: Vec<Vec<f64>> =
             (0..a.num_boxes()).map(|i| a.fab(i).data().to_vec()).collect();
         a.exchange();
-        for i in 0..a.num_boxes() {
-            prop_assert_eq!(a.fab(i).data(), &snapshot[i][..]);
+        for (i, snap) in snapshot.iter().enumerate() {
+            assert_eq!(a.fab(i).data(), &snap[..]);
         }
-    }
+    });
+}
 
-    /// The divergence update conserves each component's total on a
-    /// periodic domain, for any schedule.
-    #[test]
-    fn conservation_for_any_schedule(
-        variant in arb_variant(4),
-        seed in any::<u64>(),
-    ) {
+/// The divergence update conserves each component's total on a
+/// periodic domain, for any schedule.
+#[test]
+fn conservation_for_any_schedule() {
+    check(0x45, 24, |rng| {
+        let variant = arb_variant(rng, 4);
+        let seed = rng.next_u64();
         let box_size = 8;
-        prop_assume!(variant.valid_for_box(box_size));
-        let layout = DisjointBoxLayout::uniform(
-            ProblemDomain::periodic(IBox::cube(16)), box_size);
+        if !variant.valid_for_box(box_size) {
+            return;
+        }
+        let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(16)), box_size);
         let mut phi0 = LevelData::new(layout.clone(), NCOMP, GHOST);
         phi0.fill_synthetic(seed);
         phi0.exchange();
@@ -138,7 +141,7 @@ proptest! {
         run_level(variant, &phi0, &mut div, 3, &NoMem);
         for c in 0..NCOMP {
             let total = div.sum_comp(c);
-            prop_assert!(total.abs() < 1e-9, "{} comp {} drift {}", variant, c, total);
+            assert!(total.abs() < 1e-9, "{variant} comp {c} drift {total}");
         }
-    }
+    });
 }
