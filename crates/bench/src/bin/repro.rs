@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--fast] [--store PATH] [--threads N] [--json PATH] \
-//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|all]...
+//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|faultcheck|all]...
 //! ```
 //!
 //! * `--store PATH` — persist/reuse cache-simulator traffic measurements
@@ -18,12 +18,23 @@
 //! * `--fast` — substitute 64^3 for the 128^3 box in the scaling
 //!   figures (roughly 8x cheaper traces; shapes are preserved but the
 //!   cache-residency crossover shifts).
+//!
+//! Fault tolerance: a sim point whose measurement panics is recorded as
+//! failed and the remaining points (and targets) still complete; the
+//! failure list and the store's health counters (corrupt/torn lines
+//! recovered at load, failed appends) are part of `--json`. The store
+//! accepts a single writer at a time — a second concurrent `repro` run
+//! degrades to read-only memoization instead of interleaving appends.
+//! The `faultcheck` target plus the `REPRO_FAULT` environment variable
+//! (`panic-sim:K` or `fail-append:N`, 0-based) exercise this machinery
+//! deterministically end to end; CI runs it.
 
 use pdesched_bench::render_figure;
+use pdesched_cachesim::CacheConfig;
 use pdesched_core::storage::{expected, paper_formula};
 use pdesched_core::{Category, Variant};
 use pdesched_machine::{figures, sweep};
-use pdesched_machine::{MachineSpec, SweepEngine, TrafficCache};
+use pdesched_machine::{FaultHook, MachineSpec, PointFailure, SimPoint, SweepEngine, TrafficCache};
 
 /// Wall time and cache activity of one regenerated target.
 struct Stage {
@@ -31,6 +42,40 @@ struct Stage {
     seconds: f64,
     hits: u64,
     misses: u64,
+}
+
+/// Fault injection requested via `REPRO_FAULT` (for the deterministic
+/// end-to-end robustness tests; see module docs).
+struct EnvFault {
+    panic_sim: Option<u64>,
+    fail_append_every: Option<u64>,
+}
+
+impl FaultHook for EnvFault {
+    fn before_simulation(&self, sim_index: u64, _key: &str) {
+        if self.panic_sim == Some(sim_index) {
+            panic!("injected fault (REPRO_FAULT): panic on simulation {sim_index}");
+        }
+    }
+    fn fail_append(&self, append_index: u64) -> bool {
+        self.fail_append_every.is_some_and(|n| n != 0 && (append_index + 1).is_multiple_of(n))
+    }
+}
+
+/// Parse `REPRO_FAULT` (`panic-sim:K` | `fail-append:N`).
+fn env_fault() -> Option<EnvFault> {
+    let spec = std::env::var("REPRO_FAULT").ok()?;
+    let mut fault = EnvFault { panic_sim: None, fail_append_every: None };
+    for part in spec.split(',') {
+        match part.split_once(':').and_then(|(k, v)| Some((k, v.parse::<u64>().ok()?))) {
+            Some(("panic-sim", k)) => fault.panic_sim = Some(k),
+            Some(("fail-append", n)) => fault.fail_append_every = Some(n),
+            _ => {
+                eprintln!("repro: ignoring unrecognized REPRO_FAULT part '{part}'");
+            }
+        }
+    }
+    Some(fault)
 }
 
 fn main() {
@@ -81,7 +126,11 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    let cache = TrafficCache::with_store(&store);
+    let mut cache = TrafficCache::with_store(&store);
+    if let Some(fault) = env_fault() {
+        eprintln!("[repro] REPRO_FAULT set: deterministic fault injection armed");
+        cache = cache.with_fault_hook(std::sync::Arc::new(fault));
+    }
     let engine = SweepEngine::new(threads).with_progress(true);
     let machines = MachineSpec::evaluation_nodes();
     let big_n = if fast { 64 } else { 128 };
@@ -89,13 +138,26 @@ fn main() {
         eprintln!("[repro] --fast: using 64^3 in place of 128^3 (shape-preserving, cheaper)");
     }
     eprintln!(
-        "[repro] store {store} ({} entries), {} measurement threads",
+        "[repro] store {store} ({} entries{}), {} measurement threads",
         cache.len(),
+        if cache.store_read_only() {
+            ", READ-ONLY: another live repro holds the store lock"
+        } else {
+            ""
+        },
         engine.nthreads()
     );
+    let loaded = cache.stats();
+    if loaded.corrupt_lines > 0 {
+        eprintln!(
+            "[repro] store recovery: {} corrupt/torn line(s) quarantined to {store}.quarantine",
+            loaded.corrupt_lines
+        );
+    }
 
     let mut stages: Vec<Stage> = Vec::new();
     let mut json_figures: Vec<figures::Figure> = Vec::new();
+    let mut failures: Vec<(String, PointFailure)> = Vec::new();
     for w in &wanted {
         let t0 = std::time::Instant::now();
         let before = cache.stats();
@@ -105,24 +167,25 @@ fn main() {
             "table1" => print_table1(),
             "fig2" | "fig3" | "fig4" => {
                 let spec = &machines[w[3..].parse::<usize>().unwrap() - 2];
-                prewarm(&engine, &cache, w, figures::figure234_points(spec, big_n));
+                prewarm(&engine, &cache, w, figures::figure234_points(spec, big_n), &mut failures);
                 fig = Some(figures::figure234_sized(spec, &cache, w, big_n));
             }
             "fig9" => {
-                prewarm(&engine, &cache, w, figures::figure9_points());
+                prewarm(&engine, &cache, w, figures::figure9_points(), &mut failures);
                 fig = Some(figures::figure9(&cache));
             }
             "fig10" | "fig11" | "fig12" => {
                 let spec = &machines[w[3..].parse::<usize>().unwrap() - 10];
-                prewarm(&engine, &cache, w, figures::figure1012_points(spec));
+                prewarm(&engine, &cache, w, figures::figure1012_points(spec), &mut failures);
                 fig = Some(figures::figure1012(spec, &cache, w));
             }
             "bandwidth" => {
-                prewarm(&engine, &cache, w, figures::bandwidth_points());
+                prewarm(&engine, &cache, w, figures::bandwidth_points(), &mut failures);
                 print_bandwidth(&cache);
             }
             "ablation" => print_ablation(),
             "sweep" => print_sweep(&cache, &engine),
+            "faultcheck" => print_faultcheck(&cache, &engine, &mut failures),
             other => {
                 eprintln!("[repro] unknown target '{other}'");
                 continue;
@@ -155,31 +218,74 @@ fn main() {
         total.misses,
         cache.len()
     );
+    if !failures.is_empty() {
+        eprintln!("[repro] WARNING: {} measurement point(s) failed:", failures.len());
+        for (stage, f) in &failures {
+            eprintln!("[repro]   {stage}: {} n={}: {}", f.variant, f.n, f.error);
+        }
+    }
+    if total.store_errors > 0 || total.corrupt_lines > 0 {
+        eprintln!(
+            "[repro] WARNING: store health: {} corrupt line(s) recovered, {} failed append(s)",
+            total.corrupt_lines, total.store_errors
+        );
+    }
     if let Some(path) = json {
-        let doc = render_json(&stages, &json_figures, &cache, fast, engine.nthreads());
+        let doc = render_json(&stages, &json_figures, &cache, fast, engine.nthreads(), &failures);
         std::fs::write(&path, doc).expect("write --json output");
         eprintln!("[repro] wrote {path}");
     }
 }
 
-/// Prewarm one target's simulation points, narrating to stderr.
+/// Prewarm one target's simulation points, narrating to stderr and
+/// collecting per-point measurement failures (the target still renders
+/// from whatever did complete).
 fn prewarm(
     engine: &SweepEngine,
     cache: &TrafficCache,
     target: &str,
     points: Vec<pdesched_machine::SimPoint>,
+    failures: &mut Vec<(String, PointFailure)>,
 ) {
     let r = engine.prewarm(cache, &points);
-    if r.measured > 0 {
+    if r.measured > 0 || !r.failed.is_empty() {
         eprintln!(
-            "[repro] {target}: measured {} of {} unique points in {:.1}s on {} threads",
+            "[repro] {target}: measured {} of {} unique points in {:.1}s on {} threads{}",
             r.measured,
             r.unique,
             r.seconds,
-            engine.nthreads()
+            engine.nthreads(),
+            if r.failed.is_empty() {
+                String::new()
+            } else {
+                format!(", {} FAILED", r.failed.len())
+            }
         );
     } else {
         eprintln!("[repro] {target}: all {} points already cached", r.unique);
+    }
+    failures.extend(r.failed.into_iter().map(|f| (target.to_string(), f)));
+}
+
+/// Tiny deterministic fault-tolerance check (seconds, not minutes):
+/// two cheap simulation points over a small hierarchy, meant to be run
+/// with `REPRO_FAULT` set so an injected panic or append failure flows
+/// through the engine, the store, and the `--json` report end to end.
+fn print_faultcheck(
+    cache: &TrafficCache,
+    engine: &SweepEngine,
+    failures: &mut Vec<(String, PointFailure)>,
+) {
+    let configs = vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)];
+    let points: Vec<SimPoint> = [Variant::baseline(), Variant::shift_fuse()]
+        .iter()
+        .map(|&v| SimPoint { variant: v, n: 8, configs: configs.clone() })
+        .collect();
+    prewarm(engine, cache, "faultcheck", points.clone(), failures);
+    println!("== faultcheck: deterministic fault-injection probe ==");
+    for p in &points {
+        let status = if cache.contains(p.variant, p.n, &p.configs) { "ok" } else { "FAILED" };
+        println!("  {:<34} n={:<4} {status}", p.variant.name(), p.n);
     }
 }
 
@@ -206,6 +312,7 @@ fn render_json(
     cache: &TrafficCache,
     fast: bool,
     threads: usize,
+    failures: &[(String, PointFailure)],
 ) -> String {
     use std::fmt::Write;
     let mut j = String::new();
@@ -220,6 +327,30 @@ fn render_json(
         s.misses,
         cache.len()
     );
+    let _ = writeln!(
+        j,
+        "  \"store\": {{\"path\": {}, \"read_only\": {}, \"corrupt_lines\": {}, \"store_errors\": {}}},",
+        cache
+            .store_path()
+            .map(|p| format!("\"{}\"", json_escape(&p.display().to_string())))
+            .unwrap_or_else(|| "null".into()),
+        cache.store_read_only(),
+        s.corrupt_lines,
+        s.store_errors
+    );
+    let _ = writeln!(j, "  \"failures\": [");
+    for (i, (stage, f)) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"stage\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"error\": \"{}\"}}{comma}",
+            json_escape(stage),
+            json_escape(&f.variant),
+            f.n,
+            json_escape(&f.error)
+        );
+    }
+    let _ = writeln!(j, "  ],");
     let _ = writeln!(j, "  \"stages\": [");
     for (i, st) in stages.iter().enumerate() {
         let comma = if i + 1 < stages.len() { "," } else { "" };

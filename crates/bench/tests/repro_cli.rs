@@ -1,0 +1,84 @@
+//! End-to-end robustness checks against the built `repro` binary:
+//! store recovery, deterministic fault injection via `REPRO_FAULT`, and
+//! the failure/store-health fields of `--json` (documented in README).
+
+use pdesched_testkit::TempDir;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn run(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "repro must exit 0; stderr:\n{stderr}");
+    (stdout, stderr)
+}
+
+#[test]
+fn clean_run_reports_healthy_store_and_no_failures() {
+    let dir = TempDir::new("repro-clean");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    // Instant targets only: no trace simulation, still exercises the
+    // full store + JSON path.
+    run(repro()
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "2", "fig1", "table1", "ablation"]));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"read_only\": false"), "{json}");
+    assert!(json.contains("\"corrupt_lines\": 0"), "{json}");
+    assert!(json.contains("\"store_errors\": 0"), "{json}");
+    assert!(json.contains("\"failures\": ["), "{json}");
+    assert!(!json.contains("\"error\":"), "clean run must report no failures: {json}");
+}
+
+#[test]
+fn corrupted_store_is_recovered_quarantined_and_reported() {
+    let dir = TempDir::new("repro-corrupt");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    // A valid-version store whose entry lines are garbage (bit rot /
+    // torn writes): repro must quarantine them, compact the store, and
+    // surface the damage in --json — not crash and not trust the data.
+    std::fs::write(&store, "# pdesched-traffic-store v3\nthis line is rot\nanother bad line 123\n")
+        .unwrap();
+    let (_, stderr) = run(repro()
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "1", "fig1"]));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"corrupt_lines\": 2"), "{json}");
+    assert!(stderr.contains("store recovery"), "recovery must be narrated: {stderr}");
+    let quarantine = std::fs::read_to_string(dir.file("store.txt.quarantine")).unwrap();
+    assert!(quarantine.contains("this line is rot"), "{quarantine}");
+    // Compacted: the rot is gone from the store itself.
+    let compacted = std::fs::read_to_string(&store).unwrap();
+    assert!(!compacted.contains("rot"), "{compacted}");
+    assert!(compacted.starts_with("# pdesched-traffic-store v3"), "{compacted}");
+}
+
+#[test]
+fn injected_panic_degrades_gracefully_and_is_reported() {
+    let dir = TempDir::new("repro-fault");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    let (stdout, _) = run(repro()
+        .env("REPRO_FAULT", "panic-sim:0")
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "2", "faultcheck"]));
+    // Exactly one of the two points failed; the run still exits 0 and
+    // the survivor both prints and persists.
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains(" ok"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("injected fault (REPRO_FAULT)"), "{json}");
+    assert!(json.contains("\"stage\": \"faultcheck\""), "{json}");
+    let persisted = std::fs::read_to_string(&store).unwrap();
+    let entries = persisted.lines().skip(1).filter(|l| !l.is_empty()).count();
+    assert_eq!(entries, 1, "the surviving point must be persisted:\n{persisted}");
+}

@@ -47,17 +47,44 @@ impl SimPoint {
     }
 }
 
+/// One simulation point whose measurement panicked during a prewarm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Display name of the schedule variant.
+    pub variant: String,
+    /// Box edge length.
+    pub n: i32,
+    /// The panic message.
+    pub error: String,
+}
+
 /// What one [`SweepEngine::prewarm`] call did.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PrewarmReport {
     /// Points requested (before dedup).
     pub requested: usize,
     /// Distinct points after dedup.
     pub unique: usize,
-    /// Points actually simulated (the rest were already cached).
+    /// Points successfully simulated (the rest were already cached or
+    /// failed).
     pub measured: usize,
+    /// Points whose measurement panicked. The panic is contained to the
+    /// point: every other point still completes, and the caller decides
+    /// whether a partial sweep is acceptable.
+    pub failed: Vec<PointFailure>,
     /// Wall-clock seconds spent in the parallel measurement region.
     pub seconds: f64,
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 /// A persistent worker pool that fills a [`TrafficCache`] in parallel.
@@ -89,6 +116,11 @@ impl SweepEngine {
     /// dynamically scheduled over the pool (costs vary by orders of
     /// magnitude with box size, so static partitioning would straggle).
     /// Big boxes go first to keep the tail short.
+    ///
+    /// Degrades gracefully: a point whose measurement panics is caught
+    /// on its worker, recorded in [`PrewarmReport::failed`], and the
+    /// remaining points still complete — one poisoned simulation must
+    /// not abort an hours-long unattended sweep.
     pub fn prewarm(&self, cache: &TrafficCache, points: &[SimPoint]) -> PrewarmReport {
         let t0 = std::time::Instant::now();
         let mut todo: Vec<&SimPoint> = Vec::new();
@@ -110,25 +142,54 @@ impl SweepEngine {
         let total = todo.len();
         let counter = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let failures: std::sync::Mutex<Vec<PointFailure>> = std::sync::Mutex::new(Vec::new());
         self.pool.run(|ctx| {
             ctx.dynamic_items(&counter, total, 1, |i| {
                 let p = todo[i];
-                cache.get(p.variant, p.n, &p.configs);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get(p.variant, p.n, &p.configs);
+                }));
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if self.progress {
-                    eprintln!(
-                        "[sweep] measured {d}/{total}: {} n={} (thread {})",
-                        p.variant,
-                        p.n,
-                        ctx.tid()
-                    );
+                match r {
+                    Ok(()) => {
+                        if self.progress {
+                            eprintln!(
+                                "[sweep] measured {d}/{total}: {} n={} (thread {})",
+                                p.variant,
+                                p.n,
+                                ctx.tid()
+                            );
+                        }
+                    }
+                    Err(payload) => {
+                        let f = PointFailure {
+                            variant: p.variant.to_string(),
+                            n: p.n,
+                            error: panic_message(payload.as_ref()),
+                        };
+                        if self.progress {
+                            eprintln!(
+                                "[sweep] FAILED {d}/{total}: {} n={}: {} (thread {})",
+                                p.variant,
+                                p.n,
+                                f.error,
+                                ctx.tid()
+                            );
+                        }
+                        failures.lock().unwrap_or_else(|e| e.into_inner()).push(f);
+                    }
                 }
             });
         });
+        let mut failed = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Completion order is scheduling-dependent; report failures in a
+        // deterministic order.
+        failed.sort_by(|a, b| (&a.variant, a.n).cmp(&(&b.variant, b.n)));
         PrewarmReport {
             requested: points.len(),
             unique,
-            measured: total,
+            measured: total - failed.len(),
+            failed,
             seconds: t0.elapsed().as_secs_f64(),
         }
     }
@@ -198,7 +259,10 @@ mod tests {
         }
         let after = cache.stats();
         assert_eq!(after.misses, before.misses, "all reads must be hits");
-        assert_eq!(after, CacheStats { hits: before.hits + 4, misses: before.misses });
+        assert_eq!(
+            after,
+            CacheStats { hits: before.hits + 4, misses: before.misses, ..Default::default() }
+        );
     }
 
     #[test]

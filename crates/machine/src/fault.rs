@@ -1,0 +1,35 @@
+//! Fault-injection points for the measurement pipeline and the
+//! persistent traffic store.
+//!
+//! Production code calls these hooks at the two places long unattended
+//! sweeps actually die — inside a measurement (a panic in the simulator
+//! or kernel code) and at a store append (a full disk, a yanked
+//! volume) — so tests can make *exactly* operation k fail,
+//! deterministically, and assert the system degrades instead of
+//! deadlocking or corrupting the store. A cache without a hook pays a
+//! single `Option` check per miss.
+//!
+//! `pdesched_testkit::FaultPlan` is the usual implementation source: a
+//! test wraps a plan in a newtype implementing [`FaultHook`] and hands
+//! it to [`crate::TrafficCache::with_fault_hook`]. The `repro` binary
+//! installs one from the `REPRO_FAULT` environment variable for
+//! end-to-end CLI tests.
+
+/// Injection points observed by [`crate::TrafficCache`].
+pub trait FaultHook: Send + Sync {
+    /// Called immediately before a cache miss runs the simulator, with
+    /// the 0-based index of this simulation (across all threads) and
+    /// the memoization key. May panic to model a measurement fault:
+    /// [`crate::SweepEngine::prewarm`] records the point as failed and
+    /// continues; a direct [`crate::TrafficCache::get`] caller observes
+    /// the panic.
+    fn before_simulation(&self, _sim_index: u64, _key: &str) {}
+
+    /// Return `true` to force the append with this 0-based index to
+    /// fail. Forced failures are counted in
+    /// [`crate::CacheStats::store_errors`] exactly like real I/O errors;
+    /// the in-memory measurement is unaffected.
+    fn fail_append(&self, _append_index: u64) -> bool {
+        false
+    }
+}

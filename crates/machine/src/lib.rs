@@ -33,6 +33,7 @@
 pub mod adapter;
 pub mod analytic;
 pub mod engine;
+pub mod fault;
 pub mod figures;
 pub mod model;
 pub mod spec;
@@ -40,7 +41,8 @@ pub mod sweep;
 pub mod traffic;
 
 pub use adapter::TraceMem;
-pub use engine::{PrewarmReport, SimPoint, SweepEngine};
+pub use engine::{PointFailure, PrewarmReport, SimPoint, SweepEngine};
+pub use fault::FaultHook;
 pub use model::{predict_time, Prediction, Workload};
 pub use spec::MachineSpec;
 pub use traffic::{measure_box_traffic, BoxTraffic, CacheStats, TrafficCache};

@@ -48,9 +48,11 @@ pub fn rank_all(spec: &MachineSpec, box_n: i32) -> Vec<RankedVariant> {
     rank_variants(spec, &variants, wl, spec.cores())
 }
 
-/// The fastest variant for a box size on a machine (analytic model).
-pub fn best_variant(spec: &MachineSpec, box_n: i32) -> RankedVariant {
-    rank_all(spec, box_n).into_iter().next().expect("non-empty variant space")
+/// The fastest variant for a box size on a machine (analytic model), or
+/// `None` when no enumerated variant is valid for the box size (e.g. a
+/// box too small for every tile size).
+pub fn best_variant(spec: &MachineSpec, box_n: i32) -> Option<RankedVariant> {
+    rank_all(spec, box_n).into_iter().next()
 }
 
 /// Re-rank the analytic top `k` with the simulator-backed model, the
@@ -102,7 +104,7 @@ mod tests {
         // The paper's conclusion as a sweep property: for 128^3 boxes at
         // full threads, the winner is never the plain series baseline.
         for spec in MachineSpec::evaluation_nodes() {
-            let best = best_variant(&spec, 128);
+            let best = best_variant(&spec, 128).expect("non-empty variant space for 128^3");
             assert_ne!(best.variant.category, Category::Series, "{}: {}", spec.name, best.variant);
         }
     }
@@ -128,7 +130,7 @@ mod tests {
         // For 16^3 boxes there is too little intra-box work: the winner
         // parallelizes over boxes.
         for spec in MachineSpec::evaluation_nodes() {
-            let best = best_variant(&spec, 16);
+            let best = best_variant(&spec, 16).expect("non-empty variant space for 16^3");
             assert_eq!(
                 best.variant.gran,
                 Granularity::OverBoxes,

@@ -1,20 +1,32 @@
 //! DRAM-traffic measurement: run a schedule for real, replay its access
 //! stream through the cache simulator, report bytes moved.
+//!
+//! The persistent measurement store is built for unattended multi-hour
+//! sweeps, so it is crash-safe end to end: every entry line carries a
+//! checksum (a torn or bit-rotted line is detected, quarantined, and
+//! counted — never silently dropped or, worse, served), every whole-file
+//! rewrite goes through tmp-file + atomic rename, append failures are
+//! counted instead of swallowed, and a pid lock file guarantees a single
+//! writer per store so two concurrent `repro` runs cannot interleave
+//! appends (the second run degrades to read-only memoization).
 
 use crate::adapter::TraceMem;
+use crate::fault::FaultHook;
 use pdesched_cachesim::{CacheConfig, Hierarchy};
 use pdesched_core::{run_box_traced, Variant};
 use pdesched_kernels::{GHOST, NCOMP};
 use pdesched_mesh::{FArrayBox, IBox};
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// On-disk store schema version. Bump whenever anything that feeds a
 /// measurement changes shape — the key format, the traced kernel, the
 /// simulator's replacement policy — and every stale store self-discards
-/// instead of serving wrong numbers.
-pub const STORE_VERSION: u32 = 2;
+/// instead of serving wrong numbers. (v3: per-line checksums.)
+pub const STORE_VERSION: u32 = 3;
 
 /// Measured traffic for one exemplar update of one box.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,7 +101,8 @@ pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) ->
     }
 }
 
-/// Hit/miss counters of a [`TrafficCache`] at one instant.
+/// Hit/miss and store-health counters of a [`TrafficCache`] at one
+/// instant.
 ///
 /// `misses` counts actual cache simulations; a warm store therefore
 /// proves itself by keeping `misses` at zero across a whole figure run.
@@ -99,6 +112,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that ran the cache simulator.
     pub misses: u64,
+    /// Store lines that failed checksum or shape validation on load
+    /// (torn appends, bit rot). They are quarantined next to the store,
+    /// never silently dropped.
+    pub corrupt_lines: u64,
+    /// Store appends that failed (I/O error or injected fault). The
+    /// measurement stays available in memory; only persistence is lost.
+    pub store_errors: u64,
 }
 
 /// A memoizing cache of per-box traffic measurements: figure generation
@@ -111,12 +131,20 @@ pub struct CacheStats {
 /// The store is a line-oriented text file with a `v{STORE_VERSION}`
 /// header; a version mismatch discards the stale contents rather than
 /// serving measurements taken under a different key schema or simulator.
+/// See the module docs for the crash-safety guarantees.
 #[derive(Default)]
 pub struct TrafficCache {
     map: Mutex<HashMap<String, BoxTraffic>>,
-    store: Option<std::path::PathBuf>,
+    /// Store file; appends only happen when `owns_lock`.
+    store: Option<PathBuf>,
+    /// Lock file this cache owns (removed on drop).
+    owned_lock: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt_lines: AtomicU64,
+    store_errors: AtomicU64,
+    appends: AtomicU64,
+    fault: Option<Arc<dyn FaultHook>>,
 }
 
 /// The memoization key. Everything a measurement depends on is spelled
@@ -140,6 +168,127 @@ fn store_header() -> String {
     format!("# pdesched-traffic-store v{STORE_VERSION}")
 }
 
+/// FNV-1a 64-bit, the store's line checksum: tiny, dependency-free, and
+/// plenty to detect torn appends and bit rot (this is integrity against
+/// crashes, not an adversary).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize one entry as its store line: payload fields, then the
+/// payload's checksum as the final field.
+fn entry_line(key: &str, t: &BoxTraffic) -> String {
+    let payload =
+        format!("{key} {} {} {} {} {}", t.dram_bytes, t.reads, t.writes, t.l1_hit, t.llc_hit);
+    let sum = fnv1a64(payload.as_bytes());
+    format!("{payload} {sum:016x}")
+}
+
+/// Parse and verify one store line; `None` means corrupt (torn, edited,
+/// or bit-rotted — the checksum covers the exact payload bytes).
+fn parse_entry(line: &str) -> Option<(String, BoxTraffic)> {
+    let (payload, sum_hex) = line.rsplit_once(' ')?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    if sum != fnv1a64(payload.as_bytes()) {
+        return None;
+    }
+    let mut it = payload.split_whitespace();
+    let (key, d, r, w, l1, llc) =
+        (it.next()?, it.next()?, it.next()?, it.next()?, it.next()?, it.next()?);
+    if it.next().is_some() {
+        return None;
+    }
+    Some((
+        key.to_string(),
+        BoxTraffic {
+            dram_bytes: d.parse().ok()?,
+            reads: r.parse().ok()?,
+            writes: w.parse().ok()?,
+            l1_hit: l1.parse().ok()?,
+            llc_hit: llc.parse().ok()?,
+        },
+    ))
+}
+
+/// The single-writer lock file guarding `store`.
+fn lock_path_for(store: &Path) -> PathBuf {
+    let mut s = store.as_os_str().to_os_string();
+    s.push(".lock");
+    PathBuf::from(s)
+}
+
+/// The quarantine sidecar corrupt lines are preserved in.
+fn quarantine_path_for(store: &Path) -> PathBuf {
+    let mut s = store.as_os_str().to_os_string();
+    s.push(".quarantine");
+    PathBuf::from(s)
+}
+
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    // No portable liveness probe: assume the holder is alive (the safe
+    // direction — we degrade to read-only instead of double-writing).
+    true
+}
+
+/// Try to become the store's single writer by creating `lock` with
+/// O_EXCL semantics, pid inside. A lock whose recorded pid is dead is
+/// stale (the previous writer crashed) and is stolen; an unreadable
+/// lock is conservatively treated as live.
+fn try_acquire_lock(lock: &Path) -> bool {
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(lock) {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
+                let holder =
+                    std::fs::read_to_string(lock).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if !pid_alive(pid) => {
+                        // Crashed writer: remove and retry once. (Two
+                        // processes could race to steal; the retried
+                        // create_new re-serializes them.)
+                        let _ = std::fs::remove_file(lock);
+                    }
+                    _ => return false,
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+/// Atomically replace `path` with header + `entries` (sorted by key for
+/// reproducible bytes): write a tmp file, then rename over the target,
+/// so a crash mid-rewrite leaves either the old or the new store —
+/// never a half-written one.
+fn write_store_atomic(path: &Path, entries: &HashMap<String, BoxTraffic>) -> std::io::Result<()> {
+    let mut keys: Vec<&String> = entries.keys().collect();
+    keys.sort();
+    let mut text = store_header();
+    text.push('\n');
+    for k in keys {
+        text.push_str(&entry_line(k, &entries[k]));
+        text.push('\n');
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
 impl TrafficCache {
     /// Empty in-memory cache.
     pub fn new() -> Self {
@@ -147,69 +296,132 @@ impl TrafficCache {
     }
 
     /// A cache backed by a line-oriented text file; existing entries are
-    /// loaded, new measurements appended. A missing, headerless, or
-    /// wrong-version file is discarded and re-initialized with the
-    /// current [`STORE_VERSION`] header.
-    pub fn with_store(path: impl Into<std::path::PathBuf>) -> Self {
+    /// loaded, new measurements appended.
+    ///
+    /// * A missing, headerless, or wrong-version file is discarded and
+    ///   atomically re-initialized with the current [`STORE_VERSION`]
+    ///   header.
+    /// * Lines failing their checksum (torn appends from a crash or
+    ///   `kill -9`, bit rot) are copied to `<path>.quarantine`, counted
+    ///   in [`CacheStats::corrupt_lines`], and the store is compacted to
+    ///   the intact entries via tmp-file + rename.
+    /// * A `<path>.lock` pid file makes this cache the store's single
+    ///   writer. If another live process holds it, this cache loads the
+    ///   entries but runs read-only (no appends, no repair); a dead
+    ///   holder's lock is stolen.
+    pub fn with_store(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let lock = lock_path_for(&path);
+        let owns_lock = try_acquire_lock(&lock);
         let mut map = HashMap::new();
-        let mut valid = false;
+        let mut corrupt: Vec<String> = Vec::new();
+        let mut valid_header = false;
         if let Ok(text) = std::fs::read_to_string(&path) {
             let mut lines = text.lines();
-            valid = lines.next() == Some(store_header().as_str());
-            if valid {
+            valid_header = lines.next() == Some(store_header().as_str());
+            if valid_header {
                 for line in lines {
-                    let mut it = line.split_whitespace();
-                    let (Some(key), Some(d), Some(r), Some(w), Some(l1), Some(llc)) =
-                        (it.next(), it.next(), it.next(), it.next(), it.next(), it.next())
-                    else {
+                    if line.trim().is_empty() {
                         continue;
-                    };
-                    let parse = |s: &str| s.parse::<u64>().ok();
-                    if let (Some(d), Some(r), Some(w), Ok(l1), Ok(llc)) =
-                        (parse(d), parse(r), parse(w), l1.parse::<f64>(), llc.parse::<f64>())
-                    {
-                        map.insert(
-                            key.to_string(),
-                            BoxTraffic {
-                                dram_bytes: d,
-                                reads: r,
-                                writes: w,
-                                l1_hit: l1,
-                                llc_hit: llc,
-                            },
-                        );
+                    }
+                    match parse_entry(line) {
+                        Some((k, t)) => {
+                            map.insert(k, t);
+                        }
+                        None => corrupt.push(line.to_string()),
                     }
                 }
             }
         }
-        if !valid {
-            if let Some(dir) = path.parent() {
-                let _ = std::fs::create_dir_all(dir);
+        let mut store_errors = 0;
+        if owns_lock {
+            if !valid_header {
+                if write_store_atomic(&path, &HashMap::new()).is_err() {
+                    store_errors += 1;
+                }
+            } else if !corrupt.is_empty() {
+                // Preserve the damaged lines, then compact the store to
+                // its intact entries so the next load is clean.
+                if let Ok(mut q) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(quarantine_path_for(&path))
+                {
+                    for line in &corrupt {
+                        let _ = writeln!(q, "{line}");
+                    }
+                }
+                if write_store_atomic(&path, &map).is_err() {
+                    store_errors += 1;
+                }
             }
-            let _ = std::fs::write(&path, store_header() + "\n");
         }
-        TrafficCache { map: Mutex::new(map), store: Some(path), ..Default::default() }
+        let mut cache = TrafficCache::new();
+        cache.map = Mutex::new(map);
+        cache.store = Some(path);
+        cache.owned_lock = owns_lock.then_some(lock);
+        cache.corrupt_lines = AtomicU64::new(corrupt.len() as u64);
+        cache.store_errors = AtomicU64::new(store_errors);
+        cache
+    }
+
+    /// Install fault-injection hooks (see [`crate::fault::FaultHook`]).
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault = Some(hook);
+        self
+    }
+
+    /// Whether this cache lost the single-writer race for its store: it
+    /// serves the loaded entries and memoizes in memory, but appends
+    /// nothing.
+    pub fn store_read_only(&self) -> bool {
+        self.store.is_some() && self.owned_lock.is_none()
+    }
+
+    /// The backing store path, if any.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.store.as_deref()
+    }
+
+    /// The map lock, surviving poisoning: a panic in some other holder
+    /// (e.g. an injected measurement fault caught mid-insert by a test)
+    /// must not cascade into every later lookup.
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<String, BoxTraffic>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Measured (or memoized) traffic.
+    ///
+    /// On a miss this runs the simulator (~seconds for large boxes). A
+    /// failed store append degrades to in-memory memoization and bumps
+    /// [`CacheStats::store_errors`].
     pub fn get(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
         let key = cache_key(variant, n, configs);
-        if let Some(t) = self.map.lock().unwrap().get(&key) {
+        if let Some(t) = self.map_lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sim_index = self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = &self.fault {
+            hook.before_simulation(sim_index, &key);
+        }
         let t = measure_box_traffic(variant, n, configs);
-        self.map.lock().unwrap().insert(key.clone(), t);
-        if let Some(path) = &self.store {
-            use std::io::Write;
-            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
-                let _ = writeln!(
-                    f,
-                    "{key} {} {} {} {} {}",
-                    t.dram_bytes, t.reads, t.writes, t.l1_hit, t.llc_hit
-                );
+        self.map_lock().insert(key.clone(), t);
+        if let (Some(path), true) = (&self.store, self.owned_lock.is_some()) {
+            let append_index = self.appends.fetch_add(1, Ordering::Relaxed);
+            let injected = self.fault.as_ref().is_some_and(|h| h.fail_append(append_index));
+            let appended = !injected
+                && std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{}", entry_line(&key, &t)))
+                    .is_ok();
+            if !appended {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
         t
@@ -219,25 +431,37 @@ impl TrafficCache {
     /// simulation, no counter update) — the sweep engine uses this to
     /// schedule only the genuinely missing points.
     pub fn contains(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> bool {
-        self.map.lock().unwrap().contains_key(&cache_key(variant, n, configs))
+        self.map_lock().contains_key(&cache_key(variant, n, configs))
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss and store-health counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            corrupt_lines: self.corrupt_lines.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
         }
     }
 
     /// Number of distinct measurements held.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map_lock().len()
     }
 
     /// True when nothing has been measured yet.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().unwrap().is_empty()
+        self.map_lock().is_empty()
+    }
+}
+
+impl Drop for TrafficCache {
+    fn drop(&mut self) {
+        // Release the single-writer lock. A crash skips this — which is
+        // exactly why lock staleness is pid-checked on acquisition.
+        if let Some(lock) = &self.owned_lock {
+            let _ = std::fs::remove_file(lock);
+        }
     }
 }
 
@@ -246,6 +470,7 @@ mod tests {
     use super::*;
     use pdesched_core::{CompLoop, Granularity, IntraTile};
     use pdesched_kernels::ops::compulsory_bytes;
+    use pdesched_testkit::TempDir;
 
     fn small_hierarchy() -> Vec<CacheConfig> {
         // Deliberately tiny so a 16^3 box does not fit: 8 KiB L1,
@@ -309,24 +534,26 @@ mod tests {
 
     #[test]
     fn traffic_cache_persists_to_store() {
-        let dir = std::env::temp_dir().join(format!("pdesched-store-{}", std::process::id()));
-        let _ = std::fs::remove_file(&dir);
+        let dir = TempDir::new("store");
+        let path = dir.file("traffic.txt");
         let cfg = big_hierarchy();
         let a = {
-            let cache = TrafficCache::with_store(&dir);
+            let cache = TrafficCache::with_store(&path);
+            assert!(!cache.store_read_only(), "sole writer must own the lock");
             cache.get(Variant::baseline(), 8, &cfg)
         };
         // A fresh cache reads the stored value without re-measuring.
-        let cache2 = TrafficCache::with_store(&dir);
+        let cache2 = TrafficCache::with_store(&path);
         assert_eq!(cache2.len(), 1);
         let b = cache2.get(Variant::baseline(), 8, &cfg);
         assert_eq!(a, b);
-        let _ = std::fs::remove_file(&dir);
+        assert_eq!(cache2.stats().corrupt_lines, 0);
     }
 
     #[test]
     fn stale_store_version_is_discarded() {
-        let path = std::env::temp_dir().join(format!("pdesched-stale-{}", std::process::id()));
+        let dir = TempDir::new("stale");
+        let path = dir.file("traffic.txt");
         let cfg = big_hierarchy();
         // Simulate a store written by an older schema: wrong header, plus
         // an entry whose key matches the *current* format. It must not be
@@ -342,10 +569,57 @@ mod tests {
         // fresh measurement.
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with(&store_header()), "store must carry the current version header");
+        drop(cache);
         let reload = TrafficCache::with_store(&path);
         assert_eq!(reload.len(), 1);
         assert_eq!(reload.get(Variant::baseline(), 8, &cfg), t);
-        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksummed_lines_roundtrip() {
+        let t = BoxTraffic { dram_bytes: 123, reads: 45, writes: 6, l1_hit: 0.875, llc_hit: 0.5 };
+        let line = entry_line("some/key/n8/g2", &t);
+        let (k, back) = parse_entry(&line).expect("own line must verify");
+        assert_eq!(k, "some/key/n8/g2");
+        assert_eq!(back, t);
+        // Any single-byte mutation must fail verification.
+        for i in 0..line.len() {
+            let mut bytes = line.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(s) = String::from_utf8(bytes) {
+                assert!(parse_entry(&s).is_none(), "flip at {i} must be caught");
+            }
+        }
+        // Truncations (torn appends) must fail verification too.
+        for cut in 0..line.len() {
+            assert!(parse_entry(&line[..cut]).is_none(), "truncation at {cut} must be caught");
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_are_quarantined_and_counted() {
+        let dir = TempDir::new("corrupt");
+        let path = dir.file("traffic.txt");
+        let cfg = big_hierarchy();
+        {
+            let cache = TrafficCache::with_store(&path);
+            cache.get(Variant::baseline(), 8, &cfg);
+        }
+        // Damage the store: one garbage line, plus a torn copy of a
+        // valid line (a crash mid-append).
+        let good = std::fs::read_to_string(&path).unwrap();
+        let torn = good.lines().nth(1).unwrap();
+        let torn = &torn[..torn.len() / 2];
+        std::fs::write(&path, format!("{good}not a valid entry line\n{torn}")).unwrap();
+        let cache = TrafficCache::with_store(&path);
+        assert_eq!(cache.len(), 1, "the intact entry must survive");
+        assert_eq!(cache.stats().corrupt_lines, 2);
+        // Quarantine holds the damage; the store itself is compacted.
+        let q = std::fs::read_to_string(quarantine_path_for(&path)).unwrap();
+        assert!(q.contains("not a valid entry line") && q.contains(torn));
+        drop(cache);
+        let reload = TrafficCache::with_store(&path);
+        assert_eq!((reload.len(), reload.stats().corrupt_lines), (1, 0));
     }
 
     #[test]
@@ -354,14 +628,14 @@ mod tests {
         let cfg = big_hierarchy();
         assert_eq!(cache.stats(), CacheStats::default());
         cache.get(Variant::baseline(), 8, &cfg);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, ..Default::default() });
         cache.get(Variant::baseline(), 8, &cfg);
         cache.get(Variant::baseline(), 8, &cfg);
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1, ..Default::default() });
         // `contains` probes without perturbing the counters.
         assert!(cache.contains(Variant::baseline(), 8, &cfg));
         assert!(!cache.contains(Variant::shift_fuse(), 8, &cfg));
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1, ..Default::default() });
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Deterministic fault injection against the measurement pipeline and
+//! the persistent traffic store: every crash-safety and
+//! graceful-degradation claim in DESIGN.md's failure model is exercised
+//! here, driven by `pdesched_testkit::FaultPlan`.
+//!
+//! Expected "injected fault" panic messages in this test's stderr are
+//! the injections themselves, not failures.
+
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::Variant;
+use pdesched_machine::{FaultHook, SimPoint, SweepEngine, TrafficCache};
+use pdesched_testkit::{FaultPlan, TempDir};
+use std::sync::Arc;
+
+/// Adapt a deterministic [`FaultPlan`] to the store/measurement hooks.
+struct PlanHook(Arc<FaultPlan>);
+
+impl FaultHook for PlanHook {
+    fn before_simulation(&self, _sim_index: u64, _key: &str) {
+        self.0.on_sim();
+    }
+    fn fail_append(&self, _append_index: u64) -> bool {
+        self.0.on_append()
+    }
+}
+
+/// Cheapest hierarchy to simulate: everything is cache-resident.
+fn roomy() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(32 * 1024, 8), CacheConfig::new(16 * 1024 * 1024, 16)]
+}
+
+/// Cheap distinct measurement points (8^3 boxes, resident hierarchy).
+fn cheap_points(count: usize) -> Vec<SimPoint> {
+    let variants = [
+        Variant::baseline(),
+        Variant::shift_fuse(),
+        Variant::overlapped(
+            pdesched_core::IntraTile::ShiftFuse,
+            4,
+            pdesched_core::Granularity::WithinBox,
+        ),
+        Variant::blocked_wavefront(pdesched_core::CompLoop::Outside, 4),
+    ];
+    assert!(count <= variants.len());
+    variants[..count].iter().map(|&v| SimPoint { variant: v, n: 8, configs: roomy() }).collect()
+}
+
+/// Kill-at-arbitrary-byte: truncate a two-entry store at *every* byte
+/// offset and assert the loader recovers exactly the fully-written
+/// entries, counts the torn remainder as corrupt, and compacts the file
+/// so the next load is clean.
+#[test]
+fn store_truncated_at_every_byte_recovers_intact_entries() {
+    let dir = TempDir::new("truncate");
+    let full_path = dir.file("full.txt");
+    {
+        let cache = TrafficCache::with_store(&full_path);
+        for p in cheap_points(2) {
+            cache.get(p.variant, p.n, &p.configs);
+        }
+    }
+    let full = std::fs::read_to_string(&full_path).unwrap();
+    let bytes = full.as_bytes();
+    // Byte ranges [start, content_end) of each line (newline excluded).
+    let mut lines: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            lines.push((start, i));
+            start = i + 1;
+        }
+    }
+    assert_eq!(lines.len(), 3, "header + two entries");
+    let (header, entries) = (lines[0], &lines[1..]);
+    for b in 0..=bytes.len() {
+        let path = dir.file("cut.txt");
+        std::fs::write(&path, &bytes[..b]).unwrap();
+        let _ = std::fs::remove_file(dir.file("cut.txt.quarantine"));
+        let cache = TrafficCache::with_store(&path);
+        if b < header.1 {
+            // Header itself torn: the whole store is discarded and
+            // re-initialized (empty but valid).
+            assert_eq!(cache.len(), 0, "cut at {b}");
+        } else {
+            let recovered = entries.iter().filter(|&&(_, end)| end <= b).count();
+            let torn = entries.iter().any(|&(s, end)| s < b && b < end);
+            assert_eq!(cache.len(), recovered, "cut at {b}");
+            assert_eq!(cache.stats().corrupt_lines, torn as u64, "cut at {b}");
+            assert_eq!(
+                std::fs::metadata(dir.file("cut.txt.quarantine")).is_ok(),
+                torn,
+                "cut at {b}: torn lines must be quarantined"
+            );
+        }
+        drop(cache);
+        // The repaired store must load clean.
+        let reload = TrafficCache::with_store(&path);
+        assert_eq!(reload.stats().corrupt_lines, 0, "cut at {b}: compaction must leave no damage");
+    }
+}
+
+#[test]
+fn recovered_entries_match_original_measurements() {
+    // Truncating mid-final-entry keeps the first entry bit-identical.
+    let dir = TempDir::new("roundtrip");
+    let path = dir.file("t.txt");
+    let pts = cheap_points(2);
+    let originals: Vec<_> = {
+        let cache = TrafficCache::with_store(&path);
+        pts.iter().map(|p| cache.get(p.variant, p.n, &p.configs)).collect()
+    };
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+    let cache = TrafficCache::with_store(&path);
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.stats().corrupt_lines, 1);
+    // Whichever entry survived, its value must equal the original
+    // measurement (served as a hit, not re-simulated).
+    let miss_before = cache.stats().misses;
+    for (p, orig) in pts.iter().zip(&originals) {
+        if cache.contains(p.variant, p.n, &p.configs) {
+            assert_eq!(cache.get(p.variant, p.n, &p.configs), *orig);
+        }
+    }
+    assert_eq!(cache.stats().misses, miss_before, "recovered entries must be hits");
+}
+
+#[test]
+fn failed_appends_are_counted_not_swallowed() {
+    let dir = TempDir::new("appendfail");
+    let path = dir.file("t.txt");
+    let plan = Arc::new(FaultPlan::new().fail_every_nth_append(2));
+    let pts = cheap_points(4);
+    {
+        let cache =
+            TrafficCache::with_store(&path).with_fault_hook(Arc::new(PlanHook(Arc::clone(&plan))));
+        for p in &pts {
+            cache.get(p.variant, p.n, &p.configs);
+        }
+        // Appends 1 and 3 (0-based) failed; the measurements stay
+        // available in memory.
+        assert_eq!(cache.stats().store_errors, 2);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(plan.appends_seen(), 4);
+    }
+    // Only the successful appends persisted — and they persisted intact.
+    let reload = TrafficCache::with_store(&path);
+    assert_eq!(reload.len(), 2);
+    assert_eq!(reload.stats().corrupt_lines, 0);
+}
+
+#[test]
+fn sweep_engine_degrades_on_injected_measurement_panic() {
+    let plan = Arc::new(FaultPlan::new().panic_on_sim(1));
+    let cache = TrafficCache::new().with_fault_hook(Arc::new(PlanHook(Arc::clone(&plan))));
+    let engine = SweepEngine::new(2);
+    let pts = cheap_points(3);
+    let report = engine.prewarm(&cache, &pts);
+    // One point failed; the other two completed and are served from
+    // memory.
+    assert_eq!(report.failed.len(), 1, "exactly the planned simulation fails");
+    assert_eq!(report.measured, 2);
+    assert_eq!(cache.len(), 2);
+    assert!(report.failed[0].error.contains("injected fault"), "{:?}", report.failed);
+    assert_eq!(report.failed[0].n, 8);
+    // The engine (and its pool) survive: a retry completes the sweep.
+    let retry = engine.prewarm(&cache, &pts);
+    assert!(retry.failed.is_empty());
+    assert_eq!(retry.measured, 1);
+    assert_eq!(cache.len(), 3);
+}
+
+#[test]
+fn single_writer_second_cache_is_read_only() {
+    let dir = TempDir::new("lock");
+    let path = dir.file("t.txt");
+    let pts = cheap_points(2);
+    let a = TrafficCache::with_store(&path);
+    assert!(!a.store_read_only());
+    a.get(pts[0].variant, pts[0].n, &pts[0].configs);
+    // Second cache on the same store while the first is alive: loads the
+    // entries but must not append.
+    let b = TrafficCache::with_store(&path);
+    assert!(b.store_read_only());
+    assert_eq!(b.len(), 1, "read-only cache still serves stored entries");
+    b.get(pts[1].variant, pts[1].n, &pts[1].configs);
+    assert_eq!(b.len(), 2, "in-memory memoization still works");
+    drop(b);
+    drop(a);
+    // Neither b's measurement nor its drop touched the store.
+    let c = TrafficCache::with_store(&path);
+    assert!(!c.store_read_only(), "lock must be released on drop");
+    assert_eq!(c.len(), 1, "read-only cache must not have appended");
+}
+
+#[test]
+fn single_writer_stale_lock_from_dead_process_is_stolen() {
+    let dir = TempDir::new("stalelock");
+    let path = dir.file("t.txt");
+    // A lock left behind by a crashed writer: pid that cannot be alive.
+    std::fs::write(dir.file("t.txt.lock"), "4294967295").unwrap();
+    let cache = TrafficCache::with_store(&path);
+    assert!(!cache.store_read_only(), "dead holder's lock must be stolen");
+    let p = &cheap_points(1)[0];
+    cache.get(p.variant, p.n, &p.configs);
+    drop(cache);
+    let reload = TrafficCache::with_store(&path);
+    assert_eq!(reload.len(), 1, "stolen lock must allow appends");
+}
+
+#[test]
+fn single_writer_unreadable_lock_is_respected() {
+    let dir = TempDir::new("oddlock");
+    let path = dir.file("t.txt");
+    // An unparseable lock could be a writer mid-acquisition: stay safe,
+    // degrade to read-only rather than double-write.
+    std::fs::write(dir.file("t.txt.lock"), "not-a-pid").unwrap();
+    let cache = TrafficCache::with_store(&path);
+    assert!(cache.store_read_only());
+}

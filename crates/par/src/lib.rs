@@ -26,7 +26,7 @@ pub mod barrier;
 pub mod pool;
 pub mod slice;
 
-pub use barrier::Barrier;
+pub use barrier::{Barrier, BarrierPoisoned};
 pub use pool::SpmdPool;
 pub use slice::UnsafeSlice;
 
@@ -60,6 +60,12 @@ impl<'a> SpmdCtx<'a> {
 
     /// Wait until every thread of the region reaches this point.
     /// Reusable any number of times.
+    ///
+    /// # Panics
+    /// If a peer thread of the region panicked, the phase can never
+    /// complete; this call then panics with a [`BarrierPoisoned`]
+    /// payload instead of deadlocking (the SPMD runtime catches it and
+    /// re-propagates the peer's original panic to the region's caller).
     #[inline]
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -121,6 +127,11 @@ pub fn static_block(tid: usize, n: usize, total: usize) -> Range<usize> {
 /// receives an [`SpmdCtx`] carrying the thread id and the region barrier.
 /// With `nthreads == 1` the body runs inline on the calling thread.
 ///
+/// Panic-safe: a panicking thread poisons the region barrier so peers
+/// blocked in [`SpmdCtx::barrier`] wake instead of deadlocking, and the
+/// first panic payload is re-propagated on the calling thread once every
+/// thread has left the region.
+///
 /// ```
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 /// let hits = AtomicUsize::new(0);
@@ -136,21 +147,42 @@ pub fn spmd<F>(nthreads: usize, body: F)
 where
     F: Fn(&SpmdCtx) + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     assert!(nthreads >= 1);
     let barrier = Barrier::new(nthreads);
     if nthreads == 1 {
         body(&SpmdCtx { tid: 0, nthreads: 1, barrier: &barrier });
         return;
     }
+    // First non-secondary panic of the region (see `BarrierPoisoned`).
+    let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
     std::thread::scope(|s| {
         for tid in 0..nthreads {
             let barrier = &barrier;
             let body = &body;
+            let first_panic = &first_panic;
             s.spawn(move || {
-                body(&SpmdCtx { tid, nthreads, barrier });
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    body(&SpmdCtx { tid, nthreads, barrier });
+                }));
+                if let Err(payload) = r {
+                    if !payload.is::<BarrierPoisoned>() {
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                    // Wake peers blocked at the region barrier.
+                    barrier.poison();
+                }
             });
         }
     });
+    let payload = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
 }
 
 /// `#pragma omp parallel for schedule(static)` over `0..total`.

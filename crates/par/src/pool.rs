@@ -8,9 +8,24 @@
 //!
 //! The calling thread participates as thread 0, so a pool of size `n`
 //! creates `n - 1` OS threads.
+//!
+//! # Panic safety
+//!
+//! A panic inside a region body must not deadlock the process: peers may
+//! be blocked at a [`Barrier`] waiting for the dead thread. Every
+//! thread (workers *and* the caller acting as thread 0) therefore runs
+//! the body under `catch_unwind`; the first panic poisons the region
+//! barrier, which wakes any peer blocked in `ctx.barrier()` with a
+//! secondary [`BarrierPoisoned`] panic. Every thread is still counted
+//! out of the generation, so [`SpmdPool::run`] always completes, clears
+//! the barrier poison, and re-propagates the *original* panic payload
+//! on the calling thread. The pool remains fully usable for the next
+//! region.
 
-use crate::barrier::Barrier;
+use crate::barrier::{Barrier, BarrierPoisoned};
 use crate::SpmdCtx;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -47,6 +62,21 @@ struct Shared {
     done_lock: Mutex<()>,
     done_cv: Condvar,
     shutdown: Mutex<bool>,
+    /// First non-secondary panic payload of the current generation.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Record `payload` as the region's primary panic unless one is already
+/// held or the payload is the barrier-abort sentinel (a thread that
+/// died *because* a peer died is not the interesting failure).
+fn record_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+    if payload.is::<BarrierPoisoned>() {
+        return;
+    }
+    let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
 }
 
 /// A persistent pool running SPMD regions on a fixed thread count.
@@ -70,6 +100,7 @@ impl SpmdPool {
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
             shutdown: Mutex::new(false),
+            panic: Mutex::new(None),
         });
         let barrier = Arc::new(Barrier::new(nthreads));
         let mut workers = Vec::new();
@@ -92,6 +123,12 @@ impl SpmdPool {
 
     /// Run an SPMD region on all threads of the pool. Blocks until every
     /// thread has finished the body.
+    ///
+    /// # Panics
+    /// If any thread's body panics, the region still completes on every
+    /// thread (peers blocked at a barrier are woken, not deadlocked) and
+    /// the first panic payload is re-propagated here. The pool stays
+    /// usable: the next `run` starts from a clean barrier and panic slot.
     pub fn run<F>(&self, body: F)
     where
         F: Fn(&SpmdCtx) + Sync,
@@ -114,28 +151,47 @@ impl SpmdPool {
             >(body_ref as *const _)
         });
         let barrier2 = Arc::clone(&barrier);
+        let shared2 = Arc::clone(&self.shared);
         let job: Job = Arc::new(move |tid: usize| {
             let ctx = SpmdCtx::new(tid, nthreads, &barrier2);
             // Safety: see above — the pointee is alive for the region.
-            unsafe { sp.call(&ctx) };
+            let r = catch_unwind(AssertUnwindSafe(|| unsafe { sp.call(&ctx) }));
+            if let Err(payload) = r {
+                record_panic(&shared2.panic, payload);
+                // Wake every peer blocked at the region barrier; they
+                // unwind with the (secondary) poison sentinel and are
+                // counted out of the generation like any other thread.
+                barrier2.poison();
+            }
         });
 
         self.shared.done.store(0, Ordering::SeqCst);
+        *self.shared.panic.lock().unwrap_or_else(|e| e.into_inner()) = None;
         {
             *self.shared.job.lock().unwrap() = Some(Arc::clone(&job));
             let mut gen = self.shared.generation.lock().unwrap();
             *gen += 1;
             self.shared.wake.notify_all();
         }
-        // Participate as thread 0.
+        // Participate as thread 0 (panics are caught inside the job).
         job(0);
-        // Wait for the workers.
+        // Wait for the workers; every worker counts itself done whether
+        // its body returned or unwound, so this cannot hang.
         let mut g = self.shared.done_lock.lock().unwrap();
         while self.shared.done.load(Ordering::SeqCst) < self.nthreads - 1 {
             g = self.shared.done_cv.wait(g).unwrap();
         }
         drop(g);
         *self.shared.job.lock().unwrap() = None;
+        // Every thread is out of the region: recover the barrier for the
+        // next generation and surface the first real panic, if any.
+        if self.barrier.is_poisoned() {
+            self.barrier.clear_poison();
+        }
+        let payload = self.shared.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
     }
 }
 

@@ -1,0 +1,202 @@
+//! Panic safety of the SPMD runtimes: a panicking region body must
+//! surface on the caller — never deadlock the region — and leave the
+//! pool usable for subsequent regions. Each scenario runs under a
+//! watchdog so a reintroduced deadlock fails the test instead of
+//! hanging the suite.
+//!
+//! Expected panic messages ("boom-…") appearing in this test's stderr
+//! are injected faults, not failures.
+
+use pdesched_par::{spmd, SpmdPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fail (not hang) if `f` does not finish within the test timeout.
+fn within_timeout(name: &'static str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(r);
+        })
+        .expect("spawn watchdog");
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(Ok(())) => {}
+        Ok(Err(payload)) => std::panic::resume_unwind(payload),
+        Err(_) => panic!("{name}: scenario deadlocked (timeout)"),
+    }
+}
+
+/// The panic payload's message, for asserting which panic propagated.
+fn message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        format!("{payload:?}")
+    }
+}
+
+/// After a panic, the pool must still run ordinary regions correctly.
+fn assert_pool_still_works(pool: &SpmdPool) {
+    for _ in 0..3 {
+        let seen = AtomicU64::new(0);
+        pool.run(|ctx| {
+            seen.fetch_or(1 << ctx.tid(), Ordering::SeqCst);
+            ctx.barrier();
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), (1u64 << pool.nthreads()) - 1);
+    }
+}
+
+#[test]
+fn panic_on_caller_thread_propagates() {
+    within_timeout("caller-panic", || {
+        for n in [1usize, 2, 8] {
+            let pool = SpmdPool::new(n);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|ctx| {
+                    if ctx.tid() == 0 {
+                        panic!("boom-caller-{n}");
+                    }
+                    // Peers park at the barrier the dead thread never
+                    // reaches.
+                    ctx.barrier();
+                });
+            }));
+            let payload = r.expect_err("caller panic must propagate");
+            assert_eq!(message(payload.as_ref()), format!("boom-caller-{n}"));
+            assert_pool_still_works(&pool);
+        }
+    });
+}
+
+#[test]
+fn panic_on_worker_thread_propagates() {
+    within_timeout("worker-panic", || {
+        for n in [2usize, 8] {
+            let pool = SpmdPool::new(n);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|ctx| {
+                    if ctx.tid() == 1 {
+                        panic!("boom-worker-{n}");
+                    }
+                    ctx.barrier();
+                });
+            }));
+            let payload = r.expect_err("worker panic must surface on the caller");
+            assert_eq!(message(payload.as_ref()), format!("boom-worker-{n}"));
+            assert_pool_still_works(&pool);
+        }
+    });
+}
+
+#[test]
+fn panic_with_peers_blocked_at_barrier_propagates() {
+    within_timeout("barrier-panic", || {
+        for n in [2usize, 8] {
+            let pool = SpmdPool::new(n);
+            let reached = AtomicU64::new(0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|ctx| {
+                    if ctx.tid() == ctx.nthreads() - 1 {
+                        // Give peers time to actually block in wait().
+                        while reached.load(Ordering::SeqCst) + 1 < ctx.nthreads() as u64 {
+                            std::hint::spin_loop();
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        panic!("boom-at-barrier-{n}");
+                    }
+                    reached.fetch_add(1, Ordering::SeqCst);
+                    ctx.barrier();
+                });
+            }));
+            let payload = r.expect_err("panic at barrier must not deadlock");
+            assert_eq!(message(payload.as_ref()), format!("boom-at-barrier-{n}"));
+            assert_pool_still_works(&pool);
+        }
+    });
+}
+
+#[test]
+fn pool_survives_repeated_panicking_regions() {
+    within_timeout("repeated-panics", || {
+        let pool = SpmdPool::new(4);
+        for round in 0..5u64 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|ctx| {
+                    if ctx.tid() as u64 == round % 4 {
+                        panic!("boom-round-{round}");
+                    }
+                    ctx.barrier();
+                });
+            }));
+            assert_eq!(
+                message(r.expect_err("must propagate").as_ref()),
+                format!("boom-round-{round}")
+            );
+            // Interleave a healthy region between faulty ones.
+            assert_pool_still_works(&pool);
+        }
+    });
+}
+
+#[test]
+fn only_first_panic_payload_is_reported() {
+    within_timeout("first-payload", || {
+        let pool = SpmdPool::new(4);
+        // Every thread panics; exactly one payload (a real one, never the
+        // internal barrier-abort sentinel) must reach the caller.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                panic!("boom-everyone-{}", ctx.tid());
+            });
+        }));
+        let msg = message(r.expect_err("must propagate").as_ref());
+        assert!(msg.starts_with("boom-everyone-"), "unexpected payload: {msg}");
+        assert_pool_still_works(&pool);
+    });
+}
+
+#[test]
+fn spmd_region_panic_propagates_without_deadlock() {
+    within_timeout("spmd-panic", || {
+        for n in [1usize, 2, 8] {
+            let r = std::panic::catch_unwind(|| {
+                spmd(n, |ctx| {
+                    if ctx.tid() == n - 1 {
+                        panic!("boom-spmd-{n}");
+                    }
+                    ctx.barrier();
+                });
+            });
+            let payload = r.expect_err("spmd panic must propagate");
+            assert_eq!(message(payload.as_ref()), format!("boom-spmd-{n}"));
+        }
+    });
+}
+
+#[test]
+fn panicking_dynamic_schedule_leaves_counter_consistent() {
+    within_timeout("dynamic-panic", || {
+        let pool = SpmdPool::new(4);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let done = AtomicU64::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                ctx.dynamic_items(&counter, 64, 1, |i| {
+                    if i == 13 {
+                        panic!("boom-item-13");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert_eq!(message(r.expect_err("must propagate").as_ref()), "boom-item-13");
+        // Survivors kept draining items; nothing hung.
+        assert!(done.load(Ordering::SeqCst) <= 63);
+        assert_pool_still_works(&pool);
+    });
+}

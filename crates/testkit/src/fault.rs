@@ -1,0 +1,144 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a declarative description of *which* operation of
+//! a run should fail — "panic on simulation k", "fail every nth store
+//! append", "truncate the store after byte b" — plus the atomic
+//! counters that fire it at exactly the planned occurrence no matter
+//! which thread performs the operation. Tests thread a plan through
+//! pool jobs and store I/O hooks, so fault-tolerance claims are
+//! exercised by the same deterministic machinery on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic fault plan. All trigger sites are optional; an empty
+/// plan injects nothing and every probe is a cheap counter bump.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panic_on_sim: Option<u64>,
+    fail_append_every: Option<u64>,
+    truncate_after_byte: Option<u64>,
+    sims: AtomicU64,
+    appends: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic on the `k`-th (0-based) call to [`on_sim`](Self::on_sim).
+    pub fn panic_on_sim(mut self, k: u64) -> Self {
+        self.panic_on_sim = Some(k);
+        self
+    }
+
+    /// Fail every `n`-th (0-based: appends n-1, 2n-1, …) probe of
+    /// [`on_append`](Self::on_append).
+    pub fn fail_every_nth_append(mut self, n: u64) -> Self {
+        assert!(n >= 1, "append failure period must be >= 1");
+        self.fail_append_every = Some(n);
+        self
+    }
+
+    /// Plan a store truncation after byte `b` (applied by the test via
+    /// [`truncation`](Self::truncation); the store never sees it as an
+    /// API call — it simulates a crash mid-write).
+    pub fn truncate_after_byte(mut self, b: u64) -> Self {
+        self.truncate_after_byte = Some(b);
+        self
+    }
+
+    /// Count one simulation; panics deterministically if this is the
+    /// planned one. Call from the measurement path (any thread).
+    pub fn on_sim(&self) {
+        let idx = self.sims.fetch_add(1, Ordering::SeqCst);
+        if self.panic_on_sim == Some(idx) {
+            panic!("injected fault: panic on simulation {idx}");
+        }
+    }
+
+    /// Count one store append; returns `true` when the plan says this
+    /// one must fail.
+    pub fn on_append(&self) -> bool {
+        let idx = self.appends.fetch_add(1, Ordering::SeqCst);
+        match self.fail_append_every {
+            Some(n) => (idx + 1).is_multiple_of(n),
+            None => false,
+        }
+    }
+
+    /// The planned truncation offset, if any.
+    pub fn truncation(&self) -> Option<u64> {
+        self.truncate_after_byte
+    }
+
+    /// Simulations probed so far.
+    pub fn sims_seen(&self) -> u64 {
+        self.sims.load(Ordering::SeqCst)
+    }
+
+    /// Appends probed so far.
+    pub fn appends_seen(&self) -> u64 {
+        self.appends.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::new();
+        for _ in 0..100 {
+            p.on_sim();
+            assert!(!p.on_append());
+        }
+        assert_eq!((p.sims_seen(), p.appends_seen()), (100, 100));
+        assert_eq!(p.truncation(), None);
+    }
+
+    #[test]
+    fn panics_on_exactly_the_planned_sim() {
+        let p = FaultPlan::new().panic_on_sim(3);
+        for _ in 0..3 {
+            p.on_sim();
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.on_sim()));
+        assert!(r.is_err(), "sim 3 must panic");
+        // Later sims proceed (the plan fires once).
+        p.on_sim();
+        assert_eq!(p.sims_seen(), 5);
+    }
+
+    #[test]
+    fn append_failures_follow_the_period() {
+        let p = FaultPlan::new().fail_every_nth_append(3);
+        let fired: Vec<bool> = (0..9).map(|_| p.on_append()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn fires_deterministically_across_threads() {
+        // Exactly one of N concurrent probes observes the planned panic,
+        // regardless of interleaving.
+        let p = FaultPlan::new().panic_on_sim(5);
+        let panics = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.on_sim()))
+                            .is_err()
+                        {
+                            panics.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(panics.load(Ordering::SeqCst), 1);
+        assert_eq!(p.sims_seen(), 20);
+    }
+}

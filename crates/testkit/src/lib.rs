@@ -5,6 +5,19 @@
 //! with a zero-dependency SplitMix64 PRNG and a fixed per-test seed:
 //! every run explores the identical case matrix, and a failing case
 //! prints the `(test seed, case index)` pair needed to replay it.
+//!
+//! Two more robustness-testing primitives live here: [`FaultPlan`], a
+//! deterministic fault-injection plan (panic on simulation k, fail
+//! every nth append, truncate after byte b) threaded through pool jobs
+//! and store I/O by the fault-tolerance tests, and [`TempDir`], an RAII
+//! scratch-directory guard that cannot leak files on assertion failure
+//! or collide across concurrent test binaries.
+
+pub mod fault;
+pub mod tempdir;
+
+pub use fault::FaultPlan;
+pub use tempdir::TempDir;
 
 /// SplitMix64: tiny, statistically solid, and stable across platforms —
 /// exactly what reproducible test-case generation needs.

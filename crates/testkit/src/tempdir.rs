@@ -1,0 +1,99 @@
+//! RAII temporary directories for tests.
+//!
+//! Hand-rolled `std::env::temp_dir().join(format!("name-{pid}"))` paths
+//! leak files when an assertion fails before the cleanup line, and
+//! collide when the same-named test runs in two concurrent test
+//! binaries of one process tree. [`TempDir`] fixes both: the directory
+//! name is unique per (process, instance, nanosecond), and the guard
+//! removes the whole tree on drop — including on panic, since drops run
+//! during unwinding.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so two guards created in the same nanosecond
+/// still get distinct paths.
+static INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<system tmp>/pdesched-<label>-<pid>-<seq>-<nanos>/`.
+    ///
+    /// Panics if the directory cannot be created — a test without its
+    /// scratch space should fail loudly, not corrupt shared paths.
+    pub fn new(label: &str) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "pdesched-{label}-{}-{}-{nanos}",
+            std::process::id(),
+            INSTANCE.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed removal must not turn a passing test
+        // into a panic-in-drop abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let d = TempDir::new("unit");
+            p = d.path().to_path_buf();
+            assert!(p.is_dir());
+            std::fs::write(d.file("a.txt"), "x").unwrap();
+            std::fs::create_dir(d.file("sub")).unwrap();
+            std::fs::write(d.file("sub").join("b.txt"), "y").unwrap();
+        }
+        assert!(!p.exists(), "guard must remove the tree");
+    }
+
+    #[test]
+    fn instances_do_not_collide() {
+        let a = TempDir::new("same");
+        let b = TempDir::new("same");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn cleans_up_on_panic() {
+        let p = std::sync::Mutex::new(PathBuf::new());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let d = TempDir::new("panicky");
+            *p.lock().unwrap() = d.path().to_path_buf();
+            std::fs::write(d.file("orphan"), "z").unwrap();
+            panic!("boom");
+        }));
+        assert!(r.is_err());
+        assert!(!p.lock().unwrap().exists(), "drop must run during unwind");
+    }
+}
