@@ -1,0 +1,303 @@
+//! Trace→cachesim pipeline throughput benchmark.
+//!
+//! ```text
+//! bench [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b]
+//!       [--out PATH] [--skip-reference]
+//!       [--check-against PATH] [--threshold X]
+//! ```
+//!
+//! Times `measure_box_traffic` (the run-batched, hot-line-filtered fast
+//! path) and `measure_box_traffic_reference` (the per-element reference
+//! path) for each (variant, box size) point and reports simulated
+//! accesses per second plus per-point wall time. Results go to
+//! `BENCH_<label>.json` at the invocation directory (repo root in CI)
+//! unless `--out` overrides the path.
+//!
+//! * `--samples K` — repeat each timing K times and keep the fastest
+//!   (default 3); traffic results are asserted identical across paths
+//!   every time, so the benchmark doubles as an equivalence check.
+//! * `--skip-reference` — fast path only (for quick smoke runs).
+//! * `--check-against PATH --threshold X` — compare this run's fast-path
+//!   accesses/sec against a previously committed BENCH JSON and exit
+//!   nonzero if any matching point regressed by more than X× (default
+//!   3.0, loose enough to absorb machine-to-machine variation while
+//!   catching an accidental return to per-element dispatch). Points
+//!   missing from the baseline are reported and skipped.
+//!
+//! The JSON is written one point per line so the regression check needs
+//! no JSON parser — see `field` below.
+
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::{CompLoop, Variant};
+use pdesched_machine::traffic::{measure_box_traffic, measure_box_traffic_reference, BoxTraffic};
+use std::time::Instant;
+
+/// The undersized stress hierarchy every golden test pins (8 KiB 4-way
+/// L1, 64 KiB 8-way LLC): constant capacity misses make it the
+/// worst-case load on the simulator itself.
+fn hierarchy() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)]
+}
+
+/// Box repetitions `measure_box_traffic` runs per call (its `k`); the
+/// per-call access total is the per-box counters times this.
+fn boxes_per_call(n: i32) -> u64 {
+    if n <= 32 {
+        4
+    } else if n <= 64 {
+        2
+    } else {
+        1
+    }
+}
+
+struct Point {
+    variant: &'static str,
+    n: i32,
+    accesses: u64,
+    fast_seconds: f64,
+    ref_seconds: Option<f64>,
+    dram_bytes: u64,
+}
+
+impl Point {
+    fn fast_macc(&self) -> f64 {
+        self.accesses as f64 / self.fast_seconds / 1e6
+    }
+}
+
+fn named_variants() -> Vec<(&'static str, Variant)> {
+    let mut fuse_cli = Variant::shift_fuse();
+    fuse_cli.comp = CompLoop::Inside;
+    vec![
+        ("baseline", Variant::baseline()),
+        ("shift_fuse", Variant::shift_fuse()),
+        ("fuse_cli", fuse_cli),
+        ("bwf_cli4", Variant::blocked_wavefront(CompLoop::Inside, 4)),
+    ]
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench: {msg}");
+    eprintln!(
+        "usage: bench [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b] \
+         [--out PATH] [--skip-reference] [--check-against PATH] [--threshold X]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut label = String::from("local");
+    let mut sizes: Vec<i32> = vec![16, 32, 64];
+    let mut samples: usize = 3;
+    let mut out: Option<String> = None;
+    let mut skip_reference = false;
+    let mut check_against: Option<String> = None;
+    let mut threshold: f64 = 3.0;
+    let mut wanted: Option<Vec<String>> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val =
+            |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--label" => label = val("--label"),
+            "--sizes" => {
+                sizes = val("--sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad --sizes")))
+                    .collect()
+            }
+            "--samples" => {
+                samples = val("--samples").parse().unwrap_or_else(|_| usage("bad --samples"))
+            }
+            "--variants" => {
+                wanted = Some(val("--variants").split(',').map(|s| s.trim().to_string()).collect())
+            }
+            "--out" => out = Some(val("--out")),
+            "--skip-reference" => skip_reference = true,
+            "--check-against" => check_against = Some(val("--check-against")),
+            "--threshold" => {
+                threshold = val("--threshold").parse().unwrap_or_else(|_| usage("bad --threshold"))
+            }
+            other => usage(&format!("unrecognized argument '{other}'")),
+        }
+    }
+    if samples == 0 {
+        usage("--samples must be at least 1");
+    }
+
+    let configs = hierarchy();
+    let variants: Vec<(&'static str, Variant)> = match &wanted {
+        None => named_variants(),
+        Some(names) => {
+            let all = named_variants();
+            names
+                .iter()
+                .map(|w| {
+                    *all.iter()
+                        .find(|(name, _)| name == w)
+                        .unwrap_or_else(|| usage(&format!("unknown variant '{w}'")))
+                })
+                .collect()
+        }
+    };
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        for &(vname, variant) in &variants {
+            if !variant.valid_for_box(n) {
+                println!("{vname:<12} n={n:<4} skipped (invalid for box)");
+                continue;
+            }
+            let (fast_seconds, traffic) =
+                time_best(samples, || measure_box_traffic(variant, n, &configs));
+            let k = boxes_per_call(n);
+            let accesses = (traffic.reads + traffic.writes) * k;
+            let ref_seconds = (!skip_reference).then(|| {
+                let (secs, r) =
+                    time_best(samples, || measure_box_traffic_reference(variant, n, &configs));
+                assert_eq!(traffic, r, "fast path diverged from reference for {vname} n={n}");
+                secs
+            });
+            let p = Point {
+                variant: vname,
+                n,
+                accesses,
+                fast_seconds,
+                ref_seconds,
+                dram_bytes: traffic.dram_bytes,
+            };
+            match p.ref_seconds {
+                Some(r) => println!(
+                    "{vname:<12} n={n:<4} fast {fast_seconds:.3}s ({:7.1} Macc/s)  ref {r:.3}s  speedup {:.2}x",
+                    p.fast_macc(),
+                    r / fast_seconds
+                ),
+                None => println!(
+                    "{vname:<12} n={n:<4} fast {fast_seconds:.3}s ({:7.1} Macc/s)",
+                    p.fast_macc()
+                ),
+            }
+            points.push(p);
+        }
+    }
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+    std::fs::write(&path, render_json(&label, &configs, &points)).expect("write bench JSON");
+    println!("wrote {path}");
+
+    if let Some(base) = check_against {
+        let baseline = std::fs::read_to_string(&base)
+            .unwrap_or_else(|e| usage(&format!("cannot read --check-against {base}: {e}")));
+        if let Err(msg) = check_regression(&baseline, &points, threshold) {
+            eprintln!("bench: REGRESSION vs {base}:\n{msg}");
+            std::process::exit(1);
+        }
+        println!("no fast-path regression beyond {threshold}x vs {base}");
+    }
+}
+
+/// Run `f` `samples` times; return the fastest wall time and the (always
+/// identical) result.
+fn time_best(samples: usize, mut f: impl FnMut() -> BoxTraffic) -> (f64, BoxTraffic) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = result {
+            assert_eq!(prev, r, "measurement is not deterministic");
+        }
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+fn render_json(label: &str, configs: &[CacheConfig], points: &[Point]) -> String {
+    use std::fmt::Write;
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"label\": \"{label}\",");
+    let levels: Vec<String> = configs
+        .iter()
+        .map(|c| format!("{{\"bytes\": {}, \"assoc\": {}}}", c.size, c.assoc))
+        .collect();
+    let _ = writeln!(j, "  \"hierarchy\": [{}],", levels.join(", "));
+    let _ = writeln!(j, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let (rs, rm, sp) = match p.ref_seconds {
+            Some(r) => (
+                format!("{r:.6}"),
+                format!("{:.3}", p.accesses as f64 / r / 1e6),
+                format!("{:.3}", r / p.fast_seconds),
+            ),
+            None => ("null".into(), "null".into(), "null".into()),
+        };
+        let _ = writeln!(
+            j,
+            "    {{\"variant\": \"{}\", \"n\": {}, \"accesses\": {}, \
+             \"fast_seconds\": {:.6}, \"fast_macc_per_s\": {:.3}, \
+             \"ref_seconds\": {rs}, \"ref_macc_per_s\": {rm}, \"speedup\": {sp}, \
+             \"dram_bytes\": {}}}{comma}",
+            p.variant,
+            p.n,
+            p.accesses,
+            p.fast_seconds,
+            p.fast_macc(),
+            p.dram_bytes
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull `"key": value` off a single point line (the writer above emits
+/// one point per line, so no JSON parser is needed).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Fail if any current point's fast-path accesses/sec fell below the
+/// baseline's by more than `threshold`×.
+fn check_regression(baseline: &str, points: &[Point], threshold: f64) -> Result<(), String> {
+    let mut failures = String::new();
+    for p in points {
+        let base = baseline.lines().find(|l| {
+            field(l, "variant") == Some(p.variant)
+                && field(l, "n").and_then(|v| v.parse::<i32>().ok()) == Some(p.n)
+        });
+        let Some(line) = base else {
+            println!("note: no baseline point for {} n={} — skipped", p.variant, p.n);
+            continue;
+        };
+        let base_macc: f64 = field(line, "fast_macc_per_s")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("unparsable baseline line: {line}"))?;
+        let now = p.fast_macc();
+        if now * threshold < base_macc {
+            use std::fmt::Write;
+            let _ = writeln!(
+                failures,
+                "  {} n={}: {:.1} Macc/s vs baseline {:.1} (allowed floor {:.1})",
+                p.variant,
+                p.n,
+                now,
+                base_macc,
+                base_macc / threshold
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}

@@ -2,26 +2,33 @@
 
 use crate::config::CacheConfig;
 
-/// One cache way.
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
-
-const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+/// Tag sentinel marking an invalid way. Unreachable as a real line
+/// index: lines are byte addresses divided by the line size, so a real
+/// line is always strictly below `u64::MAX`.
+pub(crate) const EMPTY_TAG: u64 = u64::MAX;
 
 /// A set-associative, true-LRU cache level.
 ///
 /// Addresses passed in are *line* indices (byte address divided by the
-/// line size); the hierarchy does that division once.
+/// line size); the hierarchy does that division once. Storage is
+/// struct-of-arrays — a set scan walks `assoc` adjacent tags instead of
+/// striding over wide per-way records — and validity is encoded as the
+/// [`EMPTY_TAG`] sentinel so the scan is a bare tag compare. The level
+/// carries its own hit/miss counters so the hierarchy's hot path does
+/// not maintain a parallel statistics array.
 pub struct CacheLevel {
     cfg: CacheConfig,
-    set_mask: u64,
-    ways: Vec<Way>,
-    clock: u64,
+    pub(crate) set_mask: u64,
+    pub(crate) assoc: usize,
+    /// Per-way line tags ([`EMPTY_TAG`] = invalid), set-major.
+    pub(crate) tags: Box<[u64]>,
+    /// Per-way LRU stamps (larger = more recent).
+    pub(crate) lru: Box<[u64]>,
+    /// Per-way dirty flags (0/1).
+    pub(crate) dirty: Box<[u8]>,
+    pub(crate) clock: u64,
+    hits: u64,
+    misses: u64,
 }
 
 /// Result of probing a level.
@@ -38,11 +45,17 @@ impl CacheLevel {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
         let sets = cfg.sets();
+        let ways = sets * cfg.assoc;
         CacheLevel {
             cfg,
             set_mask: (sets - 1) as u64,
-            ways: vec![EMPTY; sets * cfg.assoc],
+            assoc: cfg.assoc,
+            tags: vec![EMPTY_TAG; ways].into_boxed_slice(),
+            lru: vec![0; ways].into_boxed_slice(),
+            dirty: vec![0; ways].into_boxed_slice(),
             clock: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -52,27 +65,25 @@ impl CacheLevel {
     }
 
     #[inline]
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line & self.set_mask) as usize;
-        let start = set * self.cfg.assoc;
-        start..start + self.cfg.assoc
+    pub(crate) fn set_start(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize * self.assoc
     }
 
     /// Look up `line`; on a hit update the LRU stamp and optionally mark
-    /// dirty.
+    /// dirty. Counts the hit or miss either way.
+    #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Probe {
         self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == line {
-                w.lru = clock;
-                if write {
-                    w.dirty = true;
-                }
+        let start = self.set_start(line);
+        for j in 0..self.assoc {
+            if self.tags[start + j] == line {
+                self.lru[start + j] = self.clock;
+                self.dirty[start + j] |= write as u8;
+                self.hits += 1;
                 return Probe::Hit;
             }
         }
+        self.misses += 1;
         Probe::Miss
     }
 
@@ -80,29 +91,37 @@ impl CacheLevel {
     /// full. Returns the evicted line and its dirty bit, if any.
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
         self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
-        let ways = &mut self.ways[range];
-        // Prefer an invalid way.
-        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
-            *w = Way { tag: line, valid: true, dirty, lru: clock };
-            return None;
-        }
-        // Evict true-LRU.
-        let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("associativity >= 1");
-        let evicted = (victim.tag, victim.dirty);
-        *victim = Way { tag: line, valid: true, dirty, lru: clock };
-        Some(evicted)
+        let start = self.set_start(line);
+        let set = start..start + self.assoc;
+        // Prefer an invalid way; otherwise evict true-LRU (first minimum).
+        let j = match self.tags[set.clone()].iter().position(|&t| t == EMPTY_TAG) {
+            Some(j) => j,
+            None => {
+                let mut j = 0;
+                for k in 1..self.assoc {
+                    if self.lru[start + k] < self.lru[start + j] {
+                        j = k;
+                    }
+                }
+                j
+            }
+        };
+        let w = start + j;
+        let evicted = (self.tags[w] != EMPTY_TAG).then(|| (self.tags[w], self.dirty[w] != 0));
+        self.tags[w] = line;
+        self.lru[w] = self.clock;
+        self.dirty[w] = dirty as u8;
+        evicted
     }
 
-    /// Remove `line` if present, returning whether it was dirty
+    /// Mark `line` dirty if present, returning whether it was found
     /// (used when a dirty victim from an upper level lands here and the
     /// line already exists: the copies merge).
     pub fn merge_dirty(&mut self, line: u64) -> bool {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == line {
-                w.dirty = true;
+        let start = self.set_start(line);
+        for j in 0..self.assoc {
+            if self.tags[start + j] == line {
+                self.dirty[start + j] = 1;
                 return true;
             }
         }
@@ -113,19 +132,41 @@ impl CacheLevel {
     /// everything invalid.
     pub fn flush(&mut self) -> u64 {
         let mut dirty = 0;
-        for w in &mut self.ways {
-            if w.valid && w.dirty {
+        for (t, d) in self.tags.iter_mut().zip(self.dirty.iter_mut()) {
+            if *t != EMPTY_TAG && *d != 0 {
                 dirty += 1;
             }
-            w.valid = false;
-            w.dirty = false;
+            *t = EMPTY_TAG;
+            *d = 0;
         }
         dirty
     }
 
     /// Number of currently valid lines (tests/diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
+    }
+
+    /// Line indices of the currently dirty lines (tests/diagnostics of
+    /// the dirty-accounting rules; see the hierarchy's
+    /// `dirty_line_accounting` tests).
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        self.tags
+            .iter()
+            .zip(self.dirty.iter())
+            .filter(|&(&t, &d)| t != EMPTY_TAG && d != 0)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Accesses that hit this level.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Accesses that missed this level (and proceeded downward).
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 
@@ -145,6 +186,7 @@ mod tests {
         assert_eq!(l.fill(5, false), None);
         assert_eq!(l.access(5, false), Probe::Hit);
         assert_eq!(l.occupancy(), 1);
+        assert_eq!((l.hits(), l.misses()), (1, 1));
     }
 
     #[test]
@@ -189,9 +231,11 @@ mod tests {
         l.fill(1, true);
         l.fill(2, false);
         l.fill(3, true);
+        assert_eq!(l.dirty_lines(), vec![1, 3]);
         assert_eq!(l.flush(), 2);
         assert_eq!(l.occupancy(), 0);
         assert_eq!(l.access(1, false), Probe::Miss);
+        assert!(l.dirty_lines().is_empty());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! simulator configured with the target machine's cache hierarchy.
 //!
 //! Model:
+//! * levels are ordered L1 first, LLC last — in constructor slices,
+//!   in `Stats::levels`, and in `dirty_lines_by_level`,
 //! * per-level set-associative arrays with true-LRU replacement,
 //! * write-back, write-allocate at every level,
 //! * non-inclusive fill: a miss fills every level on the path,
@@ -21,6 +23,7 @@
 
 pub mod config;
 pub mod level;
+mod packed;
 pub mod sim;
 
 pub use config::CacheConfig;

@@ -259,31 +259,23 @@ fn fused_tile_cli<M: Mem>(
                 if y == lo[1] {
                     face_fluxes_all(phi0, 1, iv, &mut fylo, mem);
                 } else {
-                    for c in 0..NCOMP {
-                        mem.r(ybase + (xr * NCOMP + c) * 8);
-                        fylo[c] = ycache[xr * NCOMP + c];
-                    }
+                    mem.r_run(ybase + xr * NCOMP * 8, NCOMP);
+                    fylo.copy_from_slice(&ycache[xr * NCOMP..(xr + 1) * NCOMP]);
                 }
                 face_fluxes_all(phi0, 1, iv.shifted(1, 1), &mut fyhi, mem);
-                for c in 0..NCOMP {
-                    mem.w(ybase + (xr * NCOMP + c) * 8);
-                    ycache[xr * NCOMP + c] = fyhi[c];
-                }
+                mem.w_run(ybase + xr * NCOMP * 8, NCOMP);
+                ycache[xr * NCOMP..(xr + 1) * NCOMP].copy_from_slice(&fyhi);
                 // z direction
                 let zi = ((y - lo[1]) as usize * nx + xr) * NCOMP;
                 if z == lo[2] {
                     face_fluxes_all(phi0, 2, iv, &mut fzlo, mem);
                 } else {
-                    for c in 0..NCOMP {
-                        mem.r(zbase + (zi + c) * 8);
-                        fzlo[c] = zcache[zi + c];
-                    }
+                    mem.r_run(zbase + zi * 8, NCOMP);
+                    fzlo.copy_from_slice(&zcache[zi..zi + NCOMP]);
                 }
                 face_fluxes_all(phi0, 2, iv.shifted(2, 1), &mut fzhi, mem);
-                for c in 0..NCOMP {
-                    mem.w(zbase + (zi + c) * 8);
-                    zcache[zi + c] = fzhi[c];
-                }
+                mem.w_run(zbase + zi * 8, NCOMP);
+                zcache[zi..zi + NCOMP].copy_from_slice(&fzhi);
                 // Accumulate: per component, direction order x, y, z.
                 for c in 0..NCOMP {
                     let pi = phi1.index(iv, c);

@@ -22,6 +22,26 @@ pub trait Mem: Sync {
     /// An 8-byte write at byte address `addr`.
     #[inline(always)]
     fn w(&self, _addr: usize) {}
+    /// `elems` consecutive 8-byte reads starting at `addr` (a unit-stride
+    /// run). Semantically identical to calling [`Mem::r`] at `addr`,
+    /// `addr + 8`, …; tracing implementations may exploit the known
+    /// contiguity. Executors must only emit runs for accesses that really
+    /// are consecutive in the per-element stream — reordering would
+    /// change what a cache simulator observes.
+    #[inline(always)]
+    fn r_run(&self, addr: usize, elems: usize) {
+        for i in 0..elems {
+            self.r(addr + i * 8);
+        }
+    }
+    /// `elems` consecutive 8-byte writes starting at `addr`; see
+    /// [`Mem::r_run`].
+    #[inline(always)]
+    fn w_run(&self, addr: usize, elems: usize) {
+        for i in 0..elems {
+            self.w(addr + i * 8);
+        }
+    }
     /// One face-interpolation kernel (5 flops).
     #[inline(always)]
     fn op_interp(&self) {}
@@ -92,6 +112,14 @@ impl Mem for CountingMem {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
     #[inline]
+    fn r_run(&self, _addr: usize, elems: usize) {
+        self.reads.fetch_add(elems as u64, Ordering::Relaxed);
+    }
+    #[inline]
+    fn w_run(&self, _addr: usize, elems: usize) {
+        self.writes.fetch_add(elems as u64, Ordering::Relaxed);
+    }
+    #[inline]
     fn op_interp(&self) {
         self.interp.fetch_add(1, Ordering::Relaxed);
     }
@@ -126,5 +154,37 @@ mod tests {
         m.op_accum();
         assert_eq!(m.snapshot(), (2, 1, 1, 1, 2));
         assert_eq!(m.op_count().flops(), 5 + 1 + 4);
+    }
+
+    #[test]
+    fn run_hooks_count_like_loops() {
+        let m = CountingMem::new();
+        m.r_run(0, 5);
+        m.w_run(64, 3);
+        m.r_run(128, 0);
+        assert_eq!(m.snapshot(), (5, 3, 0, 0, 0));
+    }
+
+    #[test]
+    fn default_run_hooks_expand_per_element() {
+        // An implementation that only overrides r/w must see each element
+        // of a run at its own address, in ascending order.
+        use std::sync::Mutex;
+        struct Log(Mutex<Vec<(char, usize)>>);
+        impl Mem for Log {
+            fn r(&self, addr: usize) {
+                self.0.lock().unwrap().push(('r', addr));
+            }
+            fn w(&self, addr: usize) {
+                self.0.lock().unwrap().push(('w', addr));
+            }
+        }
+        let m = Log(Mutex::new(Vec::new()));
+        m.r_run(16, 3);
+        m.w_run(80, 2);
+        assert_eq!(
+            *m.0.lock().unwrap(),
+            vec![('r', 16), ('r', 24), ('r', 32), ('w', 80), ('w', 88)]
+        );
     }
 }

@@ -32,6 +32,11 @@ use pdesched_par::spmd;
 /// `nthreads == 1` runs the tiles serially (the `P >= Box` granularity);
 /// otherwise tiles are distributed statically over threads, each with its
 /// own buffer set.
+///
+/// Memory tracing: every access happens inside the per-tile bodies
+/// (`series_tile`, `fused_tile`, `run_tile_serial`), so overlapped
+/// tiles inherit those executors' batched `Mem::r_run`/`w_run` emission
+/// unchanged — there are no additional per-element loops here.
 pub fn run_box<M: Mem>(
     phi0: &FArrayBox,
     phi1: &mut FArrayBox,

@@ -288,12 +288,18 @@ pub(crate) fn pass_accumulate<M: Mem>(
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let e = IntVect::basis(d);
+    let flux_unit = flux.stride(d) == 1;
     let do_cell = |iv: IntVect, c: usize| {
         let flo = flux.index(iv, c);
         let fhi = flux.index(iv + e, c);
         let pi = phi1.index(iv, c);
-        mem.r(flux.addr(flo));
-        mem.r(flux.addr(fhi));
+        if flux_unit {
+            // d == 0: the low/high face fluxes are adjacent in x.
+            mem.r_run(flux.addr(flo), 2);
+        } else {
+            mem.r(flux.addr(flo));
+            mem.r(flux.addr(fhi));
+        }
         mem.r(phi1.addr(pi));
         mem.op_accum();
         let v = unsafe { accumulate(phi1.read(pi), flux.read(flo), flux.read(fhi)) };

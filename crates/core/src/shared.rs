@@ -117,10 +117,15 @@ pub fn face_interp_at<M: Mem>(phi0: &FArrayBox, d: usize, f: IntVect, c: usize, 
     let i0 = phi0.index(f, c);
     let pd = phi0.data();
     let base = phi0.base_addr();
-    mem.r(base + (i0 - 2 * stride) * 8);
-    mem.r(base + (i0 - stride) * 8);
-    mem.r(base + i0 * 8);
-    mem.r(base + (i0 + stride) * 8);
+    if stride == 1 {
+        // x-direction: the four stencil reads are one contiguous run.
+        mem.r_run(base + (i0 - 2) * 8, 4);
+    } else {
+        mem.r(base + (i0 - 2 * stride) * 8);
+        mem.r(base + (i0 - stride) * 8);
+        mem.r(base + i0 * 8);
+        mem.r(base + (i0 + stride) * 8);
+    }
     mem.op_interp();
     face_interp(pd[i0 - 2 * stride], pd[i0 - stride], pd[i0], pd[i0 + stride])
 }

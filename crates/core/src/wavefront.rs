@@ -355,6 +355,9 @@ fn tile_cli<M: Mem>(
     let (lo, hi) = (t.lo(), t.hi());
     let blo = cells.lo();
     let (xbase, ybase, zbase) = (caches.xbase, caches.ybase, caches.zbase);
+    // CLI caches store the NCOMP components of a cell contiguously, so
+    // each cache read/write below is one unit-stride run.
+    debug_assert_eq!(caches.kc, NCOMP);
     let mut flo = [0.0f64; NCOMP];
     let mut fhi = [0.0f64; NCOMP];
     for z in lo[2]..=hi[2] {
@@ -367,51 +370,57 @@ fn tile_cli<M: Mem>(
                 if x == blo[0] {
                     face_fluxes_all(phi0, 0, iv, &mut flo, mem);
                 } else {
+                    let i0 = caches.xi(iv, 0);
+                    mem.r_run(xbase + i0 * 8, NCOMP);
                     for (c, v) in flo.iter_mut().enumerate() {
-                        let i = caches.xi(iv, c);
-                        mem.r(xbase + i * 8);
-                        *v = unsafe { caches.x.read(i) };
+                        *v = unsafe { caches.x.read(i0 + c) };
                     }
                 }
                 face_fluxes_all(phi0, 0, iv.shifted(0, 1), &mut fhi, mem);
-                for (c, v) in fhi.iter().enumerate() {
-                    let i = caches.xi(iv, c);
-                    mem.w(xbase + i * 8);
-                    unsafe { caches.x.write(i, *v) };
+                {
+                    let i0 = caches.xi(iv, 0);
+                    mem.w_run(xbase + i0 * 8, NCOMP);
+                    for (c, v) in fhi.iter().enumerate() {
+                        unsafe { caches.x.write(i0 + c, *v) };
+                    }
                 }
                 accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
                 // y direction
                 if y == blo[1] {
                     face_fluxes_all(phi0, 1, iv, &mut flo, mem);
                 } else {
+                    let i0 = caches.yi(iv, 0);
+                    mem.r_run(ybase + i0 * 8, NCOMP);
                     for (c, v) in flo.iter_mut().enumerate() {
-                        let i = caches.yi(iv, c);
-                        mem.r(ybase + i * 8);
-                        *v = unsafe { caches.y.read(i) };
+                        *v = unsafe { caches.y.read(i0 + c) };
                     }
                 }
                 face_fluxes_all(phi0, 1, iv.shifted(1, 1), &mut fhi, mem);
-                for (c, v) in fhi.iter().enumerate() {
-                    let i = caches.yi(iv, c);
-                    mem.w(ybase + i * 8);
-                    unsafe { caches.y.write(i, *v) };
+                {
+                    let i0 = caches.yi(iv, 0);
+                    mem.w_run(ybase + i0 * 8, NCOMP);
+                    for (c, v) in fhi.iter().enumerate() {
+                        unsafe { caches.y.write(i0 + c, *v) };
+                    }
                 }
                 accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
                 // z direction
                 if z == blo[2] {
                     face_fluxes_all(phi0, 2, iv, &mut flo, mem);
                 } else {
+                    let i0 = caches.zi(iv, 0);
+                    mem.r_run(zbase + i0 * 8, NCOMP);
                     for (c, v) in flo.iter_mut().enumerate() {
-                        let i = caches.zi(iv, c);
-                        mem.r(zbase + i * 8);
-                        *v = unsafe { caches.z.read(i) };
+                        *v = unsafe { caches.z.read(i0 + c) };
                     }
                 }
                 face_fluxes_all(phi0, 2, iv.shifted(2, 1), &mut fhi, mem);
-                for (c, v) in fhi.iter().enumerate() {
-                    let i = caches.zi(iv, c);
-                    mem.w(zbase + i * 8);
-                    unsafe { caches.z.write(i, *v) };
+                {
+                    let i0 = caches.zi(iv, 0);
+                    mem.w_run(zbase + i0 * 8, NCOMP);
+                    for (c, v) in fhi.iter().enumerate() {
+                        unsafe { caches.z.write(i0 + c, *v) };
+                    }
                 }
                 accum_all(phi1, pi0, cstride, &flo, &fhi, mem);
             }

@@ -31,24 +31,24 @@ pub fn eval_flux1(
         1 => phi.y_stride(),
         _ => phi.z_stride(),
     };
+    let nfx = (hi[0] - lo[0] + 1) as usize;
     for c in comps {
         for z in lo[2]..=hi[2] {
             for y in lo[1]..=hi[1] {
                 let mut src = phi.index(IntVect::new(lo[0], y, z), c);
-                let mut dst = out.index(IntVect::new(lo[0], y, z), c);
+                let dst = out.index(IntVect::new(lo[0], y, z), c);
                 let pd = phi.data();
-                let nfx = (hi[0] - lo[0] + 1) as usize;
-                // Face f reads cells f-2, f-1, f, f+1 along d.
-                for _ in 0..nfx {
-                    let v = face_interp(
+                // Face f reads cells f-2, f-1, f, f+1 along d. Borrow the
+                // destination row once so the inner loop is a single
+                // bounds-checked slice walk.
+                for o in out.data_mut()[dst..dst + nfx].iter_mut() {
+                    *o = face_interp(
                         pd[src - 2 * stride],
                         pd[src - stride],
                         pd[src],
                         pd[src + stride],
                     );
-                    out.data_mut()[dst] = v;
                     src += 1;
-                    dst += 1;
                 }
             }
         }
@@ -75,9 +75,9 @@ pub fn eval_flux2(
             for y in lo[1]..=hi[1] {
                 let fi = flux.index(IntVect::new(lo[0], y, z), c);
                 let vi = vel.index(IntVect::new(lo[0], y, z), 0);
-                for i in 0..nfx {
-                    let v = flux_mul(flux.data()[fi + i], vel.data()[vi + i]);
-                    flux.data_mut()[fi + i] = v;
+                let vd = &vel.data()[vi..vi + nfx];
+                for (f, &v) in flux.data_mut()[fi..fi + nfx].iter_mut().zip(vd) {
+                    *f = flux_mul(*f, v);
                 }
             }
         }
@@ -103,9 +103,11 @@ pub fn eval_flux2_inplace_reordered(flux: &mut FArrayBox, d: usize, faces: IBox)
             for y in lo[1]..=hi[1] {
                 let fi = flux.index(IntVect::new(lo[0], y, z), c);
                 let vi = flux.index(IntVect::new(lo[0], y, z), vc);
+                // fi and vi rows may alias (c == vc last): plain indices
+                // on one borrow keep the read-then-write order.
+                let fd = flux.data_mut();
                 for i in 0..nfx {
-                    let v = flux_mul(flux.data()[fi + i], flux.data()[vi + i]);
-                    flux.data_mut()[fi + i] = v;
+                    fd[fi + i] = flux_mul(fd[fi + i], fd[vi + i]);
                 }
             }
         }
@@ -128,9 +130,7 @@ pub fn extract_velocity(flux: &FArrayBox, d: usize, faces: IBox, vel: &mut FArra
         for y in lo[1]..=hi[1] {
             let si = flux.index(IntVect::new(lo[0], y, z), vc);
             let di = vel.index(IntVect::new(lo[0], y, z), 0);
-            for i in 0..nfx {
-                vel.data_mut()[di + i] = flux.data()[si + i];
-            }
+            vel.data_mut()[di..di + nfx].copy_from_slice(&flux.data()[si..si + nfx]);
         }
     }
 }
@@ -161,13 +161,9 @@ pub fn accumulate_dir(
             for y in lo[1]..=hi[1] {
                 let pi = phi1.index(IntVect::new(lo[0], y, z), c);
                 let fi = flux.index(IntVect::new(lo[0], y, z), c);
-                for i in 0..nfx {
-                    let v = accumulate(
-                        phi1.data()[pi + i],
-                        flux.data()[fi + i],
-                        flux.data()[fi + i + stride],
-                    );
-                    phi1.data_mut()[pi + i] = v;
+                let fd = flux.data();
+                for (i, p) in phi1.data_mut()[pi..pi + nfx].iter_mut().enumerate() {
+                    *p = accumulate(*p, fd[fi + i], fd[fi + i + stride]);
                 }
             }
         }

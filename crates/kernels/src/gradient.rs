@@ -38,18 +38,16 @@ pub fn gradient_dir(phi: &FArrayBox, d: usize, cells: IBox, out: &mut FArrayBox)
         for z in lo[2]..=hi[2] {
             for y in lo[1]..=hi[1] {
                 let mut src = phi.index(IntVect::new(lo[0], y, z), c);
-                let mut dst = out.index(IntVect::new(lo[0], y, z), d * NCOMP + c);
+                let dst = out.index(IntVect::new(lo[0], y, z), d * NCOMP + c);
                 let pd = phi.data();
-                for _ in 0..nx {
-                    let v = grad_point(
+                for o in out.data_mut()[dst..dst + nx].iter_mut() {
+                    *o = grad_point(
                         pd[src - 2 * stride],
                         pd[src - stride],
                         pd[src + stride],
                         pd[src + 2 * stride],
                     );
-                    out.data_mut()[dst] = v;
                     src += 1;
-                    dst += 1;
                 }
             }
         }
@@ -81,15 +79,18 @@ pub fn gradient_fused(phi: &FArrayBox, cells: IBox, out: &mut FArrayBox) {
                 let mut dy = out.index(IntVect::new(lo[0], y, z), NCOMP + c);
                 let mut dz = out.index(IntVect::new(lo[0], y, z), 2 * NCOMP + c);
                 let pd = phi.data();
+                // Three interleaved destination rows in one array: borrow
+                // it once for the whole row instead of per store.
+                let od = out.data_mut();
                 for _ in 0..nx {
                     let gx = grad_point(pd[src - 2], pd[src - 1], pd[src + 1], pd[src + 2]);
                     let gy =
                         grad_point(pd[src - 2 * sy], pd[src - sy], pd[src + sy], pd[src + 2 * sy]);
                     let gz =
                         grad_point(pd[src - 2 * sz], pd[src - sz], pd[src + sz], pd[src + 2 * sz]);
-                    out.data_mut()[dx] = gx;
-                    out.data_mut()[dy] = gy;
-                    out.data_mut()[dz] = gz;
+                    od[dx] = gx;
+                    od[dy] = gy;
+                    od[dz] = gz;
                     src += 1;
                     dx += 1;
                     dy += 1;

@@ -53,6 +53,16 @@ impl Mem for TraceMem {
         // Safety: single-threaded use per the type contract.
         unsafe { &mut *self.sim.get() }.write(addr);
     }
+    #[inline]
+    fn r_run(&self, addr: usize, elems: usize) {
+        // Safety: single-threaded use per the type contract.
+        unsafe { &mut *self.sim.get() }.read_run(addr, elems);
+    }
+    #[inline]
+    fn w_run(&self, addr: usize, elems: usize) {
+        // Safety: single-threaded use per the type contract.
+        unsafe { &mut *self.sim.get() }.write_run(addr, elems);
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +80,18 @@ mod tests {
         assert_eq!(sim.stats().reads, 2);
         assert_eq!(sim.stats().writes, 1);
         assert_eq!(sim.stats().dram_lines_read, 2);
+        assert_eq!(sim.stats().dram_lines_written, 1);
+    }
+
+    #[test]
+    fn trace_forwards_runs() {
+        let t = TraceMem::new(Hierarchy::new(&[CacheConfig::new(4096, 4)]));
+        t.r_run(0, 16); // lines 0, 1
+        t.w_run(128, 8); // line 2
+        let sim = t.finish();
+        assert_eq!(sim.stats().reads, 16);
+        assert_eq!(sim.stats().writes, 8);
+        assert_eq!(sim.stats().dram_lines_read, 3);
         assert_eq!(sim.stats().dram_lines_written, 1);
     }
 }

@@ -29,7 +29,7 @@ pub struct SimPoint {
     pub variant: Variant,
     /// Box edge length.
     pub n: i32,
-    /// Cache hierarchy (L1 first).
+    /// Cache hierarchy (L1 first, LLC last).
     pub configs: Vec<CacheConfig>,
 }
 

@@ -45,4 +45,6 @@ pub use engine::{PointFailure, PrewarmReport, SimPoint, SweepEngine};
 pub use fault::FaultHook;
 pub use model::{predict_time, Prediction, Workload};
 pub use spec::MachineSpec;
-pub use traffic::{measure_box_traffic, BoxTraffic, CacheStats, TrafficCache};
+pub use traffic::{
+    measure_box_traffic, measure_box_traffic_reference, BoxTraffic, CacheStats, TrafficCache,
+};

@@ -45,7 +45,7 @@ pub struct BoxTraffic {
 }
 
 /// Measure the steady-state DRAM traffic of `variant` updating one
-/// `n^3` box through the cache hierarchy `configs` (L1 first).
+/// `n^3` box through the cache hierarchy `configs` (L1 first, LLC last).
 ///
 /// A thread in the real computation streams through many boxes, so the
 /// relevant quantity is the *per-box increment* once the caches are in
@@ -55,6 +55,23 @@ pub struct BoxTraffic {
 /// increment naturally includes the writeback of the previous box's dirty
 /// output lines — exactly the steady-state behavior.
 pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
+    measure_impl(variant, n, configs, false)
+}
+
+/// [`measure_box_traffic`] through the simulator's per-element reference
+/// path ([`Hierarchy::reference`]): no run batching, no front-end
+/// filters. Slow; exists so the fast path's bit-identity can be checked
+/// forever (see `tests/fastpath_equivalence.rs`) and as the baseline the
+/// bench harness reports speedup against.
+pub fn measure_box_traffic_reference(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+) -> BoxTraffic {
+    measure_impl(variant, n, configs, true)
+}
+
+fn measure_impl(variant: Variant, n: i32, configs: &[CacheConfig], reference: bool) -> BoxTraffic {
     // Deterministic trace layout: every buffer below (and every
     // temporary inside the runs) gets its virtual address from this
     // thread's allocation order, so the measurement is a pure function
@@ -79,7 +96,8 @@ pub fn measure_box_traffic(variant: Variant, n: i32, configs: &[CacheConfig]) ->
             (phi0, FArrayBox::new(cells, NCOMP))
         })
         .collect();
-    let trace = TraceMem::new(Hierarchy::new(configs));
+    let sim = if reference { Hierarchy::reference(configs) } else { Hierarchy::new(configs) };
+    let trace = TraceMem::new(sim);
     // Rewind the scratch region between boxes: each run's temporaries
     // occupy the same virtual addresses (a real allocator hands the
     // just-freed blocks back), so the warm-up box really does heat them.

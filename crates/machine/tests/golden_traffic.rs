@@ -1,0 +1,302 @@
+//! Golden traffic values: pins `measure_box_traffic` output bit-for-bit
+//! for a grid of (variant, box size, hierarchy) points.
+//!
+//! These numbers were captured from the per-element path before the run
+//! fast path existed and have been stable across every simulator
+//! rewrite since (the measurement is a pure function of its inputs).
+//! Any change here means the simulated traffic changed — which either
+//! invalidates every figure the `repro` binary regenerates, or requires
+//! a `STORE_VERSION` bump plus an explicit explanation in the PR that
+//! touches this file. Hit ratios are compared as exact f64 bit
+//! patterns, not with a tolerance: the simulator is deterministic and
+//! the fast path is bit-identical by construction.
+
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::{CompLoop, Granularity, IntraTile, Variant};
+use pdesched_machine::traffic::measure_box_traffic;
+
+/// An undersized desktop-like hierarchy (8 KiB 4-way L1, 64 KiB 8-way
+/// LLC) that keeps every variant's working set spilling — maximally
+/// sensitive to replacement-order bugs.
+fn small() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)]
+}
+
+/// A realistic two-level hierarchy (32 KiB 8-way L1, 16 MiB 16-way
+/// LLC), the shape the paper's bandwidth model uses.
+fn big() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(32 * 1024, 8), CacheConfig::new(16 * 1024 * 1024, 16)]
+}
+
+struct Golden {
+    name: &'static str,
+    variant: Variant,
+    n: i32,
+    dram_bytes: u64,
+    reads: u64,
+    writes: u64,
+    /// `f64::to_bits` of the L1 / last-level hit ratios.
+    l1_bits: u64,
+    llc_bits: u64,
+}
+
+fn check(hierarchy: &[CacheConfig], goldens: &[Golden]) {
+    for g in goldens {
+        let t = measure_box_traffic(g.variant, g.n, hierarchy);
+        assert_eq!(
+            (t.dram_bytes, t.reads, t.writes),
+            (g.dram_bytes, g.reads, g.writes),
+            "{} n={}: traffic counts drifted (got {t:?})",
+            g.name,
+            g.n
+        );
+        assert_eq!(
+            (t.l1_hit.to_bits(), t.llc_hit.to_bits()),
+            (g.l1_bits, g.llc_bits),
+            "{} n={}: hit ratios drifted (got l1={:e} llc={:e})",
+            g.name,
+            g.n,
+            t.l1_hit,
+            t.llc_hit
+        );
+    }
+}
+
+fn series_cli() -> Variant {
+    let mut v = Variant::baseline();
+    v.comp = CompLoop::Inside;
+    v
+}
+
+fn fuse_cli() -> Variant {
+    let mut v = Variant::shift_fuse();
+    v.comp = CompLoop::Inside;
+    v
+}
+
+#[test]
+fn golden_small_hierarchy_n16() {
+    check(
+        &small(),
+        &[
+            Golden {
+                name: "baseline",
+                variant: Variant::baseline(),
+                n: 16,
+                dram_bytes: 4_860_160,
+                reads: 589_056,
+                writes: 205_056,
+                l1_bits: 0x3fed67d1c8df2773,
+                llc_bits: 0x3fcbfbedad8cfa67,
+            },
+            Golden {
+                name: "series_cli",
+                variant: series_cli(),
+                n: 16,
+                dram_bytes: 4_506_448,
+                reads: 523_776,
+                writes: 192_000,
+                l1_bits: 0x3fe1745a182bf2d1,
+                llc_bits: 0x3feb701a48912ea7,
+            },
+            Golden {
+                name: "shift_fuse",
+                variant: Variant::shift_fuse(),
+                n: 16,
+                dram_bytes: 1_493_968,
+                reads: 385_280,
+                writes: 74_496,
+                l1_bits: 0x3fedda3903fdb829,
+                llc_bits: 0x3fd85f20ca3c82c3,
+            },
+            Golden {
+                name: "fuse_cli",
+                variant: fuse_cli(),
+                n: 16,
+                dram_bytes: 1_084_464,
+                reads: 320_000,
+                writes: 61_440,
+                l1_bits: 0x3fec4dfb3073752d,
+                llc_bits: 0x3fe6a69935528b31,
+            },
+            Golden {
+                name: "bwf_clo4",
+                variant: Variant::blocked_wavefront(CompLoop::Outside, 4),
+                n: 16,
+                dram_bytes: 2_362_560,
+                reads: 404_480,
+                writes: 94_976,
+                l1_bits: 0x3fecdeecf94edc2e,
+                llc_bits: 0x3fd7f5f50a37e961,
+            },
+            Golden {
+                name: "bwf_cli4",
+                variant: Variant::blocked_wavefront(CompLoop::Inside, 4),
+                n: 16,
+                dram_bytes: 1_862_880,
+                reads: 380_160,
+                writes: 122_880,
+                l1_bits: 0x3fe960950a4ac7d9,
+                llc_bits: 0x3fe934ac33fe9edb,
+            },
+            Golden {
+                name: "ot_sf4",
+                variant: Variant::overlapped(IntraTile::ShiftFuse, 4, Granularity::WithinBox),
+                n: 16,
+                dram_bytes: 1_321_744,
+                reads: 435_200,
+                writes: 76_800,
+                l1_bits: 0x3feda8cbc6a7ef9e,
+                llc_bits: 0x3fe368286631ba00,
+            },
+            Golden {
+                name: "hier_8_4",
+                variant: Variant::hierarchical(8, 4, Granularity::WithinBox),
+                n: 16,
+                dram_bytes: 1_336_400,
+                reads: 419_840,
+                writes: 95_744,
+                l1_bits: 0x3fed41b43e07a06a,
+                llc_bits: 0x3fe421460d80e426,
+            },
+        ],
+    );
+}
+
+#[test]
+fn golden_big_hierarchy_n16() {
+    check(
+        &big(),
+        &[
+            Golden {
+                name: "baseline",
+                variant: Variant::baseline(),
+                n: 16,
+                dram_bytes: 952_320,
+                reads: 589_056,
+                writes: 205_056,
+                l1_bits: 0x3fedcada33d3c3ec,
+                llc_bits: 0x3fea456217ecdc1d,
+            },
+            Golden {
+                name: "series_cli",
+                variant: series_cli(),
+                n: 16,
+                dram_bytes: 899_904,
+                reads: 523_776,
+                writes: 192_000,
+                l1_bits: 0x3fed958436340177,
+                llc_bits: 0x3fea6f0a6c02461c,
+            },
+            Golden {
+                name: "shift_fuse",
+                variant: Variant::shift_fuse(),
+                n: 16,
+                dram_bytes: 688_736,
+                reads: 385_280,
+                writes: 74_496,
+                l1_bits: 0x3feeab93ab9deee5,
+                llc_bits: 0x3fe2f9bf0263697e,
+            },
+            Golden {
+                name: "fuse_cli",
+                variant: fuse_cli(),
+                n: 16,
+                dram_bytes: 641_456,
+                reads: 320_000,
+                writes: 61_440,
+                l1_bits: 0x3fee690687634eb1,
+                llc_bits: 0x3fe37fe3e681fb17,
+            },
+            Golden {
+                name: "bwf_clo4",
+                variant: Variant::blocked_wavefront(CompLoop::Outside, 4),
+                n: 16,
+                dram_bytes: 691_040,
+                reads: 404_480,
+                writes: 94_976,
+                l1_bits: 0x3fed6b6e9d31fe2a,
+                llc_bits: 0x3fe9cf0e264410a1,
+            },
+            Golden {
+                name: "bwf_cli4",
+                variant: Variant::blocked_wavefront(CompLoop::Inside, 4),
+                n: 16,
+                dram_bytes: 651_792,
+                reads: 380_160,
+                writes: 122_880,
+                l1_bits: 0x3fee69625c7fac9f,
+                llc_bits: 0x3fe669e2ce1b73b1,
+            },
+            Golden {
+                name: "ot_sf4",
+                variant: Variant::overlapped(IntraTile::ShiftFuse, 4, Granularity::WithinBox),
+                n: 16,
+                dram_bytes: 704_176,
+                reads: 435_200,
+                writes: 76_800,
+                l1_bits: 0x3feeb6999999999a,
+                llc_bits: 0x3fe3bd46761e1461,
+            },
+            Golden {
+                name: "hier_8_4",
+                variant: Variant::hierarchical(8, 4, Granularity::WithinBox),
+                n: 16,
+                dram_bytes: 697_216,
+                reads: 419_840,
+                writes: 95_744,
+                l1_bits: 0x3feeaa2b37ac9d9e,
+                llc_bits: 0x3fe456b8b93f47b4,
+            },
+        ],
+    );
+}
+
+#[test]
+fn golden_small_hierarchy_other_sizes() {
+    check(
+        &small(),
+        &[
+            Golden {
+                name: "baseline",
+                variant: Variant::baseline(),
+                n: 8,
+                dram_bytes: 422_496,
+                reads: 76_608,
+                writes: 26_688,
+                l1_bits: 0x3fedcefd251d807a,
+                llc_bits: 0x3fd974e3d8564635,
+            },
+            Golden {
+                name: "shift_fuse",
+                variant: Variant::shift_fuse(),
+                n: 8,
+                dram_bytes: 118_560,
+                reads: 50_240,
+                writes: 9_408,
+                l1_bits: 0x3fee631fdcd758ff,
+                llc_bits: 0x3fe05373eb230537,
+            },
+            Golden {
+                name: "baseline",
+                variant: Variant::baseline(),
+                n: 32,
+                dram_bytes: 39_419_904,
+                reads: 4_617_216,
+                writes: 1_606_656,
+                l1_bits: 0x3fed688a2694c3c5,
+                llc_bits: 0x3fc69713e46fd028,
+            },
+            Golden {
+                name: "shift_fuse",
+                variant: Variant::shift_fuse(),
+                n: 32,
+                dram_bytes: 16_448_256,
+                reads: 3_015_680,
+                writes: 592_896,
+                l1_bits: 0x3fedf1fba42d548f,
+                llc_bits: 0x3fbad5a79d6d6640,
+            },
+        ],
+    );
+}
