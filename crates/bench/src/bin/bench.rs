@@ -1,10 +1,21 @@
 //! Trace→cachesim pipeline throughput benchmark.
 //!
 //! ```text
-//! bench [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b]
-//!       [--out PATH] [--skip-reference]
+//! bench [--phase traffic|lower|all] [--label L] [--sizes 16,32,64]
+//!       [--samples K] [--variants a,b] [--out PATH] [--skip-reference]
 //!       [--check-against PATH] [--threshold X]
 //! ```
+//!
+//! Phases:
+//!
+//! * `traffic` (default) — time `measure_box_traffic` for the named
+//!   variant shortlist, as before.
+//! * `lower` — time `pdesched_core::plan::lower` (schedule lowering to
+//!   the plan IR) for *every* extended variant valid at each size, and
+//!   report lowerings per second. Guards against a lowering-cost
+//!   regression sneaking into every solver step and sweep.
+//! * `all` — both; `--check-against` then checks whichever kinds the
+//!   baseline file carries.
 //!
 //! Times `measure_box_traffic` (the run-batched, hot-line-filtered fast
 //! path) and `measure_box_traffic_reference` (the per-element reference
@@ -66,6 +77,19 @@ impl Point {
     }
 }
 
+/// One `--phase lower` timing: lowering `variant` for an `n`^3 box.
+struct LowerPoint {
+    variant: String,
+    n: i32,
+    lower_seconds: f64,
+}
+
+impl LowerPoint {
+    fn lowers_per_s(&self) -> f64 {
+        1.0 / self.lower_seconds
+    }
+}
+
 fn named_variants() -> Vec<(&'static str, Variant)> {
     let mut fuse_cli = Variant::shift_fuse();
     fuse_cli.comp = CompLoop::Inside;
@@ -80,8 +104,8 @@ fn named_variants() -> Vec<(&'static str, Variant)> {
 fn usage(msg: &str) -> ! {
     eprintln!("bench: {msg}");
     eprintln!(
-        "usage: bench [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b] \
-         [--out PATH] [--skip-reference] [--check-against PATH] [--threshold X]"
+        "usage: bench [--phase traffic|lower|all] [--label L] [--sizes 16,32,64] [--samples K] \
+         [--variants a,b] [--out PATH] [--skip-reference] [--check-against PATH] [--threshold X]"
     );
     std::process::exit(2);
 }
@@ -95,12 +119,19 @@ fn main() {
     let mut check_against: Option<String> = None;
     let mut threshold: f64 = 3.0;
     let mut wanted: Option<Vec<String>> = None;
+    let mut phase = String::from("traffic");
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut val =
             |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
         match arg.as_str() {
+            "--phase" => {
+                phase = val("--phase");
+                if !matches!(phase.as_str(), "traffic" | "lower" | "all") {
+                    usage("--phase must be traffic, lower, or all");
+                }
+            }
             "--label" => label = val("--label"),
             "--sizes" => {
                 sizes = val("--sizes")
@@ -143,8 +174,14 @@ fn main() {
         }
     };
 
+    let traffic_phase = phase == "traffic" || phase == "all";
+    let lower_phase = phase == "lower" || phase == "all";
+
     let mut points = Vec::new();
     for &n in &sizes {
+        if !traffic_phase {
+            break;
+        }
         for &(vname, variant) in &variants {
             if !variant.valid_for_box(n) {
                 println!("{vname:<12} n={n:<4} skipped (invalid for box)");
@@ -183,19 +220,68 @@ fn main() {
         }
     }
 
+    let mut lowers: Vec<LowerPoint> = Vec::new();
+    if lower_phase {
+        // Lowering cost is what every solver step and sweep prewarm pays
+        // on a plan-cache miss: time `lower` itself (no caching) for the
+        // whole extended space.
+        let threads = 8;
+        for &n in &sizes {
+            for variant in Variant::enumerate_extended(n) {
+                if !variant.valid_for_box(n) {
+                    continue;
+                }
+                let secs = time_lower(samples, variant, n, threads);
+                let p = LowerPoint { variant: variant.name(), n, lower_seconds: secs };
+                println!(
+                    "lower  {:<36} n={n:<4} {:.1} us/lowering ({:8.0} lowerings/s)",
+                    p.variant,
+                    secs * 1e6,
+                    p.lowers_per_s()
+                );
+                lowers.push(p);
+            }
+        }
+    }
+
     let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
-    std::fs::write(&path, render_json(&label, &configs, &points)).expect("write bench JSON");
+    std::fs::write(&path, render_json(&label, &configs, &points, &lowers))
+        .expect("write bench JSON");
     println!("wrote {path}");
 
     if let Some(base) = check_against {
         let baseline = std::fs::read_to_string(&base)
             .unwrap_or_else(|e| usage(&format!("cannot read --check-against {base}: {e}")));
-        if let Err(msg) = check_regression(&baseline, &points, threshold) {
+        if let Err(msg) = check_regression(&baseline, &points, &lowers, threshold) {
             eprintln!("bench: REGRESSION vs {base}:\n{msg}");
             std::process::exit(1);
         }
-        println!("no fast-path regression beyond {threshold}x vs {base}");
+        println!("no regression beyond {threshold}x vs {base}");
     }
+}
+
+/// Fastest observed per-lowering wall time over `samples` batches. A
+/// single lowering is microseconds, so each batch repeats the call until
+/// it has accumulated enough wall time to be measurable.
+fn time_lower(samples: usize, variant: Variant, n: i32, threads: usize) -> f64 {
+    use pdesched_core::plan::lower;
+    use pdesched_mesh::IntVect;
+    let size = IntVect::splat(n);
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let mut reps = 0u32;
+        let t0 = Instant::now();
+        loop {
+            std::hint::black_box(lower(variant, size, threads));
+            reps += 1;
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed >= 5e-3 || reps >= 1000 {
+                best = best.min(elapsed / reps as f64);
+                break;
+            }
+        }
+    }
+    best
 }
 
 /// Run `f` `samples` times; return the fastest wall time and the (always
@@ -215,7 +301,12 @@ fn time_best(samples: usize, mut f: impl FnMut() -> BoxTraffic) -> (f64, BoxTraf
     (best, result.unwrap())
 }
 
-fn render_json(label: &str, configs: &[CacheConfig], points: &[Point]) -> String {
+fn render_json(
+    label: &str,
+    configs: &[CacheConfig],
+    points: &[Point],
+    lowers: &[LowerPoint],
+) -> String {
     use std::fmt::Write;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
@@ -225,6 +316,20 @@ fn render_json(label: &str, configs: &[CacheConfig], points: &[Point]) -> String
         .map(|c| format!("{{\"bytes\": {}, \"assoc\": {}}}", c.size, c.assoc))
         .collect();
     let _ = writeln!(j, "  \"hierarchy\": [{}],", levels.join(", "));
+    let _ = writeln!(j, "  \"lower_points\": [");
+    for (i, p) in lowers.iter().enumerate() {
+        let comma = if i + 1 < lowers.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"kind\": \"lower\", \"variant\": \"{}\", \"n\": {}, \
+             \"lower_seconds\": {:.9}, \"lowers_per_s\": {:.1}}}{comma}",
+            p.variant,
+            p.n,
+            p.lower_seconds,
+            p.lowers_per_s()
+        );
+    }
+    let _ = writeln!(j, "  ],");
     let _ = writeln!(j, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -265,13 +370,21 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Fail if any current point's fast-path accesses/sec fell below the
+/// Fail if any current point's throughput (fast-path accesses/sec for
+/// traffic points, lowerings/sec for lower points) fell below the
 /// baseline's by more than `threshold`×.
-fn check_regression(baseline: &str, points: &[Point], threshold: f64) -> Result<(), String> {
+fn check_regression(
+    baseline: &str,
+    points: &[Point],
+    lowers: &[LowerPoint],
+    threshold: f64,
+) -> Result<(), String> {
+    use std::fmt::Write;
     let mut failures = String::new();
     for p in points {
         let base = baseline.lines().find(|l| {
-            field(l, "variant") == Some(p.variant)
+            field(l, "kind").is_none_or(|k| k == "traffic")
+                && field(l, "variant") == Some(p.variant)
                 && field(l, "n").and_then(|v| v.parse::<i32>().ok()) == Some(p.n)
         });
         let Some(line) = base else {
@@ -283,7 +396,6 @@ fn check_regression(baseline: &str, points: &[Point], threshold: f64) -> Result<
             .ok_or_else(|| format!("unparsable baseline line: {line}"))?;
         let now = p.fast_macc();
         if now * threshold < base_macc {
-            use std::fmt::Write;
             let _ = writeln!(
                 failures,
                 "  {} n={}: {:.1} Macc/s vs baseline {:.1} (allowed floor {:.1})",
@@ -292,6 +404,32 @@ fn check_regression(baseline: &str, points: &[Point], threshold: f64) -> Result<
                 now,
                 base_macc,
                 base_macc / threshold
+            );
+        }
+    }
+    for p in lowers {
+        let base = baseline.lines().find(|l| {
+            field(l, "kind") == Some("lower")
+                && field(l, "variant") == Some(&p.variant)
+                && field(l, "n").and_then(|v| v.parse::<i32>().ok()) == Some(p.n)
+        });
+        let Some(line) = base else {
+            println!("note: no baseline lower point for {} n={} — skipped", p.variant, p.n);
+            continue;
+        };
+        let base_rate: f64 = field(line, "lowers_per_s")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("unparsable baseline line: {line}"))?;
+        let now = p.lowers_per_s();
+        if now * threshold < base_rate {
+            let _ = writeln!(
+                failures,
+                "  lower {} n={}: {:.0} lowerings/s vs baseline {:.0} (allowed floor {:.0})",
+                p.variant,
+                p.n,
+                now,
+                base_rate,
+                base_rate / threshold
             );
         }
     }

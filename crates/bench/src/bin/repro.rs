@@ -2,8 +2,17 @@
 //!
 //! ```text
 //! repro [--fast] [--store PATH] [--threads N] [--json PATH] \
-//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|faultcheck|all]...
+//!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|plandump|faultcheck|all]...
+//! repro plan <variant-name> [--n N] [--threads T]
 //! ```
+//!
+//! `repro plan` prints the lowered schedule IR (`pdesched_core::plan`)
+//! for one variant — its buffers, phases, barriers, and recompute
+//! regions — for an `N`^3 box (default 32) at `T` threads (default 8).
+//! Variant names are the display names from the extended enumeration,
+//! e.g. `repro plan 'Blocked WF-CLI-4: P<Box'`. The `plandump` target
+//! writes the same dumps for the seven named Figure 10 schedules to
+//! `target/plan-dumps/` (CI uploads them as an artifact).
 //!
 //! * `--store PATH` — persist/reuse cache-simulator traffic measurements
 //!   (default `target/traffic-cache.txt`). The store is versioned: a
@@ -80,6 +89,10 @@ fn env_fault() -> Option<EnvFault> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("plan") {
+        run_plan_command(&args[1..]);
+        return;
+    }
     let mut store = String::from("target/traffic-cache.txt");
     let mut json: Option<String> = None;
     let mut fast = false;
@@ -183,6 +196,7 @@ fn main() {
                 prewarm(&engine, &cache, w, figures::bandwidth_points(), &mut failures);
                 print_bandwidth(&cache);
             }
+            "plandump" => print_plandump(&machines[0], big_n),
             "ablation" => print_ablation(),
             "sweep" => print_sweep(&cache, &engine),
             "faultcheck" => print_faultcheck(&cache, &engine, &mut failures),
@@ -234,6 +248,76 @@ fn main() {
         let doc = render_json(&stages, &json_figures, &cache, fast, engine.nthreads(), &failures);
         std::fs::write(&path, doc).expect("write --json output");
         eprintln!("[repro] wrote {path}");
+    }
+}
+
+/// `repro plan <variant-name> [--n N] [--threads T]`: lower one
+/// schedule to the plan IR and print it.
+fn run_plan_command(args: &[String]) {
+    let mut name: Option<String> = None;
+    let mut n: i32 = 32;
+    let mut threads: usize = 8;
+    fn usage(msg: &str) -> ! {
+        eprintln!("repro plan: {msg}");
+        eprintln!("usage: repro plan <variant-name> [--n N] [--threads T]");
+        std::process::exit(2);
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                n = it
+                    .next()
+                    .unwrap_or_else(|| usage("--n needs a box size"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--n needs a number"))
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs a number"))
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
+            other if name.is_none() => name = Some(other.to_string()),
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(name) = name else { usage("missing variant name") };
+    let candidates: Vec<Variant> =
+        Variant::enumerate_extended(n).into_iter().filter(|v| v.valid_for_box(n)).collect();
+    let Some(&variant) = candidates.iter().find(|v| v.name().eq_ignore_ascii_case(name.trim()))
+    else {
+        eprintln!("repro plan: no variant named '{name}' is valid for a {n}^3 box; valid names:");
+        for v in &candidates {
+            eprintln!("  {}", v.name());
+        }
+        std::process::exit(2);
+    };
+    let plan = pdesched_core::plan_for(variant, pdesched_mesh::IntVect::splat(n), threads);
+    print!("{}", plan.render());
+}
+
+/// Write plan dumps for the seven named Figure 10 schedules to
+/// `target/plan-dumps/` (the CI artifact) and print them.
+fn print_plandump(spec: &MachineSpec, n: i32) {
+    let dir = std::path::Path::new("target/plan-dumps");
+    std::fs::create_dir_all(dir).expect("create target/plan-dumps");
+    println!("== Lowered plans for the Figure 10 schedules ({}, N={n}) ==", spec.name);
+    for (name, variant) in figures::n128_variants(spec) {
+        let threads =
+            if variant.gran == pdesched_core::Granularity::WithinBox { spec.cores() } else { 1 };
+        let plan = pdesched_core::plan_for(variant, pdesched_mesh::IntVect::splat(n), threads);
+        let text = plan.render();
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.txt"));
+        std::fs::write(&path, &text).expect("write plan dump");
+        println!("-- {name} -> {} --", path.display());
+        print!("{text}");
     }
 }
 
@@ -327,6 +411,9 @@ fn render_json(
         s.misses,
         cache.len()
     );
+    let (ph, pm, pe) = pdesched_core::plan::cache_stats();
+    let _ =
+        writeln!(j, "  \"plan_cache\": {{\"hits\": {ph}, \"misses\": {pm}, \"entries\": {pe}}},");
     let _ = writeln!(
         j,
         "  \"store\": {{\"path\": {}, \"read_only\": {}, \"corrupt_lines\": {}, \"store_errors\": {}}},",

@@ -1,8 +1,15 @@
 //! Human-readable schedule descriptions: the Section IV analysis
 //! (temporary data, locality, parallelism) rendered per variant.
+//!
+//! Descriptions are derived from the lowered [`crate::plan::Plan`] —
+//! the same IR the interpreter executes — so the prose (temporaries,
+//! step/barrier structure, recompute regions) can never drift from what
+//! actually runs. `crate::storage`'s Table I formulas cross-check the
+//! plan-declared storage in the test suites.
 
-use crate::storage;
+use crate::plan;
 use crate::variant::{Category, CompLoop, Granularity, IntraTile, Variant};
+use pdesched_mesh::IntVect;
 
 /// A structured description of one schedule variant's characteristics.
 #[derive(Clone, Debug)]
@@ -19,9 +26,11 @@ pub struct Description {
     pub recomputation: String,
 }
 
-/// Describe a variant for an `n^3` box with `threads` workers.
+/// Describe a variant for an `n^3` box with `threads` workers, from its
+/// lowered plan.
 pub fn describe(variant: Variant, n: i32, threads: usize) -> Description {
-    let temps = storage::expected(variant, n, threads);
+    let plan = plan::plan_for(variant, IntVect::splat(n), threads);
+    let temps = plan.storage;
     let temporaries = format!(
         "{} f64 values ({} KiB): flux {}, velocity {}",
         temps.total_f64(),
@@ -47,20 +56,25 @@ pub fn describe(variant: Variant, n: i32, threads: usize) -> Description {
             variant.tile_size()
         ),
     };
+    let shape = format!(
+        "{} plan steps across {} barrier points on {} thread(s)",
+        plan.step_count(),
+        plan.barrier_count(),
+        plan.nthreads
+    );
     let parallelism = match (variant.category, variant.gran) {
         (_, Granularity::OverBoxes) => {
-            "fully parallel over boxes; needs at least one box per thread".to_string()
+            format!("fully parallel over boxes; needs at least one box per thread ({shape})")
         }
-        (Category::Series, _) => "parallel z-slices within each pass; barriers between \
-                                  passes"
-            .to_string(),
-        (Category::ShiftFuse, _) | (Category::BlockedWavefront, _) => {
+        (Category::Series, _) => {
+            format!("parallel z-slices within each pass; barriers between passes ({shape})")
+        }
+        (Category::ShiftFuse, _) | (Category::BlockedWavefront, _) => format!(
             "wavefronts of mutually independent tiles; ramp-up and ramp-down cannot fill \
-             the machine"
-                .to_string()
-        }
+             the machine ({shape})"
+        ),
         (Category::OverlappedTile, _) => {
-            "embarrassingly parallel over independent tiles".to_string()
+            format!("embarrassingly parallel over independent tiles ({shape})")
         }
     };
     let recomputation = match variant.category {
@@ -75,7 +89,8 @@ pub fn describe(variant: Variant, n: i32, threads: usize) -> Description {
                 IntraTile::Hierarchical(_) => "wavefront of inner tiles inside each tile",
             };
             format!(
-                "recomputes tile-surface fluxes: {:.1}% extra operations ({intra})",
+                "recomputes {} tile-surface faces: {:.1}% extra operations ({intra})",
+                plan.recompute_faces(),
                 (r - 1.0) * 100.0
             )
         }
@@ -105,7 +120,7 @@ mod tests {
             assert!(!d.name.is_empty());
             assert!(d.temporaries.contains("f64"));
             assert!(!d.locality.is_empty());
-            assert!(!d.parallelism.is_empty());
+            assert!(d.parallelism.contains("plan steps"), "{}", d.parallelism);
             assert!(!d.recomputation.is_empty());
         }
     }

@@ -1,9 +1,14 @@
 //! Variant dispatch: run any schedule variant over a box or a level.
+//!
+//! Since the plan-IR refactor this is a thin shim: `run_box` validates
+//! the variant, fetches the cached [`crate::plan::Plan`] for the box
+//! shape, and hands it to the generic interpreter
+//! [`crate::plan::execute`].
 
 use crate::mem::{Mem, NoMem};
+use crate::plan;
 use crate::storage::TempStorage;
-use crate::variant::{Category, Granularity, Variant};
-use crate::{fuse, overlap, series, wavefront};
+use crate::variant::{Granularity, Variant};
 use pdesched_mesh::{FArrayBox, IBox, LevelData};
 use pdesched_par::UnsafeSlice;
 
@@ -11,7 +16,9 @@ use pdesched_par::UnsafeSlice;
 /// `nthreads` threads parallelize inside the box; `P >= Box` variants run
 /// serially here (their parallelism lives at the level driver).
 ///
-/// Returns the temporary storage the schedule allocated.
+/// Lowers `(variant, box extents, nthreads)` to a [`plan::Plan`] via the
+/// process-wide plan cache and interprets it. Returns the temporary
+/// storage the schedule declares.
 pub fn run_box<M: Mem>(
     variant: Variant,
     phi0: &FArrayBox,
@@ -20,42 +27,12 @@ pub fn run_box<M: Mem>(
     nthreads: usize,
     mem: &M,
 ) -> TempStorage {
-    assert!(
-        variant.valid_for_box(cells.extent(0).min(cells.extent(1)).min(cells.extent(2))),
-        "variant {variant} invalid for box {cells:?}"
-    );
-    let within = variant.gran == Granularity::WithinBox;
-    let nt = if within { nthreads.max(1) } else { 1 };
-    match variant.category {
-        Category::Series => {
-            if within {
-                series::run_box_within(phi0, phi1, cells, variant.comp, nt, mem)
-            } else {
-                series::run_box_serial(phi0, phi1, cells, variant.comp, mem)
-            }
-        }
-        Category::ShiftFuse => {
-            if within {
-                // Per-iteration wavefront: blocked wavefront with T = 1.
-                wavefront::run_box(phi0, phi1, cells, variant.comp, 1, nt, mem)
-            } else {
-                fuse::run_box_serial(phi0, phi1, cells, variant.comp, mem)
-            }
-        }
-        Category::BlockedWavefront => {
-            wavefront::run_box(phi0, phi1, cells, variant.comp, variant.tile_size(), nt, mem)
-        }
-        Category::OverlappedTile => overlap::run_box(
-            phi0,
-            phi1,
-            cells,
-            variant.intra,
-            variant.comp,
-            variant.tile_size(),
-            nt,
-            mem,
-        ),
+    let min_edge = cells.extent(0).min(cells.extent(1)).min(cells.extent(2));
+    if let Err(e) = variant.validate_for_box(min_edge) {
+        panic!("{e} ({cells:?})");
     }
+    let plan = plan::plan_for(variant, cells.size(), nthreads);
+    plan::execute(&plan, phi0, phi1, cells, mem)
 }
 
 /// Execute `variant` once over every box of a level: the exemplar's

@@ -14,12 +14,14 @@
 //! the operation count is identical to the series schedule.
 
 use crate::mem::Mem;
-use crate::shared::{face_flux_one, face_fluxes_all, face_interp_at, SharedFab};
+use crate::shared::{face_flux_one, face_fluxes_all, SharedFab};
 use crate::storage::TempStorage;
 use crate::variant::CompLoop;
+use crate::wavefront::fill_velocity_slab;
 use pdesched_kernels::point::accumulate;
 use pdesched_kernels::{vel_comp, NCOMP};
 use pdesched_mesh::{FArrayBox, IBox, IntVect};
+use pdesched_par::UnsafeSlice;
 
 /// Reusable fused-sweep temporaries (sized to the current cell box;
 /// reallocated only when the box shape changes).
@@ -60,7 +62,7 @@ impl FuseBufs {
         }
         let nx = cells.extent(0) as usize;
         let ny = cells.extent(1) as usize;
-        let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+        let kc = comp.cache_components();
         self.ycache = vec![0.0; nx * kc];
         self.zcache = vec![0.0; nx * ny * kc];
         self.ybase = pdesched_mesh::trace_addr::alloc(self.ycache.len() * 8);
@@ -99,34 +101,31 @@ pub fn fused_tile<M: Mem>(
     mem: &M,
 ) {
     bufs.ensure(cells, comp);
+    let yc = UnsafeSlice::new(&mut bufs.ycache);
+    let zc = UnsafeSlice::new(&mut bufs.zcache);
     match comp {
-        CompLoop::Inside => fused_tile_cli(phi0, phi1, cells, bufs, mem),
-        CompLoop::Outside => {
-            fill_velocity(phi0, bufs, mem);
-            for c in 0..NCOMP {
-                fused_tile_clo_comp(phi0, phi1, cells, c, bufs, mem);
-            }
+        CompLoop::Inside => {
+            fused_tile_cli(phi0, phi1, cells, &yc, &zc, bufs.ybase, bufs.zbase, mem)
         }
-    }
-}
-
-/// Pre-compute the three per-direction velocity face arrays for CLO
-/// (Table I's `3(N+1)^3` velocity temporary).
-pub(crate) fn fill_velocity<M: Mem>(phi0: &FArrayBox, bufs: &mut FuseBufs, mem: &M) {
-    for d in 0..3 {
-        let vel = bufs.vel[d].as_mut().expect("CLO buffers");
-        let faces = vel.region();
-        let vc = vel_comp(d);
-        let (lo, hi) = (faces.lo(), faces.hi());
-        for z in lo[2]..=hi[2] {
-            for y in lo[1]..=hi[1] {
-                for x in lo[0]..=hi[0] {
-                    let f = IntVect::new(x, y, z);
-                    let v = face_interp_at(phi0, d, f, vc, mem);
-                    let i = vel.index(f, 0);
-                    mem.w(vel.base_addr() + i * 8);
-                    vel.data_mut()[i] = v;
-                }
+        CompLoop::Outside => {
+            let vels: [SharedFab; 3] = {
+                let [a, b, c] = &mut bufs.vel;
+                [
+                    SharedFab::new(a.as_mut().expect("CLO buffers")),
+                    SharedFab::new(b.as_mut().expect("CLO buffers")),
+                    SharedFab::new(c.as_mut().expect("CLO buffers")),
+                ]
+            };
+            // The velocity pre-pass (Table I's `3(N+1)^3` temporary) is
+            // the same stream the wavefront schedules use, full z-range.
+            for (d, v) in vels.iter().enumerate() {
+                let faces = cells.surrounding_faces(d);
+                fill_velocity_slab(phi0, v, faces, d, faces.lo()[2]..faces.hi()[2] + 1, mem);
+            }
+            for c in 0..NCOMP {
+                fused_tile_clo_comp(
+                    phi0, phi1, cells, c, &vels, &yc, &zc, bufs.ybase, bufs.zbase, mem,
+                );
             }
         }
     }
@@ -140,15 +139,15 @@ pub(crate) fn fill_velocity<M: Mem>(phi0: &FArrayBox, bufs: &mut FuseBufs, mem: 
 #[inline(always)]
 pub(crate) fn clo_flux<M: Mem>(
     phi0: &FArrayBox,
-    vel: &FArrayBox,
+    vel: &SharedFab,
     d: usize,
     f: IntVect,
     c: usize,
     mem: &M,
 ) -> f64 {
     let vi = vel.index(f, 0);
-    mem.r(vel.base_addr() + vi * 8);
-    let v = vel.data()[vi];
+    mem.r(vel.addr(vi));
+    let v = unsafe { vel.read(vi) };
     if c == vel_comp(d) {
         mem.op_flux();
         pdesched_kernels::point::flux_mul(v, v)
@@ -157,23 +156,23 @@ pub(crate) fn clo_flux<M: Mem>(
     }
 }
 
-/// One component's fused sweep (CLO).
-fn fused_tile_clo_comp<M: Mem>(
+/// One component's fused sweep (CLO). Buffer state arrives as shared
+/// views so the plan interpreter and the tile path share one body.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fused_tile_clo_comp<M: Mem>(
     phi0: &FArrayBox,
     phi1: &SharedFab,
     cells: IBox,
     c: usize,
-    bufs: &mut FuseBufs,
+    vels: &[SharedFab; 3],
+    ycache: &UnsafeSlice<'_, f64>,
+    zcache: &UnsafeSlice<'_, f64>,
+    ybase: usize,
+    zbase: usize,
     mem: &M,
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let nx = cells.extent(0) as usize;
-    let velx = bufs.vel[0].take().expect("CLO buffers");
-    let vely = bufs.vel[1].take().expect("CLO buffers");
-    let velz = bufs.vel[2].take().expect("CLO buffers");
-    let (ybase, zbase) = (bufs.ybase, bufs.zbase);
-    let ycache = &mut bufs.ycache;
-    let zcache = &mut bufs.zcache;
     for z in lo[2]..=hi[2] {
         for y in lo[1]..=hi[1] {
             let mut fxlo = 0.0;
@@ -182,30 +181,30 @@ fn fused_tile_clo_comp<M: Mem>(
                 let xr = (x - lo[0]) as usize;
                 // x direction
                 if x == lo[0] {
-                    fxlo = clo_flux(phi0, &velx, 0, iv, c, mem);
+                    fxlo = clo_flux(phi0, &vels[0], 0, iv, c, mem);
                 }
-                let fxhi = clo_flux(phi0, &velx, 0, iv.shifted(0, 1), c, mem);
+                let fxhi = clo_flux(phi0, &vels[0], 0, iv.shifted(0, 1), c, mem);
                 // y direction
                 let fylo = if y == lo[1] {
-                    clo_flux(phi0, &vely, 1, iv, c, mem)
+                    clo_flux(phi0, &vels[1], 1, iv, c, mem)
                 } else {
                     mem.r(ybase + xr * 8);
-                    ycache[xr]
+                    unsafe { ycache.read(xr) }
                 };
-                let fyhi = clo_flux(phi0, &vely, 1, iv.shifted(1, 1), c, mem);
+                let fyhi = clo_flux(phi0, &vels[1], 1, iv.shifted(1, 1), c, mem);
                 mem.w(ybase + xr * 8);
-                ycache[xr] = fyhi;
+                unsafe { ycache.write(xr, fyhi) };
                 // z direction
                 let zi = (y - lo[1]) as usize * nx + xr;
                 let fzlo = if z == lo[2] {
-                    clo_flux(phi0, &velz, 2, iv, c, mem)
+                    clo_flux(phi0, &vels[2], 2, iv, c, mem)
                 } else {
                     mem.r(zbase + zi * 8);
-                    zcache[zi]
+                    unsafe { zcache.read(zi) }
                 };
-                let fzhi = clo_flux(phi0, &velz, 2, iv.shifted(2, 1), c, mem);
+                let fzhi = clo_flux(phi0, &vels[2], 2, iv.shifted(2, 1), c, mem);
                 mem.w(zbase + zi * 8);
-                zcache[zi] = fzhi;
+                unsafe { zcache.write(zi, fzhi) };
                 // Accumulate in direction order x, y, z.
                 let pi = phi1.index(iv, c);
                 mem.r(phi1.addr(pi));
@@ -222,23 +221,23 @@ fn fused_tile_clo_comp<M: Mem>(
             }
         }
     }
-    bufs.vel = [Some(velx), Some(vely), Some(velz)];
 }
 
 /// The CLI fused sweep: all five components per cell, velocity in
 /// registers.
-fn fused_tile_cli<M: Mem>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fused_tile_cli<M: Mem>(
     phi0: &FArrayBox,
     phi1: &SharedFab,
     cells: IBox,
-    bufs: &mut FuseBufs,
+    ycache: &UnsafeSlice<'_, f64>,
+    zcache: &UnsafeSlice<'_, f64>,
+    ybase: usize,
+    zbase: usize,
     mem: &M,
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let nx = cells.extent(0) as usize;
-    let (ybase, zbase) = (bufs.ybase, bufs.zbase);
-    let ycache = &mut bufs.ycache;
-    let zcache = &mut bufs.zcache;
     let mut fxlo = [0.0f64; NCOMP];
     let mut fxhi = [0.0f64; NCOMP];
     let mut fylo = [0.0f64; NCOMP];
@@ -260,22 +259,30 @@ fn fused_tile_cli<M: Mem>(
                     face_fluxes_all(phi0, 1, iv, &mut fylo, mem);
                 } else {
                     mem.r_run(ybase + xr * NCOMP * 8, NCOMP);
-                    fylo.copy_from_slice(&ycache[xr * NCOMP..(xr + 1) * NCOMP]);
+                    for (c, v) in fylo.iter_mut().enumerate() {
+                        *v = unsafe { ycache.read(xr * NCOMP + c) };
+                    }
                 }
                 face_fluxes_all(phi0, 1, iv.shifted(1, 1), &mut fyhi, mem);
                 mem.w_run(ybase + xr * NCOMP * 8, NCOMP);
-                ycache[xr * NCOMP..(xr + 1) * NCOMP].copy_from_slice(&fyhi);
+                for (c, v) in fyhi.iter().enumerate() {
+                    unsafe { ycache.write(xr * NCOMP + c, *v) };
+                }
                 // z direction
                 let zi = ((y - lo[1]) as usize * nx + xr) * NCOMP;
                 if z == lo[2] {
                     face_fluxes_all(phi0, 2, iv, &mut fzlo, mem);
                 } else {
                     mem.r_run(zbase + zi * 8, NCOMP);
-                    fzlo.copy_from_slice(&zcache[zi..zi + NCOMP]);
+                    for (c, v) in fzlo.iter_mut().enumerate() {
+                        *v = unsafe { zcache.read(zi + c) };
+                    }
                 }
                 face_fluxes_all(phi0, 2, iv.shifted(2, 1), &mut fzhi, mem);
                 mem.w_run(zbase + zi * 8, NCOMP);
-                zcache[zi..zi + NCOMP].copy_from_slice(&fzhi);
+                for (c, v) in fzhi.iter().enumerate() {
+                    unsafe { zcache.write(zi + c, *v) };
+                }
                 // Accumulate: per component, direction order x, y, z.
                 for c in 0..NCOMP {
                     let pi = phi1.index(iv, c);
@@ -296,25 +303,27 @@ fn fused_tile_cli<M: Mem>(
     }
 }
 
-/// Serial whole-box entry point (`P >= Box` granularity).
-pub fn run_box_serial<M: Mem>(
-    phi0: &FArrayBox,
-    phi1: &mut FArrayBox,
-    cells: IBox,
-    comp: CompLoop,
-    mem: &M,
-) -> TempStorage {
-    let view = SharedFab::new(phi1);
-    let mut bufs = FuseBufs::new();
-    fused_tile(phi0, &view, cells, comp, &mut bufs, mem);
-    bufs.peak()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::run_box;
     use crate::mem::{CountingMem, NoMem};
+    use crate::variant::{Category, Granularity, IntraTile, Variant};
     use pdesched_kernels::reference;
+
+    fn fuse_variant(comp: CompLoop) -> Variant {
+        Variant {
+            category: Category::ShiftFuse,
+            gran: Granularity::OverBoxes,
+            comp,
+            intra: IntraTile::Basic,
+            tile: None,
+        }
+    }
+
+    fn series_variant(comp: CompLoop) -> Variant {
+        Variant { category: Category::Series, ..fuse_variant(comp) }
+    }
 
     fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
         let cells = IBox::cube(n);
@@ -330,14 +339,14 @@ mod tests {
     #[test]
     fn cli_matches_reference_bitwise() {
         let (phi0, expect, mut got, cells) = setup(6);
-        run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        run_box(fuse_variant(CompLoop::Inside), &phi0, &mut got, cells, 1, &NoMem);
         assert!(got.bit_eq(&expect, cells));
     }
 
     #[test]
     fn clo_matches_reference_bitwise() {
         let (phi0, expect, mut got, cells) = setup(6);
-        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        run_box(fuse_variant(CompLoop::Outside), &phi0, &mut got, cells, 1, &NoMem);
         assert!(got.bit_eq(&expect, cells));
     }
 
@@ -350,7 +359,7 @@ mod tests {
         reference::update_box(&phi0, &mut expect, cells);
         for comp in [CompLoop::Inside, CompLoop::Outside] {
             let mut got = FArrayBox::new(cells, NCOMP);
-            run_box_serial(&phi0, &mut got, cells, comp, &NoMem);
+            run_box(fuse_variant(comp), &phi0, &mut got, cells, 1, &NoMem);
             assert!(got.bit_eq(&expect, cells), "{comp:?}");
         }
     }
@@ -362,7 +371,7 @@ mod tests {
         for comp in [CompLoop::Inside, CompLoop::Outside] {
             let m = CountingMem::new();
             let mut g = got.clone();
-            run_box_serial(&phi0, &mut g, cells, comp, &m);
+            run_box(fuse_variant(comp), &phi0, &mut g, cells, 1, &m);
             assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells), "{comp:?}");
         }
         let _ = &mut got;
@@ -375,10 +384,10 @@ mod tests {
         let (phi0, _, _, cells) = setup(8);
         let ms = CountingMem::new();
         let mut a = FArrayBox::new(cells, NCOMP);
-        crate::series::run_box_serial(&phi0, &mut a, cells, CompLoop::Inside, &ms);
+        run_box(series_variant(CompLoop::Inside), &phi0, &mut a, cells, 1, &ms);
         let mf = CountingMem::new();
         let mut b = FArrayBox::new(cells, NCOMP);
-        run_box_serial(&phi0, &mut b, cells, CompLoop::Inside, &mf);
+        run_box(fuse_variant(CompLoop::Inside), &phi0, &mut b, cells, 1, &mf);
         let (rs, ws, ..) = ms.snapshot();
         let (rf, wf, ..) = mf.snapshot();
         assert!(rf < rs, "fused reads {rf} !< series reads {rs}");
@@ -389,11 +398,11 @@ mod tests {
     fn storage_formulas() {
         let n = 6;
         let (phi0, _, mut got, cells) = setup(n);
-        let s = run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        let s = run_box(fuse_variant(CompLoop::Inside), &phi0, &mut got, cells, 1, &NoMem);
         let n = n as usize;
         assert_eq!(s.flux_f64, NCOMP * (2 + n + n * n));
         assert_eq!(s.vel_f64, 0);
-        let s2 = run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        let s2 = run_box(fuse_variant(CompLoop::Outside), &phi0, &mut got, cells, 1, &NoMem);
         assert_eq!(s2.flux_f64, 2 + n + n * n);
         assert_eq!(s2.vel_f64, 3 * (n + 1) * n * n);
     }

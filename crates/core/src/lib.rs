@@ -36,7 +36,7 @@ pub mod describe;
 pub mod exec;
 pub mod fuse;
 pub mod mem;
-pub mod overlap;
+pub mod plan;
 pub mod series;
 pub mod shared;
 pub mod storage;
@@ -45,5 +45,6 @@ pub mod wavefront;
 
 pub use exec::{run_box, run_box_traced, run_level};
 pub use mem::{CountingMem, Mem, NoMem};
+pub use plan::{plan_for, Plan};
 pub use storage::TempStorage;
-pub use variant::{Category, CompLoop, Granularity, IntraTile, Variant};
+pub use variant::{Category, CompLoop, Granularity, IntraTile, InvalidVariant, Variant};

@@ -1,0 +1,1100 @@
+//! The schedule IR: every variant lowers to an explicit [`Plan`] that one
+//! generic interpreter executes.
+//!
+//! The hand-written executor families (`series`, `fuse`, `wavefront`,
+//! overlapped tiles) each used to re-derive loop bounds, temp-buffer
+//! plumbing, and parallel chunking on every call. Following the OPS
+//! design — record the loop chain as data, construct the tiled execution
+//! schedule at runtime, cache it — a `(Variant, box extents, nthreads)`
+//! triple is now *lowered* once into a `Plan`:
+//!
+//! * an ordered list of [`RegionPlan`]s, each declaring its temporary
+//!   buffers ([`AllocEvent`]) and its [`Phase`]s;
+//! * each phase holds per-thread [`Step`] lists plus a barrier flag —
+//!   parallel chunking is decided at lowering time via the same
+//!   `static_block` rule the SPMD runtime uses;
+//! * overlapped-tile steps carry their recompute region (the redundantly
+//!   recomputed tile-surface faces) as data.
+//!
+//! [`execute`] walks the plan, materializes buffers in declared order,
+//! and calls the existing row/pass bodies in `series`, `fuse`, and
+//! `wavefront`.
+//!
+//! # Access-order guarantee
+//!
+//! At `nthreads == 1` (the traced configuration used by
+//! `machine`'s traffic measurement) the interpreter reproduces the exact
+//! memory-event stream of the original hand-written nests: buffer trace
+//! addresses are a pure function of allocation order
+//! (`pdesched_mesh::trace_addr`), the declared alloc order matches the
+//! legacy executors, and every step calls the identical pass body over
+//! the identical bounds. PR 3's bit-identity suites pin this.
+//!
+//! # Plan cache
+//!
+//! [`plan_for`] memoizes lowering in a process-wide LRU cache keyed on
+//! `(Variant, box extents, effective thread count)`, so sweep prewarms
+//! and solver time loops lower once per shape instead of per box per
+//! step. [`cache_stats`] reports hits/misses for `repro --json`.
+
+use crate::mem::Mem;
+use crate::series::{self, SeriesBufs};
+use crate::shared::SharedFab;
+use crate::storage::TempStorage;
+use crate::variant::{Category, CompLoop, Granularity, IntraTile, Variant};
+use crate::wavefront::{self, wavefront_id_groups, WavefrontBufs};
+use crate::{fuse, fuse::FuseBufs};
+use pdesched_kernels::NCOMP;
+use pdesched_mesh::{FArrayBox, IBox, IntVect, DIM};
+use pdesched_par::{spmd, static_block, UnsafeSlice};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which executor family's buffer/step vocabulary a region uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionKind {
+    /// One direction of the series-of-loops schedule.
+    Series,
+    /// A serial fused sweep over the whole box.
+    Fuse,
+    /// Wavefronts of tiles through shared co-dimension caches.
+    Wavefront,
+    /// Independent overlapped tiles with per-thread buffers.
+    Overlap,
+}
+
+/// A temporary buffer the region materializes on entry, in declared
+/// order (the order *is* the trace-address assignment).
+#[derive(Clone, Copy, Debug)]
+pub struct AllocEvent {
+    /// Human-readable role for plan dumps ("flux", "vel_x", …).
+    pub role: &'static str,
+    pub kind: AllocKind,
+}
+
+/// Shape of a declared temporary.
+#[derive(Clone, Copy, Debug)]
+pub enum AllocKind {
+    /// A face-centered array over `cells.surrounding_faces(d)`.
+    Fab { d: usize, ncomp: usize },
+    /// A raw `f64` cache of `len` values (carry line/plane caches).
+    Raw { len: usize },
+}
+
+/// One unit of work for one thread. Boxes and z-ranges are stored in
+/// *canonical* coordinates (box low corner at the origin); the
+/// interpreter shifts by the actual box's low corner, so one plan serves
+/// every box of the same extents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Series face-interpolation pass over a z-slab of direction `d`'s
+    /// faces (CLO component-outer or CLI component-inner order).
+    Flux1 { flux: usize, d: usize, zr: (i32, i32), cli: bool },
+    /// Copy the velocity component out of the flux temporary.
+    ExtractVel { flux: usize, vel: usize, d: usize, zr: (i32, i32) },
+    /// Series flux product against the velocity temporary (CLO).
+    Flux2Clo { flux: usize, vel: usize, d: usize, zr: (i32, i32) },
+    /// Series flux product with per-face velocity reads (CLI).
+    Flux2Cli { flux: usize, d: usize, zr: (i32, i32) },
+    /// Series divergence accumulation over a z-slab of cells.
+    Accumulate { flux: usize, d: usize, zr: (i32, i32), comp: CompLoop },
+    /// Fill a z-slab of one direction's velocity face array.
+    FillVel { vel: usize, d: usize, zr: (i32, i32) },
+    /// One component's fused sweep over the whole box (CLO).
+    FusedClo { c: usize },
+    /// The all-components fused sweep over the whole box (CLI).
+    FusedCli,
+    /// A contiguous span of one wavefront's tiles (`comp` selects the
+    /// CLO component, `None` means CLI). Tile ids decode against the
+    /// plan's tile size.
+    WfSpan { group: u32, start: u32, len: u32, comp: Option<u8> },
+    /// A contiguous span of overlapped tiles owned by one thread,
+    /// carrying the number of redundantly recomputed surface faces.
+    OtTiles { start: u32, len: u32, recompute_faces: usize },
+}
+
+/// Per-thread work lists (`work.len() == Plan::nthreads`) plus an
+/// explicit barrier point. Barriers emit no memory events, so they are
+/// free at `nthreads == 1` where tracing happens.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    pub work: Vec<Vec<Step>>,
+    pub barrier_after: bool,
+}
+
+/// A buffer scope: the region's temporaries are materialized on entry
+/// (in declared order) and dropped on exit.
+#[derive(Clone, Debug)]
+pub struct RegionPlan {
+    pub kind: RegionKind,
+    pub allocs: Vec<AllocEvent>,
+    pub phases: Vec<Phase>,
+}
+
+/// A lowered schedule for one `(Variant, box extents, nthreads)` triple.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub variant: Variant,
+    /// Box extents this plan was lowered for.
+    pub size: IntVect,
+    /// Effective thread count (after granularity gating and tile
+    /// clamping) — the length of every phase's `work`.
+    pub nthreads: usize,
+    pub regions: Vec<RegionPlan>,
+    /// Wavefront groups of flattened tile ids (`WfSpan` indexes these).
+    pub wf_groups: Vec<Vec<u32>>,
+    /// Tile edge used to decode `WfSpan`/`OtTiles` ids (0 when unused).
+    pub tile: i32,
+    /// Temporary storage computed from plan-declared buffer liveness;
+    /// equals what the executors historically measured (and the Table I
+    /// formulas in [`crate::storage::expected`] on cube boxes).
+    pub storage: TempStorage,
+}
+
+impl Plan {
+    /// Total steps over all regions, phases, and threads.
+    pub fn step_count(&self) -> usize {
+        self.regions
+            .iter()
+            .flat_map(|r| r.phases.iter())
+            .flat_map(|p| p.work.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Number of barrier points.
+    pub fn barrier_count(&self) -> usize {
+        self.regions.iter().flat_map(|r| r.phases.iter()).filter(|p| p.barrier_after).count()
+    }
+
+    /// Redundantly recomputed tile-surface faces (overlapped tiles only;
+    /// zero for the recomputation-free categories).
+    pub fn recompute_faces(&self) -> usize {
+        self.regions
+            .iter()
+            .flat_map(|r| r.phases.iter())
+            .flat_map(|p| p.work.iter())
+            .flatten()
+            .map(|s| match s {
+                Step::OtTiles { recompute_faces, .. } => *recompute_faces,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Render the plan for `repro plan` dumps: buffers, phases, barriers,
+    /// and recompute regions.
+    pub fn render(&self) -> String {
+        let s = self.size;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Plan: '{}' on {}x{}x{} cells, {} thread(s)",
+            self.variant, s[0], s[1], s[2], self.nthreads
+        );
+        let _ = writeln!(
+            out,
+            "cache key: (variant, box extents, effective threads = {})",
+            self.nthreads
+        );
+        let _ = writeln!(
+            out,
+            "temp storage: flux {} f64, vel {} f64 ({} bytes)",
+            self.storage.flux_f64,
+            self.storage.vel_f64,
+            self.storage.bytes()
+        );
+        let _ = writeln!(
+            out,
+            "steps: {}, barriers: {}, recompute faces: {}",
+            self.step_count(),
+            self.barrier_count(),
+            self.recompute_faces()
+        );
+        let cells = canonical(self.size);
+        for (ri, region) in self.regions.iter().enumerate() {
+            let kind = match region.kind {
+                RegionKind::Series => "series",
+                RegionKind::Fuse => "fuse",
+                RegionKind::Wavefront => "wavefront",
+                RegionKind::Overlap => "overlap",
+            };
+            let extra = match region.kind {
+                RegionKind::Wavefront => {
+                    format!(" ({} wavefronts of {}-tiles)", self.wf_groups.len(), self.tile)
+                }
+                RegionKind::Overlap => format!(" ({}-tiles)", self.tile),
+                _ => String::new(),
+            };
+            let _ = writeln!(out, "region {}/{}: {kind}{extra}", ri + 1, self.regions.len());
+            for (bi, a) in region.allocs.iter().enumerate() {
+                let desc = match a.kind {
+                    AllocKind::Fab { d, ncomp } => {
+                        let faces = cells.surrounding_faces(d);
+                        format!("face array over {:?}, {} comp", faces, ncomp)
+                    }
+                    AllocKind::Raw { len } => format!("raw cache, {len} f64"),
+                };
+                let _ = writeln!(out, "  buf[{bi}] {}: {desc}", a.role);
+            }
+            const MAX_PHASES: usize = 16;
+            for (pi, phase) in region.phases.iter().take(MAX_PHASES).enumerate() {
+                let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+                for step in phase.work.iter().flatten() {
+                    let label = step_label(step);
+                    match kinds.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, n)) => *n += 1,
+                        None => kinds.push((label, 1)),
+                    }
+                }
+                let kinds =
+                    kinds.iter().map(|(l, n)| format!("{l} x{n}")).collect::<Vec<_>>().join(", ");
+                let bar = if phase.barrier_after { ", barrier" } else { "" };
+                let _ = writeln!(out, "  phase {}: [{kinds}]{bar}", pi + 1);
+            }
+            if region.phases.len() > MAX_PHASES {
+                let _ = writeln!(out, "  ... ({} more phases)", region.phases.len() - MAX_PHASES);
+            }
+        }
+        out
+    }
+}
+
+fn step_label(step: &Step) -> &'static str {
+    match step {
+        Step::Flux1 { .. } => "flux1",
+        Step::ExtractVel { .. } => "extract-vel",
+        Step::Flux2Clo { .. } => "flux2-clo",
+        Step::Flux2Cli { .. } => "flux2-cli",
+        Step::Accumulate { .. } => "accumulate",
+        Step::FillVel { .. } => "fill-vel",
+        Step::FusedClo { .. } => "fused-clo",
+        Step::FusedCli => "fused-cli",
+        Step::WfSpan { .. } => "wf-span",
+        Step::OtTiles { .. } => "ot-tiles",
+    }
+}
+
+/// The canonical box for `size`: low corner at the origin. Lowering
+/// happens in canonical coordinates; the interpreter shifts.
+fn canonical(size: IntVect) -> IBox {
+    IBox::new(IntVect::ZERO, size - IntVect::splat(1))
+}
+
+/// Decode flattened tile id `id` of the `tile`-tiling of `cells`,
+/// matching `IBox::tiles` order (x fastest).
+fn tile_box(cells: IBox, tile: i32, id: u32) -> IBox {
+    let counts = cells.tile_counts(tile);
+    let id = id as i32;
+    let tx = id % counts[0];
+    let ty = (id / counts[0]) % counts[1];
+    let tz = id / (counts[0] * counts[1]);
+    let lo = cells.lo() + IntVect::new(tx * tile, ty * tile, tz * tile);
+    let hi = IntVect::new(
+        (lo[0] + tile - 1).min(cells.hi()[0]),
+        (lo[1] + tile - 1).min(cells.hi()[1]),
+        (lo[2] + tile - 1).min(cells.hi()[2]),
+    );
+    IBox::new(lo, hi)
+}
+
+/// The thread count a plan actually runs with: `P >= Box` schedules run
+/// serially inside the box, and overlapped tiles clamp to the tile
+/// count. This is the thread component of the cache key.
+pub fn effective_threads(variant: Variant, size: IntVect, nthreads: usize) -> usize {
+    let nt = if variant.gran == Granularity::WithinBox { nthreads.max(1) } else { 1 };
+    match variant.category {
+        Category::OverlappedTile => {
+            let counts = canonical(size).tile_counts(variant.tile_size());
+            let total = (counts[0] * counts[1] * counts[2]) as usize;
+            nt.min(total).max(1)
+        }
+        _ => nt,
+    }
+}
+
+fn slab(tid: usize, nt: usize, total: i32) -> Option<(i32, i32)> {
+    let r = static_block(tid, nt, total as usize);
+    (r.start < r.end).then_some((r.start as i32, r.end as i32))
+}
+
+/// A phase whose work is one z-slab step per thread.
+fn slab_phase(nt: usize, total: i32, mk: impl Fn((i32, i32)) -> Step) -> Phase {
+    Phase {
+        work: (0..nt).map(|tid| slab(tid, nt, total).map(&mk).into_iter().collect()).collect(),
+        barrier_after: true,
+    }
+}
+
+fn lower_series(variant: Variant, size: IntVect, nt: usize) -> (Vec<RegionPlan>, TempStorage) {
+    let cells = canonical(size);
+    let comp = variant.comp;
+    let mut regions = Vec::new();
+    let mut mf = 0usize;
+    for d in 0..DIM {
+        let faces = cells.surrounding_faces(d);
+        mf = mf.max(faces.num_pts());
+        let mut allocs =
+            vec![AllocEvent { role: "flux", kind: AllocKind::Fab { d, ncomp: NCOMP } }];
+        let fz = faces.extent(2);
+        let cz = cells.extent(2);
+        let mut phases = Vec::new();
+        match comp {
+            CompLoop::Outside => {
+                allocs.push(AllocEvent { role: "vel", kind: AllocKind::Fab { d, ncomp: 1 } });
+                phases.push(slab_phase(nt, fz, |zr| Step::Flux1 { flux: 0, d, zr, cli: false }));
+                phases.push(slab_phase(nt, fz, |zr| Step::ExtractVel { flux: 0, vel: 1, d, zr }));
+                phases.push(slab_phase(nt, fz, |zr| Step::Flux2Clo { flux: 0, vel: 1, d, zr }));
+            }
+            CompLoop::Inside => {
+                phases.push(slab_phase(nt, fz, |zr| Step::Flux1 { flux: 0, d, zr, cli: true }));
+                phases.push(slab_phase(nt, fz, |zr| Step::Flux2Cli { flux: 0, d, zr }));
+            }
+        }
+        phases.push(slab_phase(nt, cz, |zr| Step::Accumulate { flux: 0, d, zr, comp }));
+        regions.push(RegionPlan { kind: RegionKind::Series, allocs, phases });
+    }
+    let storage = TempStorage {
+        flux_f64: NCOMP * mf,
+        vel_f64: if comp == CompLoop::Outside { mf } else { 0 },
+    };
+    (regions, storage)
+}
+
+const VEL_ROLES: [&str; 3] = ["vel_x", "vel_y", "vel_z"];
+
+fn lower_fuse(variant: Variant, size: IntVect) -> (Vec<RegionPlan>, TempStorage) {
+    let cells = canonical(size);
+    let comp = variant.comp;
+    let kc = comp.cache_components();
+    let nx = cells.extent(0) as usize;
+    let ny = cells.extent(1) as usize;
+    let mut allocs = vec![
+        AllocEvent { role: "ycarry", kind: AllocKind::Raw { len: nx * kc } },
+        AllocEvent { role: "zcarry", kind: AllocKind::Raw { len: nx * ny * kc } },
+    ];
+    let mut steps = Vec::new();
+    let mut vel = 0usize;
+    match comp {
+        CompLoop::Outside => {
+            for (d, role) in VEL_ROLES.iter().enumerate() {
+                let faces = cells.surrounding_faces(d);
+                vel += faces.num_pts();
+                allocs.push(AllocEvent { role, kind: AllocKind::Fab { d, ncomp: 1 } });
+                steps.push(Step::FillVel { vel: d, d, zr: (0, faces.extent(2)) });
+            }
+            for c in 0..NCOMP {
+                steps.push(Step::FusedClo { c });
+            }
+        }
+        CompLoop::Inside => steps.push(Step::FusedCli),
+    }
+    // Fused sweeps are serial inside the box (their parallelism lives at
+    // the box level), so the single phase carries one thread's work.
+    let phases = vec![Phase { work: vec![steps], barrier_after: false }];
+    let storage = TempStorage { flux_f64: 2 * kc + nx * kc + nx * ny * kc, vel_f64: vel };
+    (vec![RegionPlan { kind: RegionKind::Fuse, allocs, phases }], storage)
+}
+
+fn lower_wavefront(
+    variant: Variant,
+    size: IntVect,
+    nt: usize,
+    tile: i32,
+) -> (Vec<RegionPlan>, Vec<Vec<u32>>, TempStorage) {
+    let cells = canonical(size);
+    let comp = variant.comp;
+    let kc = comp.cache_components();
+    let nx = cells.extent(0) as usize;
+    let ny = cells.extent(1) as usize;
+    let nz = cells.extent(2) as usize;
+    let mut allocs = vec![
+        AllocEvent { role: "xcache", kind: AllocKind::Raw { len: ny * nz * kc } },
+        AllocEvent { role: "ycache", kind: AllocKind::Raw { len: nx * nz * kc } },
+        AllocEvent { role: "zcache", kind: AllocKind::Raw { len: nx * ny * kc } },
+    ];
+    let mut phases = Vec::new();
+    let mut vel = 0usize;
+    if comp == CompLoop::Outside {
+        for (d, role) in VEL_ROLES.iter().enumerate() {
+            vel += cells.surrounding_faces(d).num_pts();
+            allocs.push(AllocEvent { role, kind: AllocKind::Fab { d, ncomp: 1 } });
+        }
+        // Velocity fill: every thread fills a z-slab of each direction's
+        // face array, then a barrier publishes them.
+        let work = (0..nt)
+            .map(|tid| {
+                (0..DIM)
+                    .filter_map(|d| {
+                        slab(tid, nt, cells.surrounding_faces(d).extent(2))
+                            .map(|zr| Step::FillVel { vel: d, d, zr })
+                    })
+                    .collect()
+            })
+            .collect();
+        phases.push(Phase { work, barrier_after: true });
+    }
+    let groups = wavefront_id_groups(cells.tile_counts(tile));
+    let comps: Vec<Option<u8>> = match comp {
+        CompLoop::Inside => vec![None],
+        CompLoop::Outside => (0..NCOMP).map(|c| Some(c as u8)).collect(),
+    };
+    for c in comps {
+        for (g, group) in groups.iter().enumerate() {
+            let work = (0..nt)
+                .map(|tid| {
+                    let r = static_block(tid, nt, group.len());
+                    if r.start < r.end {
+                        vec![Step::WfSpan {
+                            group: g as u32,
+                            start: r.start as u32,
+                            len: (r.end - r.start) as u32,
+                            comp: c,
+                        }]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            phases.push(Phase { work, barrier_after: true });
+        }
+    }
+    let storage = TempStorage { flux_f64: (ny * nz + nx * nz + nx * ny) * kc, vel_f64: vel };
+    (vec![RegionPlan { kind: RegionKind::Wavefront, allocs, phases }], groups, storage)
+}
+
+/// Peak temporary storage of one overlapped tile under the given
+/// intra-tile schedule — the per-tile replay of the executors'
+/// realloc-on-shape-change accounting.
+fn tile_storage(variant: Variant, t: IBox) -> TempStorage {
+    let kc = variant.comp.cache_components();
+    let clo = variant.comp == CompLoop::Outside;
+    let sx = t.extent(0) as usize;
+    let sy = t.extent(1) as usize;
+    let sz = t.extent(2) as usize;
+    let fpts: Vec<usize> = (0..DIM).map(|d| t.surrounding_faces(d).num_pts()).collect();
+    let fmax = *fpts.iter().max().unwrap();
+    let fsum: usize = fpts.iter().sum();
+    match variant.intra {
+        IntraTile::Basic => {
+            TempStorage { flux_f64: NCOMP * fmax, vel_f64: if clo { fmax } else { 0 } }
+        }
+        IntraTile::ShiftFuse => TempStorage {
+            flux_f64: 2 * kc + sx * kc + sx * sy * kc,
+            vel_f64: if clo { fsum } else { 0 },
+        },
+        IntraTile::Hierarchical(_) => TempStorage {
+            flux_f64: (sy * sz + sx * sz + sx * sy) * kc,
+            vel_f64: if clo { fsum } else { 0 },
+        },
+    }
+}
+
+fn lower_overlap(
+    variant: Variant,
+    size: IntVect,
+    nt: usize,
+    tile: i32,
+) -> (Vec<RegionPlan>, TempStorage) {
+    let cells = canonical(size);
+    let counts = cells.tile_counts(tile);
+    let total = (counts[0] * counts[1] * counts[2]) as usize;
+    let mut work = Vec::with_capacity(nt);
+    let mut storage = TempStorage::default();
+    for tid in 0..nt {
+        let r = static_block(tid, nt, total);
+        let mut peak = TempStorage::default();
+        let mut recompute_faces = 0usize;
+        for id in r.clone() {
+            let t = tile_box(cells, tile, id as u32);
+            peak = peak.max(tile_storage(variant, t));
+            recompute_faces += pdesched_kernels::ops::overlapped_tile_recompute(cells, t);
+        }
+        storage = storage.add(peak);
+        work.push(if r.start < r.end {
+            vec![Step::OtTiles {
+                start: r.start as u32,
+                len: (r.end - r.start) as u32,
+                recompute_faces,
+            }]
+        } else {
+            Vec::new()
+        });
+    }
+    let phases = vec![Phase { work, barrier_after: false }];
+    (vec![RegionPlan { kind: RegionKind::Overlap, allocs: Vec::new(), phases }], storage)
+}
+
+/// Lower `(variant, box extents, nthreads)` to a [`Plan`] — uncached;
+/// most callers want [`plan_for`].
+pub fn lower(variant: Variant, size: IntVect, nthreads: usize) -> Plan {
+    let nt = effective_threads(variant, size, nthreads);
+    let within = variant.gran == Granularity::WithinBox;
+    let (regions, wf_groups, tile, storage) = match variant.category {
+        Category::Series => {
+            let (r, s) = lower_series(variant, size, nt);
+            (r, Vec::new(), 0, s)
+        }
+        Category::ShiftFuse => {
+            if within {
+                // Per-iteration wavefront: blocked wavefront with T = 1.
+                let (r, g, s) = lower_wavefront(variant, size, nt, 1);
+                (r, g, 1, s)
+            } else {
+                let (r, s) = lower_fuse(variant, size);
+                (r, Vec::new(), 0, s)
+            }
+        }
+        Category::BlockedWavefront => {
+            let t = variant.tile_size();
+            let (r, g, s) = lower_wavefront(variant, size, nt, t);
+            (r, g, t, s)
+        }
+        Category::OverlappedTile => {
+            let t = variant.tile_size();
+            let (r, s) = lower_overlap(variant, size, nt, t);
+            (r, Vec::new(), t, s)
+        }
+    };
+    Plan { variant, size, nthreads: nt, regions, wf_groups, tile, storage }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    variant: Variant,
+    size: IntVect,
+    nthreads: usize,
+}
+
+const CACHE_CAP: usize = 64;
+
+static CACHE: Mutex<Vec<(PlanKey, Arc<Plan>, u64)>> = Mutex::new(Vec::new());
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static STAMP: AtomicU64 = AtomicU64::new(0);
+
+/// Memoized lowering: returns the cached plan for
+/// `(variant, size, effective threads)` or lowers and caches it.
+pub fn plan_for(variant: Variant, size: IntVect, nthreads: usize) -> Arc<Plan> {
+    let key = PlanKey { variant, size, nthreads: effective_threads(variant, size, nthreads) };
+    let stamp = STAMP.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut cache = CACHE.lock().unwrap();
+        if let Some(e) = cache.iter_mut().find(|e| e.0 == key) {
+            e.2 = stamp;
+            let p = e.1.clone();
+            drop(cache);
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
+    }
+    // Lower outside the lock; fine tilings take a while.
+    let plan = Arc::new(lower(variant, size, nthreads));
+    let mut cache = CACHE.lock().unwrap();
+    if let Some(e) = cache.iter_mut().find(|e| e.0 == key) {
+        // Another thread lowered the same shape meanwhile; keep one copy.
+        e.2 = stamp;
+        let p = e.1.clone();
+        drop(cache);
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return p;
+    }
+    if cache.len() >= CACHE_CAP {
+        if let Some(i) = (0..cache.len()).min_by_key(|&i| cache[i].2) {
+            cache.remove(i);
+        }
+    }
+    cache.push((key, plan.clone(), stamp));
+    drop(cache);
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    plan
+}
+
+/// `(hits, misses, live entries)` of the process-wide plan cache.
+pub fn cache_stats() -> (u64, u64, usize) {
+    let entries = CACHE.lock().unwrap().len();
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed), entries)
+}
+
+/// Drop all cached plans and reset the hit/miss counters (tests and
+/// cold-measurement baselines).
+pub fn clear_cache() {
+    CACHE.lock().unwrap().clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+fn walk<F: Fn(&Step) + Sync>(nthreads: usize, phases: &[Phase], f: F) {
+    spmd(nthreads, |ctx| {
+        for phase in phases {
+            for step in &phase.work[ctx.tid()] {
+                f(step);
+            }
+            if phase.barrier_after {
+                ctx.barrier();
+            }
+        }
+    });
+}
+
+/// Execute a lowered plan over one box, accumulating into `phi1`.
+/// Returns the plan-declared temporary storage.
+///
+/// The plan must have been lowered for `cells.size()`; `nthreads` is
+/// baked into the plan.
+pub fn execute<M: Mem>(
+    plan: &Plan,
+    phi0: &FArrayBox,
+    phi1: &mut FArrayBox,
+    cells: IBox,
+    mem: &M,
+) -> TempStorage {
+    assert_eq!(
+        cells.size(),
+        plan.size,
+        "plan lowered for extents {:?}, executed on {:?}",
+        plan.size,
+        cells
+    );
+    let phi1v = SharedFab::new(phi1);
+    for region in &plan.regions {
+        run_region(plan, region, phi0, &phi1v, cells, mem);
+    }
+    plan.storage
+}
+
+fn run_region<M: Mem>(
+    plan: &Plan,
+    region: &RegionPlan,
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    mem: &M,
+) {
+    // Materialize the declared buffers in order. Trace addresses are a
+    // pure function of allocation order (`trace_addr`), so following the
+    // declared order reproduces the hand-written executors' address
+    // streams exactly.
+    let mut fabs: Vec<FArrayBox> = Vec::new();
+    let mut raws: Vec<(usize, Vec<f64>)> = Vec::new();
+    for a in &region.allocs {
+        match a.kind {
+            AllocKind::Fab { d, ncomp } => {
+                fabs.push(FArrayBox::new(cells.surrounding_faces(d), ncomp));
+            }
+            AllocKind::Raw { len } => {
+                let base = pdesched_mesh::trace_addr::alloc(len * 8);
+                raws.push((base, vec![0.0f64; len]));
+            }
+        }
+    }
+    let fviews: Vec<SharedFab> = fabs.iter_mut().map(SharedFab::new).collect();
+    let nt = plan.nthreads;
+    match region.kind {
+        RegionKind::Series => {
+            walk(nt, &region.phases, |step| series_step(step, phi0, phi1, cells, &fviews, mem));
+        }
+        RegionKind::Fuse => {
+            let [(ybase, yvec), (zbase, zvec)] = &mut raws[..] else {
+                unreachable!("fuse region carries exactly two raw caches");
+            };
+            let (ybase, zbase) = (*ybase, *zbase);
+            let yc = UnsafeSlice::new(yvec);
+            let zc = UnsafeSlice::new(zvec);
+            let vels: Option<[SharedFab; 3]> =
+                (fviews.len() == 3).then(|| [fviews[0], fviews[1], fviews[2]]);
+            walk(nt, &region.phases, |step| match *step {
+                Step::FillVel { vel, d, zr } => {
+                    fill_vel_step(phi0, &fviews[vel], cells, d, zr, mem)
+                }
+                Step::FusedClo { c } => fuse::fused_tile_clo_comp(
+                    phi0,
+                    phi1,
+                    cells,
+                    c,
+                    vels.as_ref().expect("CLO velocity arrays"),
+                    &yc,
+                    &zc,
+                    ybase,
+                    zbase,
+                    mem,
+                ),
+                Step::FusedCli => {
+                    fuse::fused_tile_cli(phi0, phi1, cells, &yc, &zc, ybase, zbase, mem)
+                }
+                ref other => unreachable!("{other:?} in a fuse region"),
+            });
+        }
+        RegionKind::Wavefront => {
+            let s = cells.size();
+            let [(xb, xv), (yb, yv), (zb, zv)] = &mut raws[..] else {
+                unreachable!("wavefront region carries exactly three raw caches");
+            };
+            let caches = wavefront::Caches {
+                xbase: *xb,
+                ybase: *yb,
+                zbase: *zb,
+                x: UnsafeSlice::new(xv),
+                y: UnsafeSlice::new(yv),
+                z: UnsafeSlice::new(zv),
+                lo: cells.lo(),
+                nx: s[0] as usize,
+                ny: s[1] as usize,
+                kc: plan.variant.comp.cache_components(),
+            };
+            walk(nt, &region.phases, |step| match *step {
+                Step::FillVel { vel, d, zr } => {
+                    fill_vel_step(phi0, &fviews[vel], cells, d, zr, mem)
+                }
+                Step::WfSpan { group, start, len, comp } => {
+                    let ids =
+                        &plan.wf_groups[group as usize][start as usize..(start + len) as usize];
+                    for &id in ids {
+                        let t = tile_box(cells, plan.tile, id);
+                        match comp {
+                            None => wavefront::tile_cli(phi0, phi1, cells, t, &caches, mem),
+                            Some(c) => wavefront::tile_clo(
+                                phi0, phi1, cells, t, c as usize, &fviews, &caches, mem,
+                            ),
+                        }
+                    }
+                }
+                ref other => unreachable!("{other:?} in a wavefront region"),
+            });
+        }
+        RegionKind::Overlap => {
+            let comp = plan.variant.comp;
+            let intra = plan.variant.intra;
+            walk(nt, &region.phases, |step| match *step {
+                Step::OtTiles { start, len, .. } => match intra {
+                    IntraTile::Basic => {
+                        let mut bufs = SeriesBufs::new();
+                        for id in start..start + len {
+                            let t = tile_box(cells, plan.tile, id);
+                            series::series_tile(phi0, phi1, t, comp, &mut bufs, mem);
+                        }
+                    }
+                    IntraTile::ShiftFuse => {
+                        let mut bufs = FuseBufs::new();
+                        for id in start..start + len {
+                            let t = tile_box(cells, plan.tile, id);
+                            fuse::fused_tile(phi0, phi1, t, comp, &mut bufs, mem);
+                        }
+                    }
+                    IntraTile::Hierarchical(inner) => {
+                        let mut bufs = WavefrontBufs::new();
+                        for id in start..start + len {
+                            let t = tile_box(cells, plan.tile, id);
+                            wavefront::run_tile_serial(phi0, phi1, t, comp, inner, &mut bufs, mem);
+                        }
+                    }
+                },
+                ref other => unreachable!("{other:?} in an overlap region"),
+            });
+        }
+    }
+}
+
+fn series_step<M: Mem>(
+    step: &Step,
+    phi0: &FArrayBox,
+    phi1: &SharedFab,
+    cells: IBox,
+    fviews: &[SharedFab],
+    mem: &M,
+) {
+    // Faces share the box's low z corner for every direction, so one
+    // offset serves both face and cell slabs.
+    let z0 = cells.lo()[2];
+    match *step {
+        Step::Flux1 { flux, d, zr, cli } => {
+            let faces = cells.surrounding_faces(d);
+            let z = z0 + zr.0..z0 + zr.1;
+            if cli {
+                series::pass_flux1_cli(phi0, &fviews[flux], faces, z, mem);
+            } else {
+                series::pass_flux1(phi0, &fviews[flux], faces, 0..NCOMP, z, mem);
+            }
+        }
+        Step::ExtractVel { flux, vel, d, zr } => {
+            let faces = cells.surrounding_faces(d);
+            series::pass_extract_velocity(
+                &fviews[flux],
+                &fviews[vel],
+                d,
+                faces,
+                z0 + zr.0..z0 + zr.1,
+                mem,
+            );
+        }
+        Step::Flux2Clo { flux, vel, d, zr } => {
+            let faces = cells.surrounding_faces(d);
+            series::pass_flux2_clo(
+                &fviews[flux],
+                &fviews[vel],
+                faces,
+                0..NCOMP,
+                z0 + zr.0..z0 + zr.1,
+                mem,
+            );
+        }
+        Step::Flux2Cli { flux, d, zr } => {
+            let faces = cells.surrounding_faces(d);
+            series::pass_flux2_cli(&fviews[flux], d, faces, z0 + zr.0..z0 + zr.1, mem);
+        }
+        Step::Accumulate { flux, d, zr, comp } => {
+            series::pass_accumulate(
+                phi1,
+                &fviews[flux],
+                cells,
+                d,
+                0..NCOMP,
+                z0 + zr.0..z0 + zr.1,
+                comp,
+                mem,
+            );
+        }
+        ref other => unreachable!("{other:?} in a series region"),
+    }
+}
+
+fn fill_vel_step<M: Mem>(
+    phi0: &FArrayBox,
+    vel: &SharedFab,
+    cells: IBox,
+    d: usize,
+    zr: (i32, i32),
+    mem: &M,
+) {
+    let faces = cells.surrounding_faces(d);
+    let z0 = faces.lo()[2];
+    wavefront::fill_velocity_slab(phi0, vel, faces, d, z0 + zr.0..z0 + zr.1, mem);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_box;
+    use crate::mem::{CountingMem, NoMem};
+    use crate::storage;
+    use pdesched_kernels::reference;
+
+    fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
+        let cells = IBox::cube(n);
+        let mut phi0 = FArrayBox::new(cells.grown(2), NCOMP);
+        phi0.fill_synthetic(61);
+        let mut expect = FArrayBox::new(cells, NCOMP);
+        expect.fill_synthetic(62);
+        let got = expect.clone();
+        reference::update_box(&phi0, &mut expect, cells);
+        (phi0, expect, got, cells)
+    }
+
+    fn ot(intra: IntraTile, comp: CompLoop, t: i32) -> Variant {
+        Variant { comp, ..Variant::overlapped(intra, t, Granularity::WithinBox) }
+    }
+
+    #[test]
+    fn all_intra_schedules_match_reference() {
+        for intra in [IntraTile::Basic, IntraTile::ShiftFuse] {
+            for comp in [CompLoop::Outside, CompLoop::Inside] {
+                for nt in [1, 2, 5] {
+                    for t in [2, 3, 4] {
+                        let (phi0, expect, mut got, cells) = setup(8);
+                        run_box(ot(intra, comp, t), &phi0, &mut got, cells, nt, &NoMem);
+                        assert!(
+                            got.bit_eq(&expect, cells),
+                            "intra={intra:?} comp={comp:?} nt={nt} t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_tile_size_matches() {
+        // 7^3 box, tile 4: edge tiles of width 3.
+        let (phi0, expect, mut got, cells) = setup(7);
+        run_box(ot(IntraTile::ShiftFuse, CompLoop::Outside, 4), &phi0, &mut got, cells, 3, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn recomputation_matches_analytic_redundancy() {
+        let (phi0, _, mut got, cells) = setup(8);
+        let m = CountingMem::new();
+        let v = ot(IntraTile::ShiftFuse, CompLoop::Outside, 4);
+        run_box(v, &phi0, &mut got, cells, 2, &m);
+        assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
+        // Accumulations are never redundant.
+        assert_eq!(m.op_count().accum, pdesched_kernels::ops::exemplar_ops(cells).accum);
+        // Interpolations exceed the exact count (surface recomputation).
+        assert!(m.op_count().interp > pdesched_kernels::ops::exemplar_ops(cells).interp);
+        // The plan declares the same redundancy: recompute faces x NCOMP
+        // equals the extra interpolations.
+        let plan = lower(v, cells.size(), 2);
+        let extra = m.op_count().interp - pdesched_kernels::ops::exemplar_ops(cells).interp;
+        assert_eq!(plan.recompute_faces() as u64 * NCOMP as u64, extra);
+    }
+
+    #[test]
+    fn storage_scales_with_threads() {
+        let (phi0, _, mut got, cells) = setup(8);
+        let v = ot(IntraTile::ShiftFuse, CompLoop::Outside, 4);
+        let s1 = run_box(v, &phi0, &mut got, cells, 1, &NoMem);
+        let s2 = run_box(v, &phi0, &mut got, cells, 2, &NoMem);
+        assert_eq!(s2.flux_f64, 2 * s1.flux_f64);
+        assert_eq!(s2.vel_f64, 2 * s1.vel_f64);
+        // Tile-local, independent of box size: matches the T-formulas.
+        let t = 4usize;
+        assert_eq!(s1.flux_f64, 2 + t + t * t);
+        assert_eq!(s1.vel_f64, 3 * (t + 1) * t * t);
+    }
+
+    #[test]
+    fn hierarchical_matches_reference() {
+        for comp in [CompLoop::Outside, CompLoop::Inside] {
+            for nt in [1, 3] {
+                let (phi0, expect, mut got, cells) = setup(8);
+                let v = Variant { comp, ..Variant::hierarchical(4, 2, Granularity::WithinBox) };
+                run_box(v, &phi0, &mut got, cells, nt, &NoMem);
+                assert!(got.bit_eq(&expect, cells), "comp={comp:?} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_recomputes_only_outer_surfaces() {
+        // Same outer tile size => same redundancy as flat OT; the inner
+        // tiling must not add recomputation.
+        let (phi0, _, mut got, cells) = setup(8);
+        let m = CountingMem::new();
+        let v = Variant {
+            comp: CompLoop::Inside,
+            ..Variant::hierarchical(4, 2, Granularity::WithinBox)
+        };
+        run_box(v, &phi0, &mut got, cells, 2, &m);
+        assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops_overlapped(cells, 4));
+    }
+
+    #[test]
+    fn more_threads_than_tiles_is_clamped() {
+        let (phi0, expect, mut got, cells) = setup(6);
+        // 27 tiles of 2^3; ask for 64 threads.
+        let v = ot(IntraTile::Basic, CompLoop::Inside, 2);
+        assert_eq!(effective_threads(v, cells.size(), 64), 27);
+        run_box(v, &phi0, &mut got, cells, 64, &NoMem);
+        assert!(got.bit_eq(&expect, cells));
+    }
+
+    #[test]
+    fn plan_storage_matches_table_formulas() {
+        // The tentpole invariant: storage from plan-declared buffer
+        // liveness equals the Table I formulas of `core::storage` for
+        // every extended variant (divisible tilings).
+        for n in [8, 16] {
+            for v in Variant::enumerate_extended(n) {
+                if !v.valid_for_box(n) {
+                    continue;
+                }
+                for nt in [1, 4] {
+                    let plan = lower(v, IntVect::splat(n), nt);
+                    assert_eq!(plan.storage, storage::expected(v, n, nt), "{v} n={n} nt={nt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_and_reuses() {
+        // An extent no other test uses, so the adjacent calls can't be
+        // evicted in between.
+        let size = IntVect::splat(11);
+        let v = Variant::blocked_wavefront(CompLoop::Inside, 4);
+        let p1 = plan_for(v, size, 5);
+        let (h1, m1, _) = cache_stats();
+        let p2 = plan_for(v, size, 5);
+        let (h2, m2, entries) = cache_stats();
+        assert!(Arc::ptr_eq(&p1, &p2), "second lowering not served from cache");
+        assert!(h2 > h1, "no cache hit recorded");
+        assert_eq!(m2, m1, "unexpected miss");
+        assert!(entries >= 1);
+        // Different thread counts are different keys...
+        let p3 = plan_for(v, size, 2);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        // ...but `P >= Box` variants gate to one thread before keying.
+        let ob = Variant::shift_fuse();
+        let q1 = plan_for(ob, size, 1);
+        let q2 = plan_for(ob, size, 8);
+        assert!(Arc::ptr_eq(&q1, &q2));
+    }
+
+    #[test]
+    fn warm_plan_is_bit_identical_to_cold() {
+        for v in [
+            Variant::baseline(),
+            Variant::blocked_wavefront(CompLoop::Inside, 4),
+            ot(IntraTile::ShiftFuse, CompLoop::Outside, 4),
+        ] {
+            let (phi0, expect, mut cold, cells) = setup(8);
+            let mut warm = cold.clone();
+            let mc = CountingMem::new();
+            // Cold: a fresh, uncached lowering.
+            let plan = lower(v, cells.size(), 2);
+            execute(&plan, &phi0, &mut cold, cells, &mc);
+            // Warm: whatever `plan_for` serves (cached after one call).
+            plan_for(v, cells.size(), 2);
+            let mw = CountingMem::new();
+            let cached = plan_for(v, cells.size(), 2);
+            execute(&cached, &phi0, &mut warm, cells, &mw);
+            assert!(cold.bit_eq(&expect, cells), "{v}");
+            assert!(warm.bit_eq(&cold, cells), "{v}");
+            assert_eq!(mc.snapshot(), mw.snapshot(), "{v}");
+            assert_eq!(plan.storage, cached.storage, "{v}");
+        }
+    }
+
+    #[test]
+    fn render_describes_structure() {
+        let wf = lower(Variant::blocked_wavefront(CompLoop::Outside, 4), IntVect::splat(8), 2);
+        let txt = wf.render();
+        assert!(txt.contains("Blocked WF-CLO-4: P<Box"), "{txt}");
+        assert!(txt.contains("barrier"), "{txt}");
+        assert!(txt.contains("xcache"), "{txt}");
+        assert!(txt.contains("vel_x"), "{txt}");
+        assert!(txt.contains("wavefronts"), "{txt}");
+        let otp = lower(ot(IntraTile::Basic, CompLoop::Outside, 4), IntVect::splat(8), 4);
+        let txt = otp.render();
+        assert!(txt.contains("recompute faces: 192"), "{txt}");
+        assert!(txt.contains("ot-tiles"), "{txt}");
+        let fuse = lower(Variant::shift_fuse(), IntVect::splat(8), 1);
+        let txt = fuse.render();
+        assert!(txt.contains("ycarry"), "{txt}");
+        assert!(txt.contains("fused-clo"), "{txt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "plan lowered for extents")]
+    fn executing_on_wrong_extents_panics() {
+        let (phi0, _, mut got, cells) = setup(8);
+        let plan = lower(Variant::baseline(), IntVect::splat(9), 1);
+        execute(&plan, &phi0, &mut got, cells, &NoMem);
+    }
+
+    #[test]
+    fn barriers_and_steps_counted() {
+        // Series CLO: 3 regions x 4 phases, all barriered.
+        let p = lower(Variant::baseline(), IntVect::splat(8), 1);
+        assert_eq!(p.barrier_count(), 12);
+        assert_eq!(p.step_count(), 12);
+        // CLI drops the extract-velocity phase.
+        let cli = Variant { comp: CompLoop::Inside, ..Variant::baseline() };
+        assert_eq!(lower(cli, IntVect::splat(8), 1).barrier_count(), 9);
+        // The fused sweep is one serial phase, no barriers.
+        let f = lower(Variant::shift_fuse(), IntVect::splat(8), 1);
+        assert_eq!(f.barrier_count(), 0);
+        assert_eq!(f.step_count(), 3 + NCOMP);
+    }
+}

@@ -157,7 +157,7 @@ pub(crate) fn pass_flux1<M: Mem>(
 }
 
 /// Same pass with the component loop innermost (CLI).
-fn pass_flux1_cli<M: Mem>(
+pub(crate) fn pass_flux1_cli<M: Mem>(
     phi0: &FArrayBox,
     flux: &SharedFab,
     faces: IBox,
@@ -242,7 +242,7 @@ pub(crate) fn pass_flux2_clo<M: Mem>(
 
 /// Flux product reading the velocity per face into a register (CLI — no
 /// velocity temporary).
-fn pass_flux2_cli<M: Mem>(
+pub(crate) fn pass_flux2_cli<M: Mem>(
     flux: &SharedFab,
     d: usize,
     faces: IBox,
@@ -332,84 +332,17 @@ pub(crate) fn pass_accumulate<M: Mem>(
     }
 }
 
-/// Serial whole-box entry point (used for `P >= Box`).
-pub fn run_box_serial<M: Mem>(
-    phi0: &FArrayBox,
-    phi1: &mut FArrayBox,
-    cells: IBox,
-    comp: CompLoop,
-    mem: &M,
-) -> TempStorage {
-    let view = SharedFab::new(phi1);
-    let mut bufs = SeriesBufs::new();
-    series_tile(phi0, &view, cells, comp, &mut bufs, mem);
-    bufs.peak()
-}
-
-/// Intra-box parallel entry point (`P < Box`): every pass of every
-/// direction is split over `nthreads` z-slabs, with barriers between
-/// passes; the flux and velocity temporaries are shared.
-pub fn run_box_within<M: Mem>(
-    phi0: &FArrayBox,
-    phi1: &mut FArrayBox,
-    cells: IBox,
-    comp: CompLoop,
-    nthreads: usize,
-    mem: &M,
-) -> TempStorage {
-    let phi1v = SharedFab::new(phi1);
-    let mut peak = TempStorage::default();
-    for d in 0..pdesched_mesh::DIM {
-        let faces = cells.surrounding_faces(d);
-        let mut flux = FArrayBox::new(faces, NCOMP);
-        peak.flux_f64 = peak.flux_f64.max(flux.len());
-        let fview = SharedFab::new(&mut flux);
-        let mut vel = (comp == CompLoop::Outside).then(|| FArrayBox::new(faces, 1));
-        if let Some(v) = &vel {
-            peak.vel_f64 = peak.vel_f64.max(v.len());
-        }
-        let vview = vel.as_mut().map(SharedFab::new);
-
-        let fz_lo = faces.lo()[2];
-        let fz_n = faces.extent(2) as usize;
-        let cz_lo = cells.lo()[2];
-        let cz_n = cells.extent(2) as usize;
-
-        pdesched_par::spmd(nthreads, |ctx| {
-            let fr = ctx.static_range(fz_n);
-            let fzr = (fz_lo + fr.start as i32)..(fz_lo + fr.end as i32);
-            let cr = ctx.static_range(cz_n);
-            let czr = (cz_lo + cr.start as i32)..(cz_lo + cr.end as i32);
-            match comp {
-                CompLoop::Outside => {
-                    pass_flux1(phi0, &fview, faces, 0..NCOMP, fzr.clone(), mem);
-                    ctx.barrier();
-                    let vv = vview.as_ref().unwrap();
-                    pass_extract_velocity(&fview, vv, d, faces, fzr.clone(), mem);
-                    ctx.barrier();
-                    pass_flux2_clo(&fview, vv, faces, 0..NCOMP, fzr, mem);
-                    ctx.barrier();
-                    pass_accumulate(&phi1v, &fview, cells, d, 0..NCOMP, czr, comp, mem);
-                }
-                CompLoop::Inside => {
-                    pass_flux1_cli(phi0, &fview, faces, fzr.clone(), mem);
-                    ctx.barrier();
-                    pass_flux2_cli(&fview, d, faces, fzr, mem);
-                    ctx.barrier();
-                    pass_accumulate(&phi1v, &fview, cells, d, 0..NCOMP, czr, comp, mem);
-                }
-            }
-            ctx.barrier();
-        });
-    }
-    peak
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::run_box;
     use crate::mem::{CountingMem, NoMem};
+    use crate::variant::{Category, Granularity, IntraTile, Variant};
     use pdesched_kernels::reference;
+
+    fn series_variant(comp: CompLoop, gran: Granularity) -> Variant {
+        Variant { category: Category::Series, gran, comp, intra: IntraTile::Basic, tile: None }
+    }
 
     fn setup(n: i32) -> (FArrayBox, FArrayBox, FArrayBox, IBox) {
         let cells = IBox::cube(n);
@@ -425,14 +358,28 @@ mod tests {
     #[test]
     fn clo_serial_matches_reference() {
         let (phi0, expect, mut got, cells) = setup(6);
-        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        run_box(
+            series_variant(CompLoop::Outside, Granularity::OverBoxes),
+            &phi0,
+            &mut got,
+            cells,
+            1,
+            &NoMem,
+        );
         assert!(got.bit_eq(&expect, cells));
     }
 
     #[test]
     fn cli_serial_matches_reference() {
         let (phi0, expect, mut got, cells) = setup(6);
-        run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        run_box(
+            series_variant(CompLoop::Inside, Granularity::OverBoxes),
+            &phi0,
+            &mut got,
+            cells,
+            1,
+            &NoMem,
+        );
         assert!(got.bit_eq(&expect, cells));
     }
 
@@ -441,7 +388,14 @@ mod tests {
         for comp in [CompLoop::Outside, CompLoop::Inside] {
             for nt in [1, 2, 3, 5, 8] {
                 let (phi0, expect, mut got, cells) = setup(7);
-                run_box_within(&phi0, &mut got, cells, comp, nt, &NoMem);
+                run_box(
+                    series_variant(comp, Granularity::WithinBox),
+                    &phi0,
+                    &mut got,
+                    cells,
+                    nt,
+                    &NoMem,
+                );
                 assert!(got.bit_eq(&expect, cells), "comp={comp:?} nt={nt}");
             }
         }
@@ -451,24 +405,52 @@ mod tests {
     fn op_counts_match_analytic() {
         let (phi0, _, mut got, cells) = setup(5);
         let m = CountingMem::new();
-        run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &m);
+        run_box(
+            series_variant(CompLoop::Outside, Granularity::OverBoxes),
+            &phi0,
+            &mut got,
+            cells,
+            1,
+            &m,
+        );
         assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells));
         // CLI performs the identical operation counts.
         let m2 = CountingMem::new();
         let mut got2 = FArrayBox::new(cells, NCOMP);
-        run_box_serial(&phi0, &mut got2, cells, CompLoop::Inside, &m2);
+        run_box(
+            series_variant(CompLoop::Inside, Granularity::OverBoxes),
+            &phi0,
+            &mut got2,
+            cells,
+            1,
+            &m2,
+        );
         assert_eq!(m2.op_count(), pdesched_kernels::ops::exemplar_ops(cells));
     }
 
     #[test]
     fn storage_peak_series() {
         let (phi0, _, mut got, cells) = setup(6);
-        let s = run_box_serial(&phi0, &mut got, cells, CompLoop::Outside, &NoMem);
+        let s = run_box(
+            series_variant(CompLoop::Outside, Granularity::OverBoxes),
+            &phi0,
+            &mut got,
+            cells,
+            1,
+            &NoMem,
+        );
         // Flux: C * (N+1)*N^2, velocity: (N+1)*N^2 (shape identical for
         // all directions; buffers are reused).
         assert_eq!(s.flux_f64, NCOMP * 7 * 36);
         assert_eq!(s.vel_f64, 7 * 36);
-        let s2 = run_box_serial(&phi0, &mut got, cells, CompLoop::Inside, &NoMem);
+        let s2 = run_box(
+            series_variant(CompLoop::Inside, Granularity::OverBoxes),
+            &phi0,
+            &mut got,
+            cells,
+            1,
+            &NoMem,
+        );
         assert_eq!(s2.vel_f64, 0);
     }
 
@@ -477,10 +459,24 @@ mod tests {
         // CLI skips the velocity copy; its total traffic must be lower.
         let (phi0, _, mut a, cells) = setup(5);
         let mc = CountingMem::new();
-        run_box_serial(&phi0, &mut a, cells, CompLoop::Outside, &mc);
+        run_box(
+            series_variant(CompLoop::Outside, Granularity::OverBoxes),
+            &phi0,
+            &mut a,
+            cells,
+            1,
+            &mc,
+        );
         let mi = CountingMem::new();
         let mut b = FArrayBox::new(cells, NCOMP);
-        run_box_serial(&phi0, &mut b, cells, CompLoop::Inside, &mi);
+        run_box(
+            series_variant(CompLoop::Inside, Granularity::OverBoxes),
+            &phi0,
+            &mut b,
+            cells,
+            1,
+            &mi,
+        );
         let (rc, wc, ..) = mc.snapshot();
         let (ri, wi, ..) = mi.snapshot();
         assert!(ri < rc, "CLI reads {ri} !< CLO reads {rc}");

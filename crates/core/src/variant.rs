@@ -59,6 +59,43 @@ pub enum CompLoop {
     Inside,
 }
 
+impl CompLoop {
+    /// Component depth of the co-dimension flux caches: CLI caches carry
+    /// all `NCOMP` components per face, CLO caches one at a time. This is
+    /// the single chunking rule every lowering uses to size cache planes.
+    pub fn cache_components(self) -> usize {
+        match self {
+            CompLoop::Outside => 1,
+            CompLoop::Inside => pdesched_kernels::NCOMP,
+        }
+    }
+}
+
+/// Why a [`Variant`] cannot execute on a box of a given minimum edge
+/// length. Produced by [`Variant::validate_for_box`]; `Display` renders
+/// as `variant <name> invalid for box size <n>: <reason>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidVariant {
+    /// The rejected variant's legend name.
+    pub variant: String,
+    /// The minimum box edge length it was checked against.
+    pub box_size: i32,
+    /// Human-readable rule that failed.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "variant {} invalid for box size {}: {}",
+            self.variant, self.box_size, self.reason
+        )
+    }
+}
+
+impl std::error::Error for InvalidVariant {}
+
 /// Intra-tile schedule for overlapped tiles.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum IntraTile {
@@ -170,19 +207,46 @@ impl Variant {
     /// the untiled schedule), and tile sizes must divide nothing in
     /// particular — edge tiles are handled.
     pub fn valid_for_box(&self, n: i32) -> bool {
+        self.validate_for_box(n).is_ok()
+    }
+
+    /// Like [`Variant::valid_for_box`] but explains *why* a variant is
+    /// rejected, so sweeps can record skipped points instead of relying
+    /// on callers pre-filtering.
+    pub fn validate_for_box(&self, n: i32) -> Result<(), InvalidVariant> {
+        let reject = |reason: String| {
+            // `name()` needs a tile for tiled categories; fall back for
+            // the malformed-variant rejections below.
+            let variant = if self.category.tiled() && self.tile.is_none() {
+                format!("{:?} (untiled)", self.category)
+            } else {
+                self.name()
+            };
+            Err(InvalidVariant { variant, box_size: n, reason })
+        };
         if let IntraTile::Hierarchical(inner) = self.intra {
             if self.category != Category::OverlappedTile {
-                return false;
+                return reject("hierarchical intra-tile schedules require overlapped tiles".into());
             }
-            match self.tile {
-                Some(outer) => return inner >= 1 && inner < outer && outer < n,
-                None => return false,
-            }
+            return match self.tile {
+                Some(_) if inner < 1 => reject(format!("inner tile {inner} must be at least 1")),
+                Some(outer) if inner >= outer => {
+                    reject(format!("inner tile {inner} must be smaller than outer tile {outer}"))
+                }
+                Some(outer) if outer >= n => {
+                    reject(format!("outer tile {outer} must be smaller than the box"))
+                }
+                Some(_) => Ok(()),
+                None => reject("tiled category needs a tile size".into()),
+            };
         }
         match (self.category.tiled(), self.tile) {
-            (true, Some(t)) => t >= 2 && t < n,
-            (true, None) => false,
-            (false, _) => self.tile.is_none(),
+            (true, Some(t)) if t < 2 => reject(format!("tile {t} must be at least 2")),
+            (true, Some(t)) if t >= n => reject(format!("tile {t} must be smaller than the box")),
+            (true, Some(_)) => Ok(()),
+            (true, None) => reject("tiled category needs a tile size".into()),
+            (false, Some(t)) => reject(format!("untiled category must not carry a tile ({t})")),
+            (false, None) => Ok(()),
         }
     }
 
@@ -400,5 +464,29 @@ mod tests {
     #[should_panic(expected = "untiled")]
     fn tile_size_panics_for_untiled() {
         let _ = Variant::baseline().tile_size();
+    }
+
+    #[test]
+    fn validate_explains_rejections() {
+        let wf = Variant::blocked_wavefront(CompLoop::Outside, 16);
+        let err = wf.validate_for_box(16).unwrap_err();
+        assert_eq!(err.box_size, 16);
+        assert!(err.to_string().contains("invalid for box size 16"), "{err}");
+        assert!(err.reason.contains("smaller than the box"), "{err}");
+        assert!(wf.validate_for_box(128).is_ok());
+        let h = Variant {
+            intra: IntraTile::Hierarchical(16),
+            ..Variant::hierarchical(16, 4, Granularity::WithinBox)
+        };
+        assert!(h.validate_for_box(128).unwrap_err().reason.contains("inner tile"));
+        let mut b = Variant::baseline();
+        b.tile = Some(8);
+        assert!(b.validate_for_box(128).unwrap_err().reason.contains("untiled"));
+    }
+
+    #[test]
+    fn cache_component_depth() {
+        assert_eq!(CompLoop::Outside.cache_components(), 1);
+        assert_eq!(CompLoop::Inside.cache_components(), pdesched_kernels::NCOMP);
     }
 }

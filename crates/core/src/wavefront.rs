@@ -30,121 +30,40 @@ use crate::variant::CompLoop;
 use pdesched_kernels::point::accumulate;
 use pdesched_kernels::{vel_comp, NCOMP};
 use pdesched_mesh::{FArrayBox, IBox, IntVect};
-use pdesched_par::{spmd, UnsafeSlice};
+use pdesched_par::UnsafeSlice;
+
+/// Group the flattened tile ids of a tiling with per-axis tile counts
+/// `counts` into wavefronts: group `w` holds the ids with
+/// `tx + ty + tz == w` (ids ascending within each group, matching
+/// `IBox::tiles` order). This is the one bounds helper every wavefront
+/// lowering shares.
+pub(crate) fn wavefront_id_groups(counts: IntVect) -> Vec<Vec<u32>> {
+    let nw = (counts[0] + counts[1] + counts[2] - 2).max(1) as usize;
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); nw];
+    for i in 0..counts[0] * counts[1] * counts[2] {
+        let tx = i % counts[0];
+        let ty = (i / counts[0]) % counts[1];
+        let tz = i / (counts[0] * counts[1]);
+        groups[(tx + ty + tz) as usize].push(i as u32);
+    }
+    groups
+}
 
 /// Group the tiles of `cells` into wavefronts: group `w` holds the tiles
 /// with `tx + ty + tz == w`. Tiles within a group are mutually
 /// independent.
 pub fn wavefront_groups(cells: IBox, tile: i32) -> Vec<Vec<IBox>> {
-    let counts = cells.tile_counts(tile);
     let tiles = cells.tiles(tile);
-    let nw = (counts[0] + counts[1] + counts[2] - 2).max(1) as usize;
-    let mut groups: Vec<Vec<IBox>> = vec![Vec::new(); nw];
-    for (i, t) in tiles.into_iter().enumerate() {
-        let i = i as i32;
-        let tx = i % counts[0];
-        let ty = (i / counts[0]) % counts[1];
-        let tz = i / (counts[0] * counts[1]);
-        groups[(tx + ty + tz) as usize].push(t);
-    }
-    groups
+    wavefront_id_groups(cells.tile_counts(tile))
+        .into_iter()
+        .map(|g| g.into_iter().map(|i| tiles[i as usize]).collect())
+        .collect()
 }
 
 /// Number of tiles in each wavefront for an `n^3` box with tile size
 /// `t` — the machine model's parallel-efficiency input.
 pub fn wavefront_sizes(n: i32, tile: i32) -> Vec<usize> {
     wavefront_groups(IBox::cube(n), tile).iter().map(|g| g.len()).collect()
-}
-
-/// Execute the blocked-wavefront schedule over one box.
-///
-/// `nthreads == 1` gives the serial traversal used by the `P >= Box`
-/// granularity (same wavefront order, one thread); `nthreads > 1`
-/// parallelizes each wavefront with barriers in between.
-pub fn run_box<M: Mem>(
-    phi0: &FArrayBox,
-    phi1: &mut FArrayBox,
-    cells: IBox,
-    comp: CompLoop,
-    tile: i32,
-    nthreads: usize,
-    mem: &M,
-) -> TempStorage {
-    let groups = wavefront_groups(cells, tile);
-    let phi1v = SharedFab::new(phi1);
-    let nx = cells.extent(0) as usize;
-    let ny = cells.extent(1) as usize;
-    let nz = cells.extent(2) as usize;
-    let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
-    let mut xcache = vec![0.0f64; ny * nz * kc];
-    let mut ycache = vec![0.0f64; nx * nz * kc];
-    let mut zcache = vec![0.0f64; nx * ny * kc];
-    let mut storage =
-        TempStorage { flux_f64: xcache.len() + ycache.len() + zcache.len(), vel_f64: 0 };
-    let caches = Caches {
-        xbase: pdesched_mesh::trace_addr::alloc(xcache.len() * 8),
-        ybase: pdesched_mesh::trace_addr::alloc(ycache.len() * 8),
-        zbase: pdesched_mesh::trace_addr::alloc(zcache.len() * 8),
-        x: UnsafeSlice::new(&mut xcache),
-        y: UnsafeSlice::new(&mut ycache),
-        z: UnsafeSlice::new(&mut zcache),
-        lo: cells.lo(),
-        nx,
-        ny,
-        kc,
-    };
-
-    match comp {
-        CompLoop::Inside => {
-            spmd(nthreads, |ctx| {
-                for group in &groups {
-                    for ti in ctx.static_range(group.len()) {
-                        tile_cli(phi0, &phi1v, cells, group[ti], &caches, mem);
-                    }
-                    ctx.barrier();
-                }
-            });
-        }
-        CompLoop::Outside => {
-            // Shared velocity face arrays, filled in parallel by z-slab
-            // in their own region so no shared borrow is live while the
-            // views write.
-            let mut vels: Vec<FArrayBox> =
-                (0..3).map(|d| FArrayBox::new(cells.surrounding_faces(d), 1)).collect();
-            storage.vel_f64 = vels.iter().map(|v| v.len()).sum();
-            {
-                let regions: Vec<IBox> = vels.iter().map(|v| v.region()).collect();
-                let vviews: Vec<SharedFab> = vels.iter_mut().map(SharedFab::new).collect();
-                spmd(nthreads, |ctx| {
-                    for d in 0..3 {
-                        let faces = regions[d];
-                        let zn = faces.extent(2) as usize;
-                        let zr = ctx.static_range(zn);
-                        fill_velocity_slab(
-                            phi0,
-                            &vviews[d],
-                            faces,
-                            d,
-                            (faces.lo()[2] + zr.start as i32)..(faces.lo()[2] + zr.end as i32),
-                            mem,
-                        );
-                    }
-                });
-            }
-            let vels_ref = &vels;
-            spmd(nthreads, |ctx| {
-                for c in 0..NCOMP {
-                    for group in &groups {
-                        for ti in ctx.static_range(group.len()) {
-                            tile_clo(phi0, &phi1v, cells, group[ti], c, vels_ref, &caches, mem);
-                        }
-                        ctx.barrier();
-                    }
-                }
-            });
-        }
-    }
-    storage
 }
 
 /// Reusable serial-wavefront buffers for hierarchical overlapped tiling:
@@ -192,7 +111,7 @@ impl WavefrontBufs {
         let nx = cells.extent(0) as usize;
         let ny = cells.extent(1) as usize;
         let nz = cells.extent(2) as usize;
-        let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+        let kc = comp.cache_components();
         self.xcache = vec![0.0; ny * nz * kc];
         self.ycache = vec![0.0; nx * nz * kc];
         self.zcache = vec![0.0; nx * ny * kc];
@@ -239,7 +158,7 @@ pub fn run_tile_serial<M: Mem>(
     bufs.ensure(cells, comp);
     let nx = cells.extent(0) as usize;
     let ny = cells.extent(1) as usize;
-    let kc = if comp == CompLoop::Inside { NCOMP } else { 1 };
+    let kc = comp.cache_components();
     // Fill the CLO velocities serially.
     if comp == CompLoop::Outside {
         for d in 0..3 {
@@ -248,6 +167,7 @@ pub fn run_tile_serial<M: Mem>(
             fill_velocity_slab(phi0, &view, faces, d, faces.lo()[2]..faces.hi()[2] + 1, mem);
         }
     }
+    let vviews: Vec<SharedFab> = bufs.vels.iter_mut().map(SharedFab::new).collect();
     let caches = Caches {
         xbase: bufs.xbase,
         ybase: bufs.ybase,
@@ -273,7 +193,7 @@ pub fn run_tile_serial<M: Mem>(
             for c in 0..NCOMP {
                 for group in &groups {
                     for t in group {
-                        tile_clo(phi0, phi1, cells, *t, c, &bufs.vels, &caches, mem);
+                        tile_clo(phi0, phi1, cells, *t, c, &vviews, &caches, mem);
                     }
                 }
             }
@@ -282,19 +202,19 @@ pub fn run_tile_serial<M: Mem>(
 }
 
 /// Shared co-dimension flux caches.
-struct Caches<'a> {
-    x: UnsafeSlice<'a, f64>,
-    y: UnsafeSlice<'a, f64>,
-    z: UnsafeSlice<'a, f64>,
+pub(crate) struct Caches<'a> {
+    pub(crate) x: UnsafeSlice<'a, f64>,
+    pub(crate) y: UnsafeSlice<'a, f64>,
+    pub(crate) z: UnsafeSlice<'a, f64>,
     /// Deterministic trace bases of the three caches (see
     /// `pdesched_mesh::trace_addr`).
-    xbase: usize,
-    ybase: usize,
-    zbase: usize,
-    lo: IntVect,
-    nx: usize,
-    ny: usize,
-    kc: usize,
+    pub(crate) xbase: usize,
+    pub(crate) ybase: usize,
+    pub(crate) zbase: usize,
+    pub(crate) lo: IntVect,
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) kc: usize,
 }
 
 impl<'a> Caches<'a> {
@@ -319,7 +239,7 @@ impl<'a> Caches<'a> {
 }
 
 /// Fill a z-slab of one direction's velocity face array.
-fn fill_velocity_slab<M: Mem>(
+pub(crate) fn fill_velocity_slab<M: Mem>(
     phi0: &FArrayBox,
     vel: &SharedFab,
     faces: IBox,
@@ -344,7 +264,7 @@ fn fill_velocity_slab<M: Mem>(
 
 /// Process one tile, CLI: all components per cell, low fluxes from the
 /// shared caches.
-fn tile_cli<M: Mem>(
+pub(crate) fn tile_cli<M: Mem>(
     phi0: &FArrayBox,
     phi1: &SharedFab,
     cells: IBox,
@@ -452,13 +372,13 @@ fn accum_all<M: Mem>(
 /// Process one tile, CLO: a single component `c`, scalar caches, shared
 /// velocity arrays.
 #[allow(clippy::too_many_arguments)]
-fn tile_clo<M: Mem>(
+pub(crate) fn tile_clo<M: Mem>(
     phi0: &FArrayBox,
     phi1: &SharedFab,
     cells: IBox,
     t: IBox,
     c: usize,
-    vels: &[FArrayBox],
+    vels: &[SharedFab],
     caches: &Caches<'_>,
     mem: &M,
 ) {
@@ -572,12 +492,37 @@ mod tests {
         assert_eq!(*s16.iter().max().unwrap(), 12);
     }
 
+    /// A wavefront schedule as the plan interpreter runs it: tile = 1 is
+    /// the untiled Shift-Fuse `P < Box` variant, larger tiles are the
+    /// Blocked Wavefront category.
+    fn wf_variant(comp: CompLoop, t: i32) -> crate::variant::Variant {
+        use crate::variant::{Category, Granularity, IntraTile, Variant};
+        if t == 1 {
+            Variant {
+                category: Category::ShiftFuse,
+                gran: Granularity::WithinBox,
+                comp,
+                intra: IntraTile::Basic,
+                tile: None,
+            }
+        } else {
+            Variant::blocked_wavefront(comp, t)
+        }
+    }
+
     #[test]
     fn cli_matches_reference_serial_and_parallel() {
         for nt in [1, 2, 4] {
             for t in [1, 2, 4] {
                 let (phi0, expect, mut got, cells) = setup(6);
-                run_box(&phi0, &mut got, cells, CompLoop::Inside, t, nt, &NoMem);
+                crate::exec::run_box(
+                    wf_variant(CompLoop::Inside, t),
+                    &phi0,
+                    &mut got,
+                    cells,
+                    nt,
+                    &NoMem,
+                );
                 assert!(got.bit_eq(&expect, cells), "nt={nt} t={t}");
             }
         }
@@ -588,7 +533,14 @@ mod tests {
         for nt in [1, 3] {
             for t in [2, 3] {
                 let (phi0, expect, mut got, cells) = setup(7);
-                run_box(&phi0, &mut got, cells, CompLoop::Outside, t, nt, &NoMem);
+                crate::exec::run_box(
+                    wf_variant(CompLoop::Outside, t),
+                    &phi0,
+                    &mut got,
+                    cells,
+                    nt,
+                    &NoMem,
+                );
                 assert!(got.bit_eq(&expect, cells), "nt={nt} t={t}");
             }
         }
@@ -600,7 +552,7 @@ mod tests {
         for comp in [CompLoop::Inside, CompLoop::Outside] {
             let m = CountingMem::new();
             let mut g = got.clone();
-            run_box(&phi0, &mut g, cells, comp, 2, 2, &m);
+            crate::exec::run_box(wf_variant(comp, 2), &phi0, &mut g, cells, 2, &m);
             assert_eq!(m.op_count(), pdesched_kernels::ops::exemplar_ops(cells), "{comp:?}");
         }
         let _ = &mut got;
@@ -610,11 +562,25 @@ mod tests {
     fn storage_is_co_dimension() {
         let n = 6;
         let (phi0, _, mut got, cells) = setup(n);
-        let s = run_box(&phi0, &mut got, cells, CompLoop::Inside, 2, 2, &NoMem);
+        let s = crate::exec::run_box(
+            wf_variant(CompLoop::Inside, 2),
+            &phi0,
+            &mut got,
+            cells,
+            2,
+            &NoMem,
+        );
         let n = n as usize;
         assert_eq!(s.flux_f64, 3 * NCOMP * n * n);
         assert_eq!(s.vel_f64, 0);
-        let s2 = run_box(&phi0, &mut got, cells, CompLoop::Outside, 2, 2, &NoMem);
+        let s2 = crate::exec::run_box(
+            wf_variant(CompLoop::Outside, 2),
+            &phi0,
+            &mut got,
+            cells,
+            2,
+            &NoMem,
+        );
         assert_eq!(s2.flux_f64, 3 * n * n);
         assert_eq!(s2.vel_f64, 3 * (n + 1) * n * n);
     }

@@ -72,6 +72,28 @@ pub fn exemplar_ops_overlapped(cells: IBox, tile: i32) -> OpCount {
     oc
 }
 
+/// Redundantly recomputed faces of one overlapped tile `t` of a tiling
+/// of `cells`: the low-side boundary faces of `t` interior to `cells`
+/// (the neighboring tile computes the same faces as its own high-side
+/// surface). Summed over a whole tiling this equals the extra face count
+/// of [`exemplar_ops_overlapped`] over [`exemplar_ops`] — the plan IR
+/// attributes it per tile span so schedules can report recompute regions.
+pub fn overlapped_tile_recompute(cells: IBox, t: IBox) -> usize {
+    let mut faces = 0usize;
+    for d in 0..DIM {
+        if t.lo()[d] > cells.lo()[d] {
+            let mut area = 1usize;
+            for e in 0..DIM {
+                if e != d {
+                    area *= t.extent(e) as usize;
+                }
+            }
+            faces += area;
+        }
+    }
+    faces
+}
+
 /// The redundancy factor of overlapped tiling relative to the
 /// recomputation-free schedules (ratio of total flops). For cube tiles of
 /// size `T` inside a large box this tends to `(6T + 7T + 2) / (13T + 2)`…
@@ -133,6 +155,17 @@ mod tests {
         let oc = exemplar_ops_overlapped(IBox::cube(8), 4);
         assert_eq!(oc.interp, 8 * 3 * (5 * 4 * 4) * NCOMP as u64);
         assert_eq!(oc.accum, 8u64.pow(3) * NCOMP as u64 * 3);
+    }
+
+    #[test]
+    fn per_tile_recompute_sums_to_overlap_redundancy() {
+        for (n, t) in [(8, 4), (7, 4), (10, 3), (6, 6)] {
+            let b = IBox::cube(n);
+            let total: usize = b.tiles(t).iter().map(|tb| overlapped_tile_recompute(b, *tb)).sum();
+            let extra =
+                (exemplar_ops_overlapped(b, t).interp - exemplar_ops(b).interp) / NCOMP as u64;
+            assert_eq!(total as u64, extra, "n={n} t={t}");
+        }
     }
 
     #[test]

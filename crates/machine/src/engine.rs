@@ -58,6 +58,18 @@ pub struct PointFailure {
     pub error: String,
 }
 
+/// One requested point rejected up front because the variant cannot
+/// execute on its box size (`Variant::validate_for_box`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkippedPoint {
+    /// Display name of the schedule variant.
+    pub variant: String,
+    /// Box edge length.
+    pub n: i32,
+    /// Why the variant is invalid for this box.
+    pub reason: String,
+}
+
 /// What one [`SweepEngine::prewarm`] call did.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PrewarmReport {
@@ -72,6 +84,11 @@ pub struct PrewarmReport {
     /// point: every other point still completes, and the caller decides
     /// whether a partial sweep is acceptable.
     pub failed: Vec<PointFailure>,
+    /// Unique points rejected before measurement because the variant is
+    /// invalid for the box size, with the validator's reason. Sweeps can
+    /// hand the engine a raw cross-product and read back exactly what
+    /// was dropped instead of pre-filtering.
+    pub skipped: Vec<SkippedPoint>,
     /// Wall-clock seconds spent in the parallel measurement region.
     pub seconds: f64,
 }
@@ -124,11 +141,23 @@ impl SweepEngine {
     pub fn prewarm(&self, cache: &TrafficCache, points: &[SimPoint]) -> PrewarmReport {
         let t0 = std::time::Instant::now();
         let mut todo: Vec<&SimPoint> = Vec::new();
+        let mut skipped: Vec<SkippedPoint> = Vec::new();
         for p in points {
-            if !todo.contains(&p) && !cache.contains(p.variant, p.n, &p.configs) {
+            if todo.contains(&p) {
+                continue;
+            }
+            if let Err(e) = p.variant.validate_for_box(p.n) {
+                let s = SkippedPoint { variant: p.variant.to_string(), n: p.n, reason: e.reason };
+                if !skipped.contains(&s) {
+                    skipped.push(s);
+                }
+                continue;
+            }
+            if !cache.contains(p.variant, p.n, &p.configs) {
                 todo.push(p);
             }
         }
+        skipped.sort_by(|a, b| (&a.variant, a.n).cmp(&(&b.variant, b.n)));
         let unique = {
             let mut seen: Vec<&SimPoint> = Vec::new();
             for p in points {
@@ -190,6 +219,7 @@ impl SweepEngine {
             unique,
             measured: total - failed.len(),
             failed,
+            skipped,
             seconds: t0.elapsed().as_secs_f64(),
         }
     }
@@ -263,6 +293,25 @@ mod tests {
             after,
             CacheStats { hits: before.hits + 4, misses: before.misses, ..Default::default() }
         );
+    }
+
+    #[test]
+    fn prewarm_skips_invalid_points_with_reason() {
+        // A raw cross-product may contain variants invalid for a box
+        // size: they are rejected up front, with the validator's reason,
+        // and never reach a worker (so they don't show up as panics).
+        let cache = TrafficCache::new();
+        let engine = SweepEngine::new(2);
+        let mut pts = points();
+        let bad = Variant::blocked_wavefront(pdesched_core::CompLoop::Outside, 8);
+        pts.push(SimPoint { variant: bad, n: 8, configs: tiny() });
+        pts.push(SimPoint { variant: bad, n: 8, configs: tiny() }); // duplicate
+        let r = engine.prewarm(&cache, &pts);
+        assert_eq!(r.skipped.len(), 1, "{:?}", r.skipped);
+        assert_eq!(r.skipped[0].n, 8);
+        assert!(r.skipped[0].reason.contains("smaller than the box"), "{}", r.skipped[0].reason);
+        assert!(r.failed.is_empty());
+        assert_eq!(r.measured, 4, "valid points still measured");
     }
 
     #[test]

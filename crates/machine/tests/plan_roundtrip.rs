@@ -1,0 +1,65 @@
+//! Plan-cache roundtrip property: a plan served from the LRU cache must
+//! be indistinguishable from a cold lowering. For every extended variant
+//! at n ∈ {8, 16}:
+//!
+//! * traffic measured with a cold plan cache equals traffic measured
+//!   again once every plan is warm — every `BoxTraffic` counter equal
+//!   and every hit ratio equal down to the f64 bit pattern;
+//! * the `TempStorage` the plan declares from its buffer liveness equals
+//!   the Table I closed form in `pdesched_core::storage`.
+
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::{plan, storage, Variant};
+use pdesched_machine::traffic::measure_box_traffic;
+use pdesched_mesh::IntVect;
+use std::sync::Mutex;
+
+/// The plan cache and its hit/miss counters are process-wide; serialize
+/// the tests in this binary so the stats assertions are meaningful.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn spilly() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)]
+}
+
+#[test]
+fn warm_plans_reproduce_cold_traffic_bit_for_bit() {
+    let _g = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for n in [8, 16] {
+        for variant in Variant::enumerate_extended(n) {
+            if !variant.valid_for_box(n) {
+                continue;
+            }
+            plan::clear_cache();
+            let cold = measure_box_traffic(variant, n, &spilly());
+            let (_, misses, _) = plan::cache_stats();
+            assert!(misses > 0, "cold measurement must lower {variant} at n={n}");
+            let warm = measure_box_traffic(variant, n, &spilly());
+            let (hits, _, _) = plan::cache_stats();
+            assert!(hits > 0, "warm measurement must hit the plan cache for {variant} at n={n}");
+            assert_eq!(cold, warm, "cached plan diverged for {variant} at n={n}");
+            assert_eq!(cold.l1_hit.to_bits(), warm.l1_hit.to_bits(), "{variant} n={n}");
+            assert_eq!(cold.llc_hit.to_bits(), warm.llc_hit.to_bits(), "{variant} n={n}");
+        }
+    }
+}
+
+#[test]
+fn plan_liveness_storage_equals_table_formulas() {
+    let _g = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for n in [8, 16] {
+        for variant in Variant::enumerate_extended(n) {
+            if !variant.valid_for_box(n) {
+                continue;
+            }
+            for nthreads in [1, 2, 8] {
+                let plan = plan::plan_for(variant, IntVect::splat(n), nthreads);
+                assert_eq!(
+                    plan.storage,
+                    storage::expected(variant, n, nthreads),
+                    "{variant} n={n} nthreads={nthreads}"
+                );
+            }
+        }
+    }
+}

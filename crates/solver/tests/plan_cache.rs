@@ -1,0 +1,65 @@
+//! Solver time loops lower once per box shape: after the first step the
+//! plan cache serves every subsequent step, and the cached plans produce
+//! bitwise-identical trajectories to cold lowerings.
+
+use pdesched_core::{plan, CompLoop, Variant};
+use pdesched_mesh::{DisjointBoxLayout, IBox, ProblemDomain};
+use pdesched_solver::{AdvectionSolver, SolverConfig, TimeIntegrator};
+use std::sync::Mutex;
+
+/// The plan cache and its hit/miss counters are process-wide; serialize
+/// the tests in this binary so the stats assertions are meaningful.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn run(variant: Variant, nthreads: usize, steps: u64) -> AdvectionSolver {
+    let layout = DisjointBoxLayout::uniform(ProblemDomain::periodic(IBox::cube(16)), 8);
+    let cfg = SolverConfig {
+        variant,
+        nthreads,
+        integrator: TimeIntegrator::Rk2,
+        ..SolverConfig::default()
+    };
+    let mut s = AdvectionSolver::new(layout, cfg, 901);
+    s.run(steps);
+    s
+}
+
+#[test]
+fn warm_solver_matches_cold_solver_bitwise() {
+    let _g = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for variant in [
+        Variant::baseline(),
+        Variant::shift_fuse(),
+        Variant::blocked_wavefront(CompLoop::Inside, 4),
+    ] {
+        plan::clear_cache();
+        let cold = run(variant, 2, 5);
+        let (_, cold_misses, _) = plan::cache_stats();
+        assert!(cold_misses > 0, "{variant}: first run must lower");
+        let warm = run(variant, 2, 5);
+        let (hits, misses, _) = plan::cache_stats();
+        assert!(hits > 0, "{variant}: second run must hit the plan cache");
+        assert_eq!(misses, cold_misses, "{variant}: second run must not re-lower");
+        for i in 0..cold.state().num_boxes() {
+            assert!(
+                warm.state().fab(i).bit_eq(cold.state().fab(i), cold.state().valid_box(i)),
+                "{variant}: box {i} diverged between cold and warm plans"
+            );
+        }
+    }
+}
+
+#[test]
+fn time_loop_lowers_once_per_shape() {
+    let _g = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    plan::clear_cache();
+    run(Variant::blocked_wavefront(CompLoop::Outside, 4), 3, 8);
+    let (hits, misses, entries) = plan::cache_stats();
+    // One 8^3 box shape, one variant, one thread count: a single
+    // lowering, then hits for all the remaining (box, stage, step)
+    // executions.
+    assert_eq!(misses, 1, "one shape must lower exactly once");
+    assert_eq!(entries, 1);
+    // 8 boxes x 2 RK stages x 8 steps = 128 executions, 127 from cache.
+    assert_eq!(hits, 127);
+}

@@ -23,19 +23,17 @@ fn pool_reproduces_spawned_regions() {
     let nboxes = got.num_boxes();
     let boxes: Vec<IBox> = (0..nboxes).map(|i| phi0.valid_box(i)).collect();
     {
+        // All boxes share one shape: lower the schedule once outside the
+        // pool and interpret the shared plan on every box.
+        let plan = pdesched_core::plan_for(Variant::shift_fuse(), boxes[0].size(), 1);
         let fabs = pdesched_par::UnsafeSlice::new(got.fabs_mut());
         let phi0 = &phi0;
+        let plan = &plan;
         pool.run(|ctx| {
             for i in ctx.static_range(nboxes) {
                 // Safety: static_range partitions box indices disjointly.
                 let f1 = unsafe { fabs.get_mut(i) };
-                pdesched_core::fuse::run_box_serial(
-                    phi0.fab(i),
-                    f1,
-                    boxes[i],
-                    CompLoop::Outside,
-                    &NoMem,
-                );
+                pdesched_core::plan::execute(plan, phi0.fab(i), f1, boxes[i], &NoMem);
             }
         });
     }
