@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--fast] [--store PATH] [--threads N] [--json PATH] \
+//!       [--deadline SECS] [--point-deadline SECS] \
 //!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|plandump|faultcheck|all]...
 //! repro plan <variant-name> [--n N] [--threads T]
 //! ```
@@ -35,15 +36,39 @@
 //! accepts a single writer at a time — a second concurrent `repro` run
 //! degrades to read-only memoization instead of interleaving appends.
 //! The `faultcheck` target plus the `REPRO_FAULT` environment variable
-//! (`panic-sim:K` or `fail-append:N`, 0-based) exercise this machinery
-//! deterministically end to end; CI runs it.
+//! (`panic-sim:K`, `hang-sim:K`, or `fail-append:N`, 0-based) exercise
+//! this machinery deterministically end to end; CI runs it.
+//!
+//! Supervision (see DESIGN.md "Failure model"): SIGINT/SIGTERM trip a
+//! cancel token, the running sweep stops at its next checkpoint, the
+//! store is flushed, and a partial `--json` report is written with an
+//! `"interrupted"` section — re-running the same command resumes from
+//! the store and finishes bit-identical to an uninterrupted run.
+//! `--deadline SECS` bounds the whole run the same way;
+//! `--point-deadline SECS` kills individual hung measurements without
+//! aborting the sweep. Exit codes: 0 complete, 10 interrupted by
+//! signal, 11 deadline exceeded, 12 point failures/timeouts,
+//! 13 store was read-only (lock held by another repro).
 
 use pdesched_bench::render_figure;
 use pdesched_cachesim::CacheConfig;
 use pdesched_core::storage::{expected, paper_formula};
 use pdesched_core::{Category, Variant};
 use pdesched_machine::{figures, sweep};
-use pdesched_machine::{FaultHook, MachineSpec, PointFailure, SimPoint, SweepEngine, TrafficCache};
+use pdesched_machine::{
+    FaultHook, MachineSpec, PointFailure, PriorSweep, SimPoint, SweepBudget, SweepEngine,
+    TrafficCache,
+};
+use pdesched_par::cancel::{self, CancelToken, Cancelled};
+use std::time::Duration;
+
+/// Exit-code taxonomy (documented in README and DESIGN.md): distinct
+/// codes so a supervisor shelling out to `repro` can tell an orderly
+/// interruption from a degraded-but-finished run.
+const EXIT_SIGNAL: i32 = 10;
+const EXIT_DEADLINE: i32 = 11;
+const EXIT_POINT_FAILURES: i32 = 12;
+const EXIT_STORE_READ_ONLY: i32 = 13;
 
 /// Wall time and cache activity of one regenerated target.
 struct Stage {
@@ -57,11 +82,22 @@ struct Stage {
 /// end-to-end robustness tests; see module docs).
 struct EnvFault {
     panic_sim: Option<u64>,
+    hang_sim: Option<u64>,
     fail_append_every: Option<u64>,
 }
 
 impl FaultHook for EnvFault {
     fn before_simulation(&self, sim_index: u64, _key: &str) {
+        if self.hang_sim == Some(sim_index) {
+            eprintln!("[repro] injected fault (REPRO_FAULT): hanging simulation {sim_index}");
+            // Wedge until cancelled (per-point deadline or signal); the
+            // hard cap keeps an unsupervised run from hanging forever.
+            let t0 = std::time::Instant::now();
+            while !cancel::current_is_tripped() && t0.elapsed() < Duration::from_secs(60) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            cancel::check_current();
+        }
         if self.panic_sim == Some(sim_index) {
             panic!("injected fault (REPRO_FAULT): panic on simulation {sim_index}");
         }
@@ -71,13 +107,14 @@ impl FaultHook for EnvFault {
     }
 }
 
-/// Parse `REPRO_FAULT` (`panic-sim:K` | `fail-append:N`).
+/// Parse `REPRO_FAULT` (`panic-sim:K` | `hang-sim:K` | `fail-append:N`).
 fn env_fault() -> Option<EnvFault> {
     let spec = std::env::var("REPRO_FAULT").ok()?;
-    let mut fault = EnvFault { panic_sim: None, fail_append_every: None };
+    let mut fault = EnvFault { panic_sim: None, hang_sim: None, fail_append_every: None };
     for part in spec.split(',') {
         match part.split_once(':').and_then(|(k, v)| Some((k, v.parse::<u64>().ok()?))) {
             Some(("panic-sim", k)) => fault.panic_sim = Some(k),
+            Some(("hang-sim", k)) => fault.hang_sim = Some(k),
             Some(("fail-append", n)) => fault.fail_append_every = Some(n),
             _ => {
                 eprintln!("repro: ignoring unrecognized REPRO_FAULT part '{part}'");
@@ -85,6 +122,48 @@ fn env_fault() -> Option<EnvFault> {
         }
     }
     Some(fault)
+}
+
+/// Async-signal-safe SIGINT/SIGTERM latch. The handler only stores the
+/// signal number; a monitor thread polls the latch and trips the run's
+/// cancel token, so all actual unwinding happens on normal threads.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    static PENDING: AtomicI32 = AtomicI32::new(0);
+
+    extern "C" fn on_signal(signum: i32) {
+        PENDING.store(signum, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn pending() -> Option<&'static str> {
+        match PENDING.load(Ordering::SeqCst) {
+            2 => Some("SIGINT"),
+            15 => Some("SIGTERM"),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn pending() -> Option<&'static str> {
+        None
+    }
 }
 
 fn main() {
@@ -97,11 +176,26 @@ fn main() {
     let mut json: Option<String> = None;
     let mut fast = false;
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut deadline: Option<Duration> = None;
+    let mut point_deadline: Option<Duration> = None;
     let mut wanted: Vec<String> = Vec::new();
     fn usage(msg: &str) -> ! {
         eprintln!("repro: {msg}");
-        eprintln!("usage: repro [--fast] [--store PATH] [--threads N] [--json PATH] [TARGET]...");
+        eprintln!(
+            "usage: repro [--fast] [--store PATH] [--threads N] [--json PATH] \
+             [--deadline SECS] [--point-deadline SECS] [TARGET]..."
+        );
         std::process::exit(2);
+    }
+    fn secs_flag(value: Option<String>, flag: &str) -> Duration {
+        let v: f64 = value
+            .unwrap_or_else(|| usage(&format!("{flag} needs seconds")))
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("{flag} needs a number of seconds")));
+        if !(v > 0.0 && v.is_finite()) {
+            usage(&format!("{flag} needs a positive number of seconds"));
+        }
+        Duration::from_secs_f64(v)
     }
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -116,6 +210,8 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--threads needs a number"))
             }
+            "--deadline" => deadline = Some(secs_flag(it.next(), "--deadline")),
+            "--point-deadline" => point_deadline = Some(secs_flag(it.next(), "--point-deadline")),
             flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
             other => wanted.push(other.to_string()),
         }
@@ -144,7 +240,45 @@ fn main() {
         eprintln!("[repro] REPRO_FAULT set: deterministic fault injection armed");
         cache = cache.with_fault_hook(std::sync::Arc::new(fault));
     }
-    let engine = SweepEngine::new(threads).with_progress(true);
+
+    // Supervision: one token for the whole run. Tripping it — from the
+    // signal latch, the run deadline, or anything else — stops the
+    // running sweep at its next checkpoint; the rest of main then
+    // flushes the store, reports, and exits with the documented code.
+    let token = CancelToken::new();
+    signals::install();
+    {
+        let token = token.clone();
+        let t0 = std::time::Instant::now();
+        std::thread::spawn(move || loop {
+            if let Some(sig) = signals::pending() {
+                token.trip(&format!("signal {sig}"));
+                return;
+            }
+            if let Some(d) = deadline {
+                if t0.elapsed() >= d {
+                    token.trip(&format!("deadline {:.1}s exceeded", d.as_secs_f64()));
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+    // Ambient token on the main thread: serial measurement paths (a
+    // figure generator filling a hole in the cache) also stop at plan
+    // step-phase checkpoints; the resulting `Cancelled` unwind is caught
+    // around the stage loop below.
+    let _ambient = cancel::set_current(Some(token.clone()));
+
+    let engine = SweepEngine::new(threads)
+        .with_progress(true)
+        .with_budget(SweepBudget {
+            point_deadline,
+            sweep_deadline: None, // the monitor thread owns the run deadline
+            max_retries: 2,
+            backoff: Duration::from_millis(50),
+        })
+        .with_cancel_token(token.clone());
     let machines = MachineSpec::evaluation_nodes();
     let big_n = if fast { 64 } else { 128 };
     if fast {
@@ -170,61 +304,84 @@ fn main() {
 
     let mut stages: Vec<Stage> = Vec::new();
     let mut json_figures: Vec<figures::Figure> = Vec::new();
-    let mut failures: Vec<(String, PointFailure)> = Vec::new();
-    for w in &wanted {
-        let t0 = std::time::Instant::now();
-        let before = cache.stats();
-        let mut fig: Option<figures::Figure> = None;
-        match w.as_str() {
-            "fig1" => fig = Some(figures::figure1()),
-            "table1" => print_table1(),
-            "fig2" | "fig3" | "fig4" => {
-                let spec = &machines[w[3..].parse::<usize>().unwrap() - 2];
-                prewarm(&engine, &cache, w, figures::figure234_points(spec, big_n), &mut failures);
-                fig = Some(figures::figure234_sized(spec, &cache, w, big_n));
+    let mut log = RunLog { failures: Vec::new(), resumed_from: None };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for w in &wanted {
+            if token.is_tripped() {
+                // Cancelled between stages: remaining targets are left
+                // for the resume run.
+                break;
             }
-            "fig9" => {
-                prewarm(&engine, &cache, w, figures::figure9_points(), &mut failures);
-                fig = Some(figures::figure9(&cache));
+            let t0 = std::time::Instant::now();
+            let before = cache.stats();
+            let mut fig: Option<figures::Figure> = None;
+            match w.as_str() {
+                "fig1" => fig = Some(figures::figure1()),
+                "table1" => print_table1(),
+                "fig2" | "fig3" | "fig4" => {
+                    let spec = &machines[w[3..].parse::<usize>().unwrap() - 2];
+                    if prewarm(&engine, &cache, w, figures::figure234_points(spec, big_n), &mut log)
+                    {
+                        fig = Some(figures::figure234_sized(spec, &cache, w, big_n));
+                    }
+                }
+                "fig9" => {
+                    if prewarm(&engine, &cache, w, figures::figure9_points(), &mut log) {
+                        fig = Some(figures::figure9(&cache));
+                    }
+                }
+                "fig10" | "fig11" | "fig12" => {
+                    let spec = &machines[w[3..].parse::<usize>().unwrap() - 10];
+                    if prewarm(&engine, &cache, w, figures::figure1012_points(spec), &mut log) {
+                        fig = Some(figures::figure1012(spec, &cache, w));
+                    }
+                }
+                "bandwidth" => {
+                    if prewarm(&engine, &cache, w, figures::bandwidth_points(), &mut log) {
+                        print_bandwidth(&cache);
+                    }
+                }
+                "plandump" => print_plandump(&machines[0], big_n),
+                "ablation" => print_ablation(),
+                "sweep" => print_sweep(&cache, &engine, &mut log),
+                "faultcheck" => print_faultcheck(&cache, &engine, &mut log),
+                other => {
+                    eprintln!("[repro] unknown target '{other}'");
+                    continue;
+                }
             }
-            "fig10" | "fig11" | "fig12" => {
-                let spec = &machines[w[3..].parse::<usize>().unwrap() - 10];
-                prewarm(&engine, &cache, w, figures::figure1012_points(spec), &mut failures);
-                fig = Some(figures::figure1012(spec, &cache, w));
+            if let Some(f) = fig {
+                print!("{}", render_figure(&f));
+                json_figures.push(f);
             }
-            "bandwidth" => {
-                prewarm(&engine, &cache, w, figures::bandwidth_points(), &mut failures);
-                print_bandwidth(&cache);
-            }
-            "plandump" => print_plandump(&machines[0], big_n),
-            "ablation" => print_ablation(),
-            "sweep" => print_sweep(&cache, &engine),
-            "faultcheck" => print_faultcheck(&cache, &engine, &mut failures),
-            other => {
-                eprintln!("[repro] unknown target '{other}'");
-                continue;
-            }
+            let s = cache.stats();
+            let stage = Stage {
+                name: w.clone(),
+                seconds: t0.elapsed().as_secs_f64(),
+                hits: s.hits - before.hits,
+                misses: s.misses - before.misses,
+            };
+            eprintln!(
+                "[repro] {w} done in {:.1?} ({} hits / {} misses, {} traces cached)",
+                t0.elapsed(),
+                stage.hits,
+                stage.misses,
+                cache.len()
+            );
+            stages.push(stage);
         }
-        if let Some(f) = fig {
-            print!("{}", render_figure(&f));
-            json_figures.push(f);
-        }
-        let s = cache.stats();
-        let stage = Stage {
-            name: w.clone(),
-            seconds: t0.elapsed().as_secs_f64(),
-            hits: s.hits - before.hits,
-            misses: s.misses - before.misses,
-        };
-        eprintln!(
-            "[repro] {w} done in {:.1?} ({} hits / {} misses, {} traces cached)",
-            t0.elapsed(),
-            stage.hits,
-            stage.misses,
-            cache.len()
-        );
-        stages.push(stage);
-    }
+    }));
+    let interrupted: Option<String> = match run {
+        // A `Cancelled` unwind from a serial measurement checkpoint on
+        // the main thread ends the run the same way a between-stage
+        // cancellation does; any other panic is a real bug.
+        Err(payload) => match payload.downcast::<Cancelled>() {
+            Ok(c) => Some(c.reason),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+        Ok(()) => token.is_tripped().then(|| token.reason().unwrap_or_else(|| "cancelled".into())),
+    };
+
     let total = cache.stats();
     eprintln!(
         "[repro] all done: {} cache hits, {} simulations, {} traces cached",
@@ -232,10 +389,13 @@ fn main() {
         total.misses,
         cache.len()
     );
-    if !failures.is_empty() {
-        eprintln!("[repro] WARNING: {} measurement point(s) failed:", failures.len());
-        for (stage, f) in &failures {
-            eprintln!("[repro]   {stage}: {} n={}: {}", f.variant, f.n, f.error);
+    if !log.failures.is_empty() {
+        eprintln!(
+            "[repro] WARNING: {} measurement point(s) failed or timed out:",
+            log.failures.len()
+        );
+        for (stage, kind, f) in &log.failures {
+            eprintln!("[repro]   {stage}: {} n={} [{kind}]: {}", f.variant, f.n, f.error);
         }
     }
     if total.store_errors > 0 || total.corrupt_lines > 0 {
@@ -244,11 +404,45 @@ fn main() {
             total.corrupt_lines, total.store_errors
         );
     }
+    let exit_code = if let Some(reason) = &interrupted {
+        if reason.starts_with("signal ") {
+            EXIT_SIGNAL
+        } else {
+            EXIT_DEADLINE
+        }
+    } else if cache.store_read_only() {
+        EXIT_STORE_READ_ONLY
+    } else if !log.failures.is_empty() {
+        EXIT_POINT_FAILURES
+    } else {
+        0
+    };
+    if let Some(reason) = &interrupted {
+        cache.flush_store();
+        eprintln!(
+            "[repro] INTERRUPTED ({reason}): store flushed, {} entries durable; \
+             re-run the same command to resume",
+            cache.len()
+        );
+    }
     if let Some(path) = json {
-        let doc = render_json(&stages, &json_figures, &cache, fast, engine.nthreads(), &failures);
+        let doc = render_json(
+            &stages,
+            &json_figures,
+            &cache,
+            fast,
+            engine.nthreads(),
+            &log,
+            interrupted.as_deref().map(|r| (r, exit_code)),
+        );
         std::fs::write(&path, doc).expect("write --json output");
         eprintln!("[repro] wrote {path}");
     }
+    if exit_code != 0 {
+        eprintln!("[repro] exiting with code {exit_code} (see README: exit codes)");
+    }
+    drop(cache); // release the store lock before the hard exit
+    std::process::exit(exit_code);
 }
 
 /// `repro plan <variant-name> [--n N] [--threads T]`: lower one
@@ -321,51 +515,84 @@ fn print_plandump(spec: &MachineSpec, n: i32) {
     }
 }
 
+/// Everything a supervised run accumulates besides stages and figures:
+/// per-point failures/timeouts (with their kind for `--json`) and the
+/// journal's account of the interrupted sweep this run resumed.
+struct RunLog {
+    failures: Vec<(String, &'static str, PointFailure)>,
+    resumed_from: Option<PriorSweep>,
+}
+
 /// Prewarm one target's simulation points, narrating to stderr and
-/// collecting per-point measurement failures (the target still renders
-/// from whatever did complete).
+/// collecting per-point failures and timeouts (the target still renders
+/// from whatever did complete). Returns `false` when the sweep was
+/// cancelled mid-flight: the caller skips rendering, because rendering
+/// would re-measure the missing points serially.
 fn prewarm(
     engine: &SweepEngine,
     cache: &TrafficCache,
     target: &str,
     points: Vec<pdesched_machine::SimPoint>,
-    failures: &mut Vec<(String, PointFailure)>,
-) {
+    log: &mut RunLog,
+) -> bool {
     let r = engine.prewarm(cache, &points);
-    if r.measured > 0 || !r.failed.is_empty() {
+    if let (None, Some(prior)) = (&log.resumed_from, &r.resumed_from) {
         eprintln!(
-            "[repro] {target}: measured {} of {} unique points in {:.1}s on {} threads{}",
+            "[repro] {target}: resuming an interrupted sweep ({} points planned, \
+             {} failed, {} timed out{})",
+            prior.total,
+            prior.failed,
+            prior.timed_out,
+            prior.cancelled.as_deref().map(|c| format!(", cancelled: {c}")).unwrap_or_default()
+        );
+        log.resumed_from = Some(prior.clone());
+    }
+    if r.measured > 0 || !r.failed.is_empty() || !r.timed_out.is_empty() {
+        eprintln!(
+            "[repro] {target}: measured {} of {} unique points in {:.1}s \
+             ({:.2} points/s) on {} threads{}{}",
             r.measured,
             r.unique,
             r.seconds,
+            r.points_per_sec,
             engine.nthreads(),
             if r.failed.is_empty() {
                 String::new()
             } else {
                 format!(", {} FAILED", r.failed.len())
+            },
+            if r.timed_out.is_empty() {
+                String::new()
+            } else {
+                format!(", {} TIMED OUT", r.timed_out.len())
             }
         );
     } else {
         eprintln!("[repro] {target}: all {} points already cached", r.unique);
     }
-    failures.extend(r.failed.into_iter().map(|f| (target.to_string(), f)));
+    log.failures.extend(r.failed.into_iter().map(|f| (target.to_string(), "panic", f)));
+    log.failures.extend(r.timed_out.into_iter().map(|f| (target.to_string(), "timeout", f)));
+    if let Some(reason) = &r.cancelled {
+        eprintln!(
+            "[repro] {target}: sweep cancelled ({reason}), {} points unmeasured",
+            r.remaining
+        );
+        return false;
+    }
+    true
 }
 
 /// Tiny deterministic fault-tolerance check (seconds, not minutes):
 /// two cheap simulation points over a small hierarchy, meant to be run
 /// with `REPRO_FAULT` set so an injected panic or append failure flows
 /// through the engine, the store, and the `--json` report end to end.
-fn print_faultcheck(
-    cache: &TrafficCache,
-    engine: &SweepEngine,
-    failures: &mut Vec<(String, PointFailure)>,
-) {
+fn print_faultcheck(cache: &TrafficCache, engine: &SweepEngine, log: &mut RunLog) {
     let configs = vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(64 * 1024, 8)];
     let points: Vec<SimPoint> = [Variant::baseline(), Variant::shift_fuse()]
         .iter()
         .map(|&v| SimPoint { variant: v, n: 8, configs: configs.clone() })
         .collect();
-    prewarm(engine, cache, "faultcheck", points.clone(), failures);
+    prewarm(engine, cache, "faultcheck", points.clone(), log);
     println!("== faultcheck: deterministic fault-injection probe ==");
     for p in &points {
         let status = if cache.contains(p.variant, p.n, &p.configs) { "ok" } else { "FAILED" };
@@ -388,21 +615,54 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serialize stages + figures + cache counters as JSON (no external
-/// dependencies, so the writer is by hand; the shape is stable and
-/// documented in the README).
+/// dependencies, so the writer is by hand; the shape is stable,
+/// versioned by `schema_version`, and documented in the README).
 fn render_json(
     stages: &[Stage],
     figs: &[figures::Figure],
     cache: &TrafficCache,
     fast: bool,
     threads: usize,
-    failures: &[(String, PointFailure)],
+    log: &RunLog,
+    interrupted: Option<(&str, i32)>,
 ) -> String {
     use std::fmt::Write;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": 2,");
     let _ = writeln!(j, "  \"fast\": {fast},");
     let _ = writeln!(j, "  \"threads\": {threads},");
+    match interrupted {
+        Some((reason, code)) => {
+            let _ = writeln!(
+                j,
+                "  \"interrupted\": {{\"reason\": \"{}\", \"exit_code\": {code}}},",
+                json_escape(reason)
+            );
+        }
+        None => {
+            let _ = writeln!(j, "  \"interrupted\": null,");
+        }
+    }
+    match &log.resumed_from {
+        Some(p) => {
+            let _ = writeln!(
+                j,
+                "  \"resumed_from\": {{\"total\": {}, \"failed\": {}, \"timed_out\": {}, \
+                 \"cancelled\": {}}},",
+                p.total,
+                p.failed,
+                p.timed_out,
+                p.cancelled
+                    .as_deref()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .unwrap_or_else(|| "null".into())
+            );
+        }
+        None => {
+            let _ = writeln!(j, "  \"resumed_from\": null,");
+        }
+    }
     let s = cache.stats();
     let _ = writeln!(
         j,
@@ -426,11 +686,12 @@ fn render_json(
         s.store_errors
     );
     let _ = writeln!(j, "  \"failures\": [");
-    for (i, (stage, f)) in failures.iter().enumerate() {
-        let comma = if i + 1 < failures.len() { "," } else { "" };
+    for (i, (stage, kind, f)) in log.failures.iter().enumerate() {
+        let comma = if i + 1 < log.failures.len() { "," } else { "" };
         let _ = writeln!(
             j,
-            "    {{\"stage\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"error\": \"{}\"}}{comma}",
+            "    {{\"stage\": \"{}\", \"kind\": \"{kind}\", \"variant\": \"{}\", \"n\": {}, \
+             \"error\": \"{}\"}}{comma}",
             json_escape(stage),
             json_escape(&f.variant),
             f.n,
@@ -547,8 +808,12 @@ fn print_ablation() {
 
 /// Full design-space ranking per machine: the analytic model screens
 /// every candidate instantly, then the simulator-backed model confirms
-/// the N=16 short list (measurements prewarmed in parallel).
-fn print_sweep(cache: &TrafficCache, engine: &SweepEngine) {
+/// the N=16 short list. The confirmation points go through the
+/// supervised `prewarm` helper so interruption, timeouts, and resume
+/// are narrated and land in `--json` like every other target; a
+/// cancelled prewarm stops the sweep (rendering would re-measure the
+/// missing points serially).
+fn print_sweep(cache: &TrafficCache, engine: &SweepEngine, log: &mut RunLog) {
     for spec in MachineSpec::evaluation_nodes() {
         for n in [16, 128] {
             let ranked = sweep::rank_all(&spec, n);
@@ -561,6 +826,9 @@ fn print_sweep(cache: &TrafficCache, engine: &SweepEngine) {
             for r in ranked.iter().take(5) {
                 println!("  {:<36} {:>10.4}s", r.variant.name(), r.prediction.seconds);
             }
+        }
+        if !prewarm(engine, cache, "sweep", sweep::top_measured_points(&spec, 16, 3), log) {
+            return;
         }
         let confirmed = sweep::rank_top_measured(&spec, 16, 3, cache, engine);
         println!("-- simulator-confirmed top 3 for N=16 --");

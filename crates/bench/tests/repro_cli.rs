@@ -1,6 +1,8 @@
 //! End-to-end robustness checks against the built `repro` binary:
-//! store recovery, deterministic fault injection via `REPRO_FAULT`, and
-//! the failure/store-health fields of `--json` (documented in README).
+//! store recovery, deterministic fault injection via `REPRO_FAULT`,
+//! signal interruption + resume, deadline supervision, the documented
+//! exit-code taxonomy, and the failure/store-health fields of `--json`
+//! (documented in README).
 
 use pdesched_testkit::TempDir;
 use std::process::Command;
@@ -9,12 +11,20 @@ fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
 }
 
-fn run(cmd: &mut Command) -> (String, String) {
+fn run_expect(cmd: &mut Command, expected_code: i32) -> (String, String) {
     let out = cmd.output().expect("spawn repro");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
-    assert!(out.status.success(), "repro must exit 0; stderr:\n{stderr}");
+    assert_eq!(
+        out.status.code(),
+        Some(expected_code),
+        "repro must exit {expected_code}; stderr:\n{stderr}"
+    );
     (stdout, stderr)
+}
+
+fn run(cmd: &mut Command) -> (String, String) {
+    run_expect(cmd, 0)
 }
 
 #[test]
@@ -29,6 +39,9 @@ fn clean_run_reports_healthy_store_and_no_failures() {
         .args(["--json", json_path.to_str().unwrap()])
         .args(["--threads", "2", "fig1", "table1", "ablation"]));
     let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"interrupted\": null"), "{json}");
+    assert!(json.contains("\"resumed_from\": null"), "{json}");
     assert!(json.contains("\"read_only\": false"), "{json}");
     assert!(json.contains("\"corrupt_lines\": 0"), "{json}");
     assert!(json.contains("\"store_errors\": 0"), "{json}");
@@ -66,19 +79,118 @@ fn injected_panic_degrades_gracefully_and_is_reported() {
     let dir = TempDir::new("repro-fault");
     let store = dir.file("store.txt");
     let json_path = dir.file("out.json");
-    let (stdout, _) = run(repro()
-        .env("REPRO_FAULT", "panic-sim:0")
-        .args(["--store", store.to_str().unwrap()])
-        .args(["--json", json_path.to_str().unwrap()])
-        .args(["--threads", "2", "faultcheck"]));
-    // Exactly one of the two points failed; the run still exits 0 and
-    // the survivor both prints and persists.
+    // Exactly one of the two points failed; the run completes the rest
+    // and exits 12 (point failures) so a supervisor can tell a degraded
+    // run from a clean one.
+    let (stdout, _) = run_expect(
+        repro()
+            .env("REPRO_FAULT", "panic-sim:0")
+            .args(["--store", store.to_str().unwrap()])
+            .args(["--json", json_path.to_str().unwrap()])
+            .args(["--threads", "2", "faultcheck"]),
+        12,
+    );
     assert!(stdout.contains("FAILED"), "{stdout}");
     assert!(stdout.contains(" ok"), "{stdout}");
     let json = std::fs::read_to_string(&json_path).unwrap();
     assert!(json.contains("injected fault (REPRO_FAULT)"), "{json}");
     assert!(json.contains("\"stage\": \"faultcheck\""), "{json}");
+    assert!(json.contains("\"kind\": \"panic\""), "{json}");
+    assert!(json.contains("\"interrupted\": null"), "a failure is not an interruption: {json}");
     let persisted = std::fs::read_to_string(&store).unwrap();
     let entries = persisted.lines().skip(1).filter(|l| !l.is_empty()).count();
     assert_eq!(entries, 1, "the surviving point must be persisted:\n{persisted}");
+}
+
+#[test]
+fn hung_point_is_killed_by_point_deadline_and_reported_as_timeout() {
+    let dir = TempDir::new("repro-hang");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    // A wedged simulation (hang-sim) is killed by --point-deadline; the
+    // other point completes, the run exits 12, and --json records the
+    // timeout distinctly from a panic.
+    let (stdout, stderr) = run_expect(
+        repro()
+            .env("REPRO_FAULT", "hang-sim:0")
+            .args(["--store", store.to_str().unwrap()])
+            .args(["--json", json_path.to_str().unwrap()])
+            .args(["--threads", "2", "--point-deadline", "0.3", "faultcheck"]),
+        12,
+    );
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains(" ok"), "the other point must complete: {stdout}");
+    assert!(stderr.contains("TIMED OUT"), "{stderr}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"kind\": \"timeout\""), "{json}");
+    assert!(json.contains("point deadline"), "{json}");
+    assert!(json.contains("\"interrupted\": null"), "a point timeout is contained: {json}");
+    // The re-run (no fault) resumes: measures only the killed point.
+    let (_, stderr) = run(repro().args(["--store", store.to_str().unwrap()]).args([
+        "--threads",
+        "2",
+        "faultcheck",
+    ]));
+    assert!(stderr.contains("resuming an interrupted sweep"), "{stderr}");
+    assert!(stderr.contains("measured 1 of 2"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_interrupts_flushes_and_resumes() {
+    let dir = TempDir::new("repro-sigint");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    // hang-sim with no deadline: the run deterministically wedges until
+    // the signal arrives, so this test has no timing race — the hang's
+    // cancel gate releases the worker the moment the token trips.
+    let mut child = repro()
+        .env("REPRO_FAULT", "hang-sim:0")
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "2", "faultcheck"])
+        .spawn()
+        .expect("spawn repro");
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let killed = Command::new("kill")
+        .args(["-s", "INT", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success(), "kill -INT must succeed");
+    let status = child.wait().expect("wait repro");
+    assert_eq!(status.code(), Some(10), "signal interruption must exit 10");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"reason\": \"signal SIGINT\""), "{json}");
+    assert!(json.contains("\"exit_code\": 10"), "{json}");
+    // The resumed run completes cleanly and reports what it resumed.
+    let json_path2 = dir.file("out2.json");
+    run(repro()
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path2.to_str().unwrap()])
+        .args(["--threads", "2", "faultcheck"]));
+    let json2 = std::fs::read_to_string(&json_path2).unwrap();
+    assert!(json2.contains("\"interrupted\": null"), "{json2}");
+    assert!(json2.contains("\"cancelled\": \"signal SIGINT\""), "{json2}");
+    let persisted = std::fs::read_to_string(&store).unwrap();
+    let entries = persisted.lines().skip(1).filter(|l| !l.is_empty()).count();
+    assert_eq!(entries, 2, "resume must complete both points:\n{persisted}");
+}
+
+#[test]
+fn run_deadline_interrupts_with_exit_11() {
+    let dir = TempDir::new("repro-deadline");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    let (_, stderr) = run_expect(
+        repro()
+            .env("REPRO_FAULT", "hang-sim:0")
+            .args(["--store", store.to_str().unwrap()])
+            .args(["--json", json_path.to_str().unwrap()])
+            .args(["--threads", "2", "--deadline", "0.3", "faultcheck"]),
+        11,
+    );
+    assert!(stderr.contains("INTERRUPTED"), "{stderr}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"exit_code\": 11"), "{json}");
+    assert!(json.contains("deadline"), "{json}");
 }

@@ -628,6 +628,11 @@ pub fn clear_cache() {
 fn walk<F: Fn(&Step) + Sync>(nthreads: usize, phases: &[Phase], f: F) {
     spmd(nthreads, |ctx| {
         for phase in phases {
+            // Cancellation checkpoint between step-phases: a tripped
+            // ambient token unwinds here (no memory events have been
+            // emitted for the phase yet, so an interrupted measurement
+            // never publishes a partial stream).
+            pdesched_par::cancel::check_current();
             for step in &phase.work[ctx.tid()] {
                 f(step);
             }

@@ -1,0 +1,242 @@
+//! The sweep journal: a small sidecar file next to the traffic store
+//! recording how the last prewarm sweep over that store went.
+//!
+//! The store itself is the source of truth for *completed* points (a
+//! measurement is either durably appended or it isn't), so the journal
+//! only needs the rest of the story: that a sweep started, which points
+//! failed or timed out, and whether the sweep finished or was cancelled.
+//! A journal whose `begin` record has no matching `complete` marks an
+//! interrupted sweep — as does a completed one that recorded failures
+//! or timeouts, since those points are still missing from the store.
+//! Either way the next prewarm over the same store reports it in
+//! `PrewarmReport::resumed_from` and picks up exactly the missing
+//! points.
+//!
+//! Format (`<store>.journal`, line-oriented, tab-separated fields):
+//!
+//! ```text
+//! # pdesched-sweep-journal v1
+//! begin\t<total-points-to-measure>
+//! fail\t<variant>\t<n>\t<error>
+//! timeout\t<variant>\t<n>\t<error>
+//! cancelled\t<reason>
+//! complete
+//! ```
+//!
+//! Exactly one `begin` (first record) and at most one terminal record
+//! (`cancelled` or `complete`) per sweep; the file is truncated at the
+//! start of each sweep, after the previous contents were read. Records
+//! are appended and flushed one at a time so the journal survives the
+//! same crashes the store does; a torn trailing record is simply
+//! ignored by the parser. Error texts have tabs/newlines flattened to
+//! spaces so one record is always one line.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const HEADER: &str = "# pdesched-sweep-journal v1";
+
+/// What the journal says about the previous sweep over this store.
+/// Only produced when that sweep left points behind: it was interrupted
+/// (`begin` without a `complete` record), or it completed but recorded
+/// failures/timeouts — those points are still missing from the store,
+/// so the next sweep re-attempts them. A cleanly completed sweep leaves
+/// nothing to resume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PriorSweep {
+    /// Points the interrupted sweep still had to measure when it began.
+    pub total: usize,
+    /// Points it recorded as failed before stopping.
+    pub failed: usize,
+    /// Points it recorded as killed by the per-point deadline.
+    pub timed_out: usize,
+    /// The cancellation reason, when the sweep recorded an orderly
+    /// cancel (signal, deadline). `None` means it died without a
+    /// terminal record — a crash or `kill -9`.
+    pub cancelled: Option<String>,
+}
+
+/// The journal file sidecar path for `store`.
+pub fn journal_path_for(store: &Path) -> PathBuf {
+    let mut s = store.as_os_str().to_os_string();
+    s.push(".journal");
+    PathBuf::from(s)
+}
+
+/// Flatten an error/reason text so it fits one tab-separated field.
+fn sanitize(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+/// Read the journal at `path`; `Some` iff it records a sweep with
+/// something left to resume (interrupted, or completed with recorded
+/// failures/timeouts). A missing, headerless, or cleanly completed
+/// journal yields `None`.
+pub fn load(path: &Path) -> Option<PriorSweep> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return None;
+    }
+    let mut prior = PriorSweep::default();
+    let mut begun = false;
+    let mut completed = false;
+    for line in lines {
+        let mut it = line.split('\t');
+        match it.next() {
+            Some("begin") => {
+                prior.total = it.next().and_then(|t| t.parse().ok())?;
+                begun = true;
+            }
+            Some("fail") => prior.failed += 1,
+            Some("timeout") => prior.timed_out += 1,
+            Some("cancelled") => prior.cancelled = Some(it.next().unwrap_or("").to_string()),
+            Some("complete") => completed = true,
+            _ => {} // torn or unknown record: ignore
+        }
+    }
+    if completed && prior.failed == 0 && prior.timed_out == 0 {
+        return None;
+    }
+    begun.then_some(prior)
+}
+
+/// An open journal for the sweep in progress. Dropping it without
+/// [`SweepJournal::complete`] leaves the interrupted-sweep marker in
+/// place — exactly what a crash does.
+pub struct SweepJournal {
+    file: Mutex<std::fs::File>,
+}
+
+impl SweepJournal {
+    /// Truncate `path` and open a fresh journal recording a sweep of
+    /// `total` points. Returns `None` if the file cannot be written
+    /// (the sweep proceeds unjournaled).
+    pub fn start(path: &Path, total: usize) -> Option<SweepJournal> {
+        let mut f =
+            std::fs::OpenOptions::new().create(true).write(true).truncate(true).open(path).ok()?;
+        writeln!(f, "{HEADER}\nbegin\t{total}").ok()?;
+        f.flush().ok()?;
+        Some(SweepJournal { file: Mutex::new(f) })
+    }
+
+    fn append(&self, record: &str) {
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(f, "{record}");
+        let _ = f.flush();
+    }
+
+    /// Record one point whose measurement panicked.
+    pub fn fail(&self, variant: &str, n: i32, error: &str) {
+        self.append(&format!("fail\t{}\t{n}\t{}", sanitize(variant), sanitize(error)));
+    }
+
+    /// Record one point killed by the per-point deadline.
+    pub fn timeout(&self, variant: &str, n: i32, error: &str) {
+        self.append(&format!("timeout\t{}\t{n}\t{}", sanitize(variant), sanitize(error)));
+    }
+
+    /// Record an orderly cancellation (terminal).
+    pub fn cancelled(&self, reason: &str) {
+        self.append(&format!("cancelled\t{}", sanitize(reason)));
+    }
+
+    /// Record sweep completion (terminal): the next load sees nothing
+    /// to resume.
+    pub fn complete(&self) {
+        self.append("complete");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdesched_testkit::TempDir;
+
+    #[test]
+    fn cleanly_completed_sweep_leaves_nothing_to_resume() {
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 7).unwrap();
+        j.complete();
+        assert_eq!(load(&path), None);
+    }
+
+    #[test]
+    fn completed_sweep_with_failures_is_still_resumable() {
+        // A failed or timed-out point is missing from the store even
+        // though the sweep itself ran to the end; the next sweep must
+        // see it and re-attempt.
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 7).unwrap();
+        j.fail("sf", 16, "boom");
+        j.complete();
+        assert_eq!(load(&path), Some(PriorSweep { total: 7, failed: 1, ..Default::default() }));
+    }
+
+    #[test]
+    fn interrupted_sweep_is_reported_with_counts() {
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 9).unwrap();
+        j.fail("sf", 16, "boom\twith\ttabs");
+        j.timeout("clo-4", 32, "point deadline");
+        j.timeout("clo-4", 64, "point deadline");
+        drop(j); // crash: no terminal record
+        assert_eq!(
+            load(&path),
+            Some(PriorSweep { total: 9, failed: 1, timed_out: 2, cancelled: None })
+        );
+        // A cancelled sweep carries its reason.
+        let j = SweepJournal::start(&path, 3).unwrap();
+        j.cancelled("signal SIGINT");
+        assert_eq!(
+            load(&path),
+            Some(PriorSweep {
+                total: 3,
+                cancelled: Some("signal SIGINT".into()),
+                ..Default::default()
+            })
+        );
+    }
+
+    #[test]
+    fn start_truncates_previous_journal() {
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 5).unwrap();
+        j.fail("sf", 8, "x");
+        drop(j);
+        let j = SweepJournal::start(&path, 2).unwrap();
+        j.complete();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("fail"), "old records must be gone: {text}");
+        assert_eq!(load(&path), None);
+    }
+
+    #[test]
+    fn missing_or_foreign_file_yields_none() {
+        let dir = TempDir::new("journal");
+        assert_eq!(load(&dir.file("absent")), None);
+        let p = dir.file("foreign");
+        std::fs::write(&p, "not a journal\nbegin\t4\n").unwrap();
+        assert_eq!(load(&p), None);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_ignored() {
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 4).unwrap();
+        j.fail("sf", 8, "x");
+        drop(j);
+        // Simulate a crash mid-append of a further record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("timeo");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(load(&path), Some(PriorSweep { total: 4, failed: 1, ..Default::default() }));
+    }
+}

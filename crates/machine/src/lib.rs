@@ -35,14 +35,16 @@ pub mod analytic;
 pub mod engine;
 pub mod fault;
 pub mod figures;
+pub mod journal;
 pub mod model;
 pub mod spec;
 pub mod sweep;
 pub mod traffic;
 
 pub use adapter::TraceMem;
-pub use engine::{PointFailure, PrewarmReport, SimPoint, SweepEngine};
+pub use engine::{PointFailure, PrewarmReport, SimPoint, SkippedPoint, SweepBudget, SweepEngine};
 pub use fault::FaultHook;
+pub use journal::PriorSweep;
 pub use model::{predict_time, Prediction, Workload};
 pub use spec::MachineSpec;
 pub use traffic::{

@@ -55,6 +55,20 @@ pub fn best_variant(spec: &MachineSpec, box_n: i32) -> Option<RankedVariant> {
     rank_all(spec, box_n).into_iter().next()
 }
 
+/// The simulation points backing [`rank_top_measured`]'s confirmation
+/// of the analytic top `k`. Exposed so a caller that wants supervised
+/// prewarming (deadlines, cancellation, resume reporting) can push
+/// exactly these points through its own [`SweepEngine::prewarm`] call
+/// first; `rank_top_measured` then finds every trace cached.
+pub fn top_measured_points(spec: &MachineSpec, box_n: i32, k: usize) -> Vec<SimPoint> {
+    let threads = spec.cores();
+    rank_all(spec, box_n)
+        .into_iter()
+        .take(k)
+        .map(|r| SimPoint::for_prediction(spec, r.variant, box_n, threads))
+        .collect()
+}
+
 /// Re-rank the analytic top `k` with the simulator-backed model, the
 /// measurements prewarmed in parallel by `engine`. This is the paper's
 /// two-stage recipe — screen the whole space instantly, confirm the

@@ -6,9 +6,12 @@
 //! checksum (a torn or bit-rotted line is detected, quarantined, and
 //! counted — never silently dropped or, worse, served), every whole-file
 //! rewrite goes through tmp-file + atomic rename, append failures are
-//! counted instead of swallowed, and a pid lock file guarantees a single
-//! writer per store so two concurrent `repro` runs cannot interleave
-//! appends (the second run degrades to read-only memoization).
+//! counted instead of swallowed (and optionally retried with bounded
+//! exponential backoff, see [`TrafficCache::set_append_retry`]), and an
+//! `flock(2)`-held pid lock file guarantees a single writer per store so
+//! two concurrent `repro` runs cannot interleave appends (the second run
+//! degrades to read-only memoization; the kernel releases a crashed
+//! writer's lock atomically, so stale-lock takeover cannot double-grant).
 
 use crate::adapter::TraceMem;
 use crate::fault::FaultHook;
@@ -19,8 +22,9 @@ use pdesched_mesh::{FArrayBox, IBox};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// On-disk store schema version. Bump whenever anything that feeds a
 /// measurement changes shape — the key format, the traced kernel, the
@@ -134,9 +138,13 @@ pub struct CacheStats {
     /// (torn appends, bit rot). They are quarantined next to the store,
     /// never silently dropped.
     pub corrupt_lines: u64,
-    /// Store appends that failed (I/O error or injected fault). The
-    /// measurement stays available in memory; only persistence is lost.
+    /// Store appends that failed (I/O error or injected fault) after
+    /// exhausting any configured retries. The measurement stays
+    /// available in memory; only persistence is lost.
     pub store_errors: u64,
+    /// Append retry attempts made under [`TrafficCache::set_append_retry`]
+    /// (an append that succeeds on its first try contributes zero).
+    pub retried_appends: u64,
 }
 
 /// A memoizing cache of per-box traffic measurements: figure generation
@@ -155,13 +163,22 @@ pub struct TrafficCache {
     map: Mutex<HashMap<String, BoxTraffic>>,
     /// Store file; appends only happen when `owns_lock`.
     store: Option<PathBuf>,
-    /// Lock file this cache owns (removed on drop).
+    /// Lock file this cache owns.
     owned_lock: Option<PathBuf>,
+    /// Open handle holding the exclusive `flock` on `owned_lock`; kept
+    /// alive for the cache's lifetime so the kernel releases the lock
+    /// exactly when this writer is gone (drop, exit, or crash).
+    lock_file: Option<std::fs::File>,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt_lines: AtomicU64,
     store_errors: AtomicU64,
+    retried_appends: AtomicU64,
     appends: AtomicU64,
+    /// Transient-append retry budget (see `set_append_retry`): max
+    /// retries per append, and the initial backoff in microseconds.
+    retry_max: AtomicU32,
+    retry_backoff_us: AtomicU64,
     fault: Option<Arc<dyn FaultHook>>,
 }
 
@@ -259,34 +276,81 @@ fn pid_alive(_pid: u32) -> bool {
     true
 }
 
-/// Try to become the store's single writer by creating `lock` with
-/// O_EXCL semantics, pid inside. A lock whose recorded pid is dead is
-/// stale (the previous writer crashed) and is stolen; an unreadable
-/// lock is conservatively treated as live.
-fn try_acquire_lock(lock: &Path) -> bool {
+/// Try to become the store's single writer; `Some(file)` holds the lock
+/// for as long as it stays open.
+///
+/// The lock is an exclusive non-blocking `flock(2)` on the pid file.
+/// The kernel releases it atomically when the holder's handle closes —
+/// clean drop, `process::exit`, or `kill -9` alike — so taking over a
+/// crashed writer's lock cannot double-grant: any number of processes
+/// may conclude the lock is stale, but only one can win the flock. The
+/// recorded pid remains as a content gate for locks written by other
+/// protocols: with the flock held, an empty file, our own pid, or a dead
+/// pid means the store is free; a live foreign pid or unreadable content
+/// is respected (read-only). The file is never unlinked — unlinking
+/// would reopen the unlink/flock race where a later writer locks a
+/// directory entry that no longer exists.
+#[cfg(unix)]
+fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
+    use std::io::{Read, Seek};
+    use std::os::unix::io::AsRawFd;
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(lock)
+        .ok()?;
+    if unsafe { flock(f.as_raw_fd(), LOCK_EX | LOCK_NB) } != 0 {
+        return None; // a live writer holds the flock
+    }
+    let mut content = String::new();
+    f.read_to_string(&mut content).ok()?;
+    let content = content.trim();
+    let own = std::process::id();
+    let free = content.is_empty()
+        || content.parse::<u32>().map(|pid| pid == own || !pid_alive(pid)).unwrap_or(false);
+    if !free {
+        return None; // live foreign pid or unreadable content: respect it
+    }
+    f.set_len(0).ok()?;
+    f.seek(std::io::SeekFrom::Start(0)).ok()?;
+    write!(f, "{own}").ok()?;
+    Some(f)
+}
+
+/// Fallback single-writer protocol without `flock`: O_EXCL creation of
+/// the pid file, dead-holder locks removed and re-raced (the retried
+/// `create_new` re-serializes concurrent stealers), lock removed on
+/// drop. Weaker than the flock path (a steal can race between the
+/// staleness check and the removal) but portable.
+#[cfg(not(unix))]
+fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
     for attempt in 0..2 {
         match std::fs::OpenOptions::new().write(true).create_new(true).open(lock) {
             Ok(mut f) => {
                 let _ = write!(f, "{}", std::process::id());
-                return true;
+                return Some(f);
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
                 let holder =
                     std::fs::read_to_string(lock).ok().and_then(|s| s.trim().parse::<u32>().ok());
                 match holder {
                     Some(pid) if !pid_alive(pid) => {
-                        // Crashed writer: remove and retry once. (Two
-                        // processes could race to steal; the retried
-                        // create_new re-serializes them.)
                         let _ = std::fs::remove_file(lock);
                     }
-                    _ => return false,
+                    _ => return None,
                 }
             }
-            Err(_) => return false,
+            Err(_) => return None,
         }
     }
-    false
+    None
 }
 
 /// Atomically replace `path` with header + `entries` (sorted by key for
@@ -323,17 +387,20 @@ impl TrafficCache {
     ///   `kill -9`, bit rot) are copied to `<path>.quarantine`, counted
     ///   in [`CacheStats::corrupt_lines`], and the store is compacted to
     ///   the intact entries via tmp-file + rename.
-    /// * A `<path>.lock` pid file makes this cache the store's single
-    ///   writer. If another live process holds it, this cache loads the
-    ///   entries but runs read-only (no appends, no repair); a dead
-    ///   holder's lock is stolen.
+    /// * A `<path>.lock` pid file held under an exclusive `flock(2)`
+    ///   makes this cache the store's single writer. If another live
+    ///   process holds it, this cache loads the entries but runs
+    ///   read-only (no appends, no repair); a dead holder's lock is
+    ///   taken over atomically (the kernel releases a crashed writer's
+    ///   flock, so two waiting processes can never both steal it).
     pub fn with_store(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
         let lock = lock_path_for(&path);
-        let owns_lock = try_acquire_lock(&lock);
+        let lock_file = try_acquire_lock(&lock);
+        let owns_lock = lock_file.is_some();
         let mut map = HashMap::new();
         let mut corrupt: Vec<String> = Vec::new();
         let mut valid_header = false;
@@ -381,6 +448,7 @@ impl TrafficCache {
         cache.map = Mutex::new(map);
         cache.store = Some(path);
         cache.owned_lock = owns_lock.then_some(lock);
+        cache.lock_file = lock_file;
         cache.corrupt_lines = AtomicU64::new(corrupt.len() as u64);
         cache.store_errors = AtomicU64::new(store_errors);
         cache
@@ -429,20 +497,61 @@ impl TrafficCache {
         let t = measure_box_traffic(variant, n, configs);
         self.map_lock().insert(key.clone(), t);
         if let (Some(path), true) = (&self.store, self.owned_lock.is_some()) {
-            let append_index = self.appends.fetch_add(1, Ordering::Relaxed);
-            let injected = self.fault.as_ref().is_some_and(|h| h.fail_append(append_index));
-            let appended = !injected
-                && std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .and_then(|mut f| writeln!(f, "{}", entry_line(&key, &t)))
-                    .is_ok();
+            let max_retries = self.retry_max.load(Ordering::Relaxed);
+            let backoff_us = self.retry_backoff_us.load(Ordering::Relaxed);
+            let mut appended = false;
+            for attempt in 0..=max_retries {
+                if attempt > 0 {
+                    self.retried_appends.fetch_add(1, Ordering::Relaxed);
+                    // Bounded exponential backoff: backoff · 2^(attempt-1),
+                    // with the exponent capped so the sleep can't overflow
+                    // into an effectively unbounded stall.
+                    let delay = backoff_us.saturating_mul(1u64 << (attempt - 1).min(10));
+                    std::thread::sleep(Duration::from_micros(delay));
+                }
+                let append_index = self.appends.fetch_add(1, Ordering::Relaxed);
+                let injected = self.fault.as_ref().is_some_and(|h| h.fail_append(append_index));
+                appended = !injected
+                    && std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut f| writeln!(f, "{}", entry_line(&key, &t)))
+                        .is_ok();
+                if appended {
+                    break;
+                }
+            }
             if !appended {
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
         t
+    }
+
+    /// Retry transient store-append failures: up to `max_retries` extra
+    /// attempts per entry, sleeping `backoff · 2^attempt` (bounded)
+    /// between attempts. Off by default (`max_retries == 0`) so fault
+    /// accounting stays exact for callers that want one attempt = one
+    /// outcome; the sweep supervisor turns it on from its
+    /// `SweepBudget`. Attempts that ultimately fail are still counted in
+    /// [`CacheStats::store_errors`]; the retries themselves show up in
+    /// [`CacheStats::retried_appends`].
+    pub fn set_append_retry(&self, max_retries: u32, backoff: Duration) {
+        self.retry_max.store(max_retries, Ordering::Relaxed);
+        self.retry_backoff_us
+            .store(backoff.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// Best-effort `fsync` of the backing store, if this cache is its
+    /// writer. Called on signal-triggered shutdown so every appended
+    /// measurement is durable before the process exits.
+    pub fn flush_store(&self) {
+        if let (Some(path), true) = (&self.store, self.owned_lock.is_some()) {
+            if let Ok(f) = std::fs::File::open(path) {
+                let _ = f.sync_all();
+            }
+        }
     }
 
     /// Whether a measurement for this point is already held (no
@@ -459,6 +568,7 @@ impl TrafficCache {
             misses: self.misses.load(Ordering::Relaxed),
             corrupt_lines: self.corrupt_lines.load(Ordering::Relaxed),
             store_errors: self.store_errors.load(Ordering::Relaxed),
+            retried_appends: self.retried_appends.load(Ordering::Relaxed),
         }
     }
 
@@ -475,8 +585,14 @@ impl TrafficCache {
 
 impl Drop for TrafficCache {
     fn drop(&mut self) {
-        // Release the single-writer lock. A crash skips this — which is
-        // exactly why lock staleness is pid-checked on acquisition.
+        // Unix: closing `lock_file` releases the exclusive flock (the
+        // kernel also does this on crash or `process::exit`); the lock
+        // file itself is deliberately never unlinked — see
+        // `try_acquire_lock`. The fallback protocol has no flock, so its
+        // lock must be removed here and staleness pid-checked on
+        // acquisition.
+        drop(self.lock_file.take());
+        #[cfg(not(unix))]
         if let Some(lock) = &self.owned_lock {
             let _ = std::fs::remove_file(lock);
         }

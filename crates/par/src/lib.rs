@@ -23,10 +23,12 @@
 //! not the substrate.
 
 pub mod barrier;
+pub mod cancel;
 pub mod pool;
 pub mod slice;
 
 pub use barrier::{Barrier, BarrierPoisoned};
+pub use cancel::{CancelToken, Cancelled};
 pub use pool::SpmdPool;
 pub use slice::UnsafeSlice;
 
@@ -132,6 +134,13 @@ pub fn static_block(tid: usize, n: usize, total: usize) -> Range<usize> {
 /// first panic payload is re-propagated on the calling thread once every
 /// thread has left the region.
 ///
+/// Cancellation-aware: if the calling thread has an ambient
+/// [`CancelToken`] (see [`cancel::set_current`]), it is forwarded into
+/// every region thread, a trip poisons the region barrier (waking any
+/// blocked waiter), and the region re-raises [`Cancelled`] on the caller
+/// once all threads have unwound. Real panics take precedence over
+/// cancellation in the re-raised payload.
+///
 /// ```
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 /// let hits = AtomicUsize::new(0);
@@ -149,11 +158,26 @@ where
 {
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     assert!(nthreads >= 1);
-    let barrier = Barrier::new(nthreads);
+    let token = cancel::current();
     if nthreads == 1 {
+        if let Some(t) = &token {
+            t.check();
+        }
+        let barrier = Barrier::new(1);
         body(&SpmdCtx { tid: 0, nthreads: 1, barrier: &barrier });
         return;
     }
+    if let Some(t) = &token {
+        t.check();
+    }
+    let barrier = std::sync::Arc::new(Barrier::new(nthreads));
+    // A trip must wake threads blocked at the region barrier; they
+    // unwind with the poison sentinel and the post-region check below
+    // turns the trip into a `Cancelled` panic on the caller.
+    let _trip_hook = token.as_ref().map(|t| {
+        let b = std::sync::Arc::clone(&barrier);
+        t.on_trip(move || b.poison())
+    });
     // First non-secondary panic of the region (see `BarrierPoisoned`).
     let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
         std::sync::Mutex::new(None);
@@ -162,17 +186,14 @@ where
             let barrier = &barrier;
             let body = &body;
             let first_panic = &first_panic;
+            let token = &token;
             s.spawn(move || {
+                let _ambient = token.as_ref().map(|t| cancel::set_current(Some(t.clone())));
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     body(&SpmdCtx { tid, nthreads, barrier });
                 }));
                 if let Err(payload) = r {
-                    if !payload.is::<BarrierPoisoned>() {
-                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
-                        if slot.is_none() {
-                            *slot = Some(payload);
-                        }
-                    }
+                    pool::record_panic(first_panic, payload);
                     // Wake peers blocked at the region barrier.
                     barrier.poison();
                 }
@@ -182,6 +203,11 @@ where
     let payload = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     if let Some(p) = payload {
         resume_unwind(p);
+    }
+    if let Some(t) = &token {
+        // Every thread may have unwound with only the (filtered) poison
+        // sentinel; the region must still not report completion.
+        t.check();
     }
 }
 

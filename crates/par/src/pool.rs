@@ -23,6 +23,7 @@
 //! region.
 
 use crate::barrier::{Barrier, BarrierPoisoned};
+use crate::cancel::{self, CancelToken, Cancelled};
 use crate::SpmdCtx;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -68,14 +69,21 @@ struct Shared {
 
 /// Record `payload` as the region's primary panic unless one is already
 /// held or the payload is the barrier-abort sentinel (a thread that
-/// died *because* a peer died is not the interesting failure).
-fn record_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+/// died *because* a peer died is not the interesting failure). An
+/// orderly [`Cancelled`] unwind is held only until a *real* panic shows
+/// up: a genuine failure always outranks cancellation.
+pub(crate) fn record_panic(
+    slot: &Mutex<Option<Box<dyn Any + Send>>>,
+    payload: Box<dyn Any + Send>,
+) {
     if payload.is::<BarrierPoisoned>() {
         return;
     }
     let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
-    if slot.is_none() {
-        *slot = Some(payload);
+    match &*slot {
+        None => *slot = Some(payload),
+        Some(held) if held.is::<Cancelled>() && !payload.is::<Cancelled>() => *slot = Some(payload),
+        Some(_) => {}
     }
 }
 
@@ -133,26 +141,82 @@ impl SpmdPool {
     where
         F: Fn(&SpmdCtx) + Sync,
     {
+        // Without a token the region cannot report cancellation, so any
+        // stray `Cancelled` unwind is re-raised as a panic by run_impl.
+        let r = self.run_impl(None, &body);
+        debug_assert!(r.is_ok(), "unsupervised region reported cancellation");
+    }
+
+    /// Run an SPMD region under `token`'s supervision. Like
+    /// [`SpmdPool::run`], but: the region refuses to start on an
+    /// already-tripped token; `token` becomes the ambient token (see
+    /// [`cancel::set_current`]) of every region thread; a trip poisons
+    /// the region barrier so blocked waiters wake and unwind; and an
+    /// orderly cancellation is reported as `Err(Cancelled)` instead of a
+    /// panic. Real panics still propagate (and outrank cancellation).
+    /// The pool stays fully usable after a cancelled generation.
+    pub fn run_cancellable<F>(&self, token: &CancelToken, body: F) -> Result<(), Cancelled>
+    where
+        F: Fn(&SpmdCtx) + Sync,
+    {
+        self.run_impl(Some(token), &body)
+    }
+
+    fn run_impl(
+        &self,
+        token: Option<&CancelToken>,
+        body: &(dyn Fn(&SpmdCtx) + Sync),
+    ) -> Result<(), Cancelled> {
+        if let Some(t) = token {
+            if t.is_tripped() {
+                return Err(t.cancelled());
+            }
+        }
         if self.nthreads == 1 {
             let b = Barrier::new(1);
-            body(&SpmdCtx::new(0, 1, &b));
-            return;
+            let Some(t) = token else {
+                body(&SpmdCtx::new(0, 1, &b));
+                return Ok(());
+            };
+            let _ambient = cancel::set_current(Some(t.clone()));
+            let r = catch_unwind(AssertUnwindSafe(|| body(&SpmdCtx::new(0, 1, &b))));
+            return match r {
+                Ok(()) => {
+                    if t.is_tripped() {
+                        Err(t.cancelled())
+                    } else {
+                        Ok(())
+                    }
+                }
+                Err(payload) => match payload.downcast::<Cancelled>() {
+                    Ok(c) => Err(*c),
+                    Err(payload) => resume_unwind(payload),
+                },
+            };
         }
         let nthreads = self.nthreads;
         let barrier = Arc::clone(&self.barrier);
+        // A trip must wake threads blocked at the pool barrier; run_impl
+        // clears the poison once every thread is counted out, so the
+        // pool's next generation starts clean.
+        let _trip_hook = token.map(|t| {
+            let b = Arc::clone(&barrier);
+            t.on_trip(move || b.poison())
+        });
         // Safety: we block until all workers finish the region, so the
         // borrow of `body` outlives every use despite the lifetime
         // erasure in BodyPtr (see its comment).
-        let body_ref: &(dyn Fn(&SpmdCtx) + Sync) = &body;
         let sp = BodyPtr(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(&SpmdCtx<'_>) + Sync + '_),
                 *const (dyn Fn(&SpmdCtx<'_>) + Sync + 'static),
-            >(body_ref as *const _)
+            >(body as *const _)
         });
         let barrier2 = Arc::clone(&barrier);
         let shared2 = Arc::clone(&self.shared);
+        let job_token = token.cloned();
         let job: Job = Arc::new(move |tid: usize| {
+            let _ambient = job_token.as_ref().map(|t| cancel::set_current(Some(t.clone())));
             let ctx = SpmdCtx::new(tid, nthreads, &barrier2);
             // Safety: see above — the pointee is alive for the region.
             let r = catch_unwind(AssertUnwindSafe(|| unsafe { sp.call(&ctx) }));
@@ -190,7 +254,15 @@ impl SpmdPool {
         }
         let payload = self.shared.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(p) = payload {
-            resume_unwind(p);
+            match p.downcast::<Cancelled>() {
+                Ok(c) if token.is_some() => return Err(*c),
+                Ok(c) => resume_unwind(c),
+                Err(p) => resume_unwind(p),
+            }
+        }
+        match token {
+            Some(t) if t.is_tripped() => Err(t.cancelled()),
+            _ => Ok(()),
         }
     }
 }

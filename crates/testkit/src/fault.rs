@@ -15,11 +15,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     panic_on_sim: Option<u64>,
+    hang_on_sim: Option<u64>,
     fail_append_every: Option<u64>,
     truncate_after_byte: Option<u64>,
     sims: AtomicU64,
     appends: AtomicU64,
 }
+
+/// Safety cap on an injected hang: even with no gate, a hung probe
+/// eventually returns so a broken supervisor fails a test instead of
+/// wedging the suite (or a CI runner) forever.
+const HANG_CAP: std::time::Duration = std::time::Duration::from_secs(60);
 
 impl FaultPlan {
     /// A plan that injects nothing.
@@ -30,6 +36,16 @@ impl FaultPlan {
     /// Panic on the `k`-th (0-based) call to [`on_sim`](Self::on_sim).
     pub fn panic_on_sim(mut self, k: u64) -> Self {
         self.panic_on_sim = Some(k);
+        self
+    }
+
+    /// Hang on the `k`-th (0-based) sim probe: the probe spins (1 ms
+    /// sleep-polls) until the `keep_hanging` gate passed to
+    /// [`on_sim_gated`](Self::on_sim_gated) returns `false` — how tests
+    /// fake a wedged measurement that only a watchdog can unstick. A
+    /// 60 s safety cap bounds the hang even with an always-true gate.
+    pub fn hang_on_sim(mut self, k: u64) -> Self {
+        self.hang_on_sim = Some(k);
         self
     }
 
@@ -50,9 +66,28 @@ impl FaultPlan {
     }
 
     /// Count one simulation; panics deterministically if this is the
-    /// planned one. Call from the measurement path (any thread).
+    /// planned one. Call from the measurement path (any thread). A
+    /// planned hang (see [`hang_on_sim`](Self::hang_on_sim)) runs to the
+    /// safety cap here; use [`on_sim_gated`](Self::on_sim_gated) when
+    /// the caller can say when to stop hanging.
     pub fn on_sim(&self) {
+        self.on_sim_gated(|| true);
+    }
+
+    /// [`on_sim`](Self::on_sim) with a hang gate: a planned hang
+    /// sleep-polls `keep_hanging` and returns once it goes `false` (or
+    /// the 60 s safety cap expires). The gate is how cancel-aware
+    /// callers make the hang cooperatively interruptible — e.g.
+    /// `plan.on_sim_gated(|| !cancel_was_requested())` — while this
+    /// crate itself stays dependency-free.
+    pub fn on_sim_gated(&self, keep_hanging: impl Fn() -> bool) {
         let idx = self.sims.fetch_add(1, Ordering::SeqCst);
+        if self.hang_on_sim == Some(idx) {
+            let t0 = std::time::Instant::now();
+            while keep_hanging() && t0.elapsed() < HANG_CAP {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
         if self.panic_on_sim == Some(idx) {
             panic!("injected fault: panic on simulation {idx}");
         }
@@ -117,6 +152,26 @@ mod tests {
         let p = FaultPlan::new().fail_every_nth_append(3);
         let fired: Vec<bool> = (0..9).map(|_| p.on_append()).collect();
         assert_eq!(fired, [false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn hang_fires_on_the_planned_sim_and_honors_the_gate() {
+        let p = FaultPlan::new().hang_on_sim(1);
+        let polls = AtomicU64::new(0);
+        // Sim 0: not the planned hang, the gate is never consulted.
+        p.on_sim_gated(|| {
+            polls.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        assert_eq!(polls.load(Ordering::SeqCst), 0);
+        // Sim 1 hangs until the gate releases it.
+        let t0 = std::time::Instant::now();
+        p.on_sim_gated(|| polls.fetch_add(1, Ordering::SeqCst) < 3);
+        assert!(polls.load(Ordering::SeqCst) >= 3, "hang must have polled the gate");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10), "gate must end the hang");
+        // Later sims are unaffected.
+        p.on_sim();
+        assert_eq!(p.sims_seen(), 3);
     }
 
     #[test]

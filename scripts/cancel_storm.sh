@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Cancel storm: repeatedly SIGINT a supervised `repro` run at randomized
+# delays, then resume once without interference. Verifies the paper's
+# invariant that interruption never changes a measured value:
+#
+#   * every interrupted run exits 10 (signal) with an "interrupted"
+#     section in its JSON, or 0 if it happened to finish first;
+#   * the final resumed run exits 0 with "interrupted": null and no
+#     point failures;
+#   * the traffic store after the storm is entry-for-entry identical to
+#     the store of one uninterrupted golden run, and the figure series
+#     in the JSON match bit-for-bit.
+#
+# Usage: scripts/cancel_storm.sh [path/to/repro] [rounds]
+set -ueo pipefail
+
+REPRO=${1:-target/release/repro}
+ROUNDS=${2:-5}
+TARGETS=(fig1 sweep faultcheck)
+WORK=$(mktemp -d -t cancel-storm-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== cancel storm: golden run =="
+"$REPRO" --store "$WORK/golden.txt" --json "$WORK/golden.json" \
+    --threads 2 "${TARGETS[@]}" >/dev/null
+
+echo "== cancel storm: $ROUNDS interrupted runs =="
+for i in $(seq 1 "$ROUNDS"); do
+    # Randomized kill delay in [0.1, 1.3)s: early enough to land
+    # mid-sweep, spread enough to hit different points each round.
+    delay=$(awk -v r="$RANDOM" 'BEGIN { printf "%.3f", 0.1 + (r % 1200) / 1000 }')
+    "$REPRO" --store "$WORK/storm.txt" --json "$WORK/storm.json" \
+        --threads 2 "${TARGETS[@]}" >/dev/null 2>"$WORK/storm.err" &
+    pid=$!
+    sleep "$delay"
+    kill -INT "$pid" 2>/dev/null || true
+    set +e
+    wait "$pid"
+    code=$?
+    set -e
+    echo "round $i: delay ${delay}s, exit $code"
+    if [ "$code" != 10 ] && [ "$code" != 0 ]; then
+        echo "FAIL: interrupted run must exit 10 (or 0 if already done), got $code"
+        cat "$WORK/storm.err"
+        exit 1
+    fi
+    if [ "$code" = 10 ] && ! grep -q '"exit_code": 10' "$WORK/storm.json"; then
+        echo "FAIL: interrupted JSON must carry the interrupted section"
+        cat "$WORK/storm.json"
+        exit 1
+    fi
+done
+
+echo "== cancel storm: final resumed run =="
+"$REPRO" --store "$WORK/storm.txt" --json "$WORK/final.json" \
+    --threads 2 "${TARGETS[@]}" >/dev/null
+
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+
+def store_entries(path):
+    with open(path) as f:
+        return sorted(l for l in f.read().splitlines() if l and not l.startswith("#"))
+
+golden = json.load(open(f"{work}/golden.json"))
+final = json.load(open(f"{work}/final.json"))
+assert final["interrupted"] is None, final["interrupted"]
+assert final["failures"] == [], final["failures"]
+assert golden["figures"] == final["figures"], "figure series diverged after storm"
+g, s = store_entries(f"{work}/golden.txt"), store_entries(f"{work}/storm.txt")
+assert g == s, f"stores diverged: {len(g)} golden vs {len(s)} storm entries"
+print(f"cancel storm OK: {len(s)} store entries and all figure series bit-identical")
+EOF
