@@ -1,9 +1,10 @@
 //! Trace→cachesim pipeline throughput benchmark.
 //!
 //! ```text
-//! bench [--phase traffic|lower|all] [--label L] [--sizes 16,32,64]
-//!       [--samples K] [--variants a,b] [--out PATH] [--skip-reference]
-//!       [--check-against PATH] [--threshold X]
+//! bench [--phase traffic|lower|all] [--mode simulate|symbolic|hybrid]
+//!       [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b]
+//!       [--out PATH] [--skip-reference] [--check-against PATH]
+//!       [--threshold X] [--min-speedup X]
 //! ```
 //!
 //! Phases:
@@ -34,12 +35,24 @@
 //!   3.0, loose enough to absorb machine-to-machine variation while
 //!   catching an accidental return to per-element dispatch). Points
 //!   missing from the baseline are reported and skipped.
+//! * `--mode symbolic|hybrid` — time the symbolic traffic pipeline
+//!   (`measure_box_traffic_symbolic`) as the fast path instead; the
+//!   comparator becomes the fast-path *simulator*, so `speedup` in the
+//!   JSON is symbolic-vs-simulate and the results are asserted
+//!   bit-identical on every sample. The default label becomes the mode
+//!   name (`BENCH_symbolic.json` — the file CI gates). Points whose
+//!   plans the analysis leaves unclaimed (wavefront/overlap) fall back
+//!   to the simulator and are marked `"claimed": false`.
+//! * `--min-speedup X` — with a symbolic mode, exit nonzero unless
+//!   every *claimed* point's symbolic-vs-simulate speedup is at least
+//!   X× (the ≥10× throughput criterion, enforced in CI at n=64).
 //!
 //! The JSON is written one point per line so the regression check needs
 //! no JSON parser — see `field` below.
 
 use pdesched_cachesim::CacheConfig;
 use pdesched_core::{CompLoop, Variant};
+use pdesched_machine::symbolic::{analyze, measure_box_traffic_symbolic};
 use pdesched_machine::traffic::{measure_box_traffic, measure_box_traffic_reference, BoxTraffic};
 use std::time::Instant;
 
@@ -69,6 +82,10 @@ struct Point {
     fast_seconds: f64,
     ref_seconds: Option<f64>,
     dram_bytes: u64,
+    /// `--mode symbolic|hybrid` only: whether the analysis claimed the
+    /// plan (unclaimed points fall back to the simulator, so their
+    /// speedup is ~1 and exempt from `--min-speedup`).
+    claimed: Option<bool>,
 }
 
 impl Point {
@@ -104,22 +121,25 @@ fn named_variants() -> Vec<(&'static str, Variant)> {
 fn usage(msg: &str) -> ! {
     eprintln!("bench: {msg}");
     eprintln!(
-        "usage: bench [--phase traffic|lower|all] [--label L] [--sizes 16,32,64] [--samples K] \
-         [--variants a,b] [--out PATH] [--skip-reference] [--check-against PATH] [--threshold X]"
+        "usage: bench [--phase traffic|lower|all] [--mode simulate|symbolic|hybrid] [--label L] \
+         [--sizes 16,32,64] [--samples K] [--variants a,b] [--out PATH] [--skip-reference] \
+         [--check-against PATH] [--threshold X] [--min-speedup X]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut label = String::from("local");
+    let mut label: Option<String> = None;
     let mut sizes: Vec<i32> = vec![16, 32, 64];
     let mut samples: usize = 3;
     let mut out: Option<String> = None;
     let mut skip_reference = false;
     let mut check_against: Option<String> = None;
     let mut threshold: f64 = 3.0;
+    let mut min_speedup: Option<f64> = None;
     let mut wanted: Option<Vec<String>> = None;
     let mut phase = String::from("traffic");
+    let mut mode = String::from("simulate");
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -132,7 +152,13 @@ fn main() {
                     usage("--phase must be traffic, lower, or all");
                 }
             }
-            "--label" => label = val("--label"),
+            "--mode" => {
+                mode = val("--mode");
+                if !matches!(mode.as_str(), "simulate" | "symbolic" | "hybrid") {
+                    usage("--mode must be simulate, symbolic, or hybrid");
+                }
+            }
+            "--label" => label = Some(val("--label")),
             "--sizes" => {
                 sizes = val("--sizes")
                     .split(',')
@@ -151,12 +177,23 @@ fn main() {
             "--threshold" => {
                 threshold = val("--threshold").parse().unwrap_or_else(|_| usage("bad --threshold"))
             }
+            "--min-speedup" => {
+                min_speedup = Some(
+                    val("--min-speedup").parse().unwrap_or_else(|_| usage("bad --min-speedup")),
+                )
+            }
             other => usage(&format!("unrecognized argument '{other}'")),
         }
     }
     if samples == 0 {
         usage("--samples must be at least 1");
     }
+    let symbolic_mode = mode != "simulate";
+    if min_speedup.is_some() && !symbolic_mode {
+        usage("--min-speedup needs --mode symbolic or hybrid");
+    }
+    let label =
+        label.unwrap_or_else(|| if symbolic_mode { mode.clone() } else { String::from("local") });
 
     let configs = hierarchy();
     let variants: Vec<(&'static str, Variant)> = match &wanted {
@@ -187,16 +224,28 @@ fn main() {
                 println!("{vname:<12} n={n:<4} skipped (invalid for box)");
                 continue;
             }
-            let (fast_seconds, traffic) =
-                time_best(samples, || measure_box_traffic(variant, n, &configs));
+            // In a symbolic mode the pipeline under test is the symbolic
+            // summarizer and the comparator is the fast-path simulator
+            // (itself the thing `--mode simulate` benchmarks against the
+            // per-element reference) — so `speedup` stacks: symbolic vs
+            // simulate here, simulate vs reference there.
+            let (fast_seconds, traffic) = if symbolic_mode {
+                time_best(samples, || measure_box_traffic_symbolic(variant, n, &configs))
+            } else {
+                time_best(samples, || measure_box_traffic(variant, n, &configs))
+            };
             let k = boxes_per_call(n);
             let accesses = (traffic.reads + traffic.writes) * k;
             let ref_seconds = (!skip_reference).then(|| {
-                let (secs, r) =
-                    time_best(samples, || measure_box_traffic_reference(variant, n, &configs));
-                assert_eq!(traffic, r, "fast path diverged from reference for {vname} n={n}");
+                let (secs, r) = if symbolic_mode {
+                    time_best(samples, || measure_box_traffic(variant, n, &configs))
+                } else {
+                    time_best(samples, || measure_box_traffic_reference(variant, n, &configs))
+                };
+                assert_eq!(traffic, r, "fast path diverged from comparator for {vname} n={n}");
                 secs
             });
+            let claimed = symbolic_mode.then(|| analyze(variant, n).fully_claimed());
             let p = Point {
                 variant: vname,
                 n,
@@ -204,15 +253,21 @@ fn main() {
                 fast_seconds,
                 ref_seconds,
                 dram_bytes: traffic.dram_bytes,
+                claimed,
+            };
+            let tag = match claimed {
+                Some(true) => " sym",
+                Some(false) => " sim",
+                None => "",
             };
             match p.ref_seconds {
                 Some(r) => println!(
-                    "{vname:<12} n={n:<4} fast {fast_seconds:.3}s ({:7.1} Macc/s)  ref {r:.3}s  speedup {:.2}x",
+                    "{vname:<12} n={n:<4}{tag} fast {fast_seconds:.3}s ({:7.1} Macc/s)  ref {r:.3}s  speedup {:.2}x",
                     p.fast_macc(),
                     r / fast_seconds
                 ),
                 None => println!(
-                    "{vname:<12} n={n:<4} fast {fast_seconds:.3}s ({:7.1} Macc/s)",
+                    "{vname:<12} n={n:<4}{tag} fast {fast_seconds:.3}s ({:7.1} Macc/s)",
                     p.fast_macc()
                 ),
             }
@@ -245,9 +300,33 @@ fn main() {
     }
 
     let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
-    std::fs::write(&path, render_json(&label, &configs, &points, &lowers))
+    std::fs::write(&path, render_json(&label, &mode, &configs, &points, &lowers))
         .expect("write bench JSON");
     println!("wrote {path}");
+
+    if let Some(min) = min_speedup {
+        let mut failures = String::new();
+        for p in &points {
+            if p.claimed != Some(true) {
+                continue;
+            }
+            let Some(r) = p.ref_seconds else {
+                usage("--min-speedup needs the comparator; drop --skip-reference");
+            };
+            let speedup = r / p.fast_seconds;
+            if speedup < min {
+                failures.push_str(&format!(
+                    "  {} n={}: {speedup:.2}x < required {min}x\n",
+                    p.variant, p.n
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("bench: symbolic speedup below --min-speedup {min}:\n{failures}");
+            std::process::exit(1);
+        }
+        println!("all claimed points at or above {min}x symbolic-vs-simulate");
+    }
 
     if let Some(base) = check_against {
         let baseline = std::fs::read_to_string(&base)
@@ -303,14 +382,17 @@ fn time_best(samples: usize, mut f: impl FnMut() -> BoxTraffic) -> (f64, BoxTraf
 
 fn render_json(
     label: &str,
+    mode: &str,
     configs: &[CacheConfig],
     points: &[Point],
     lowers: &[LowerPoint],
 ) -> String {
+    use pdesched_bench::json_str;
     use std::fmt::Write;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"label\": \"{label}\",");
+    let _ = writeln!(j, "  \"label\": {},", json_str(label));
+    let _ = writeln!(j, "  \"mode\": {},", json_str(mode));
     let levels: Vec<String> = configs
         .iter()
         .map(|c| format!("{{\"bytes\": {}, \"assoc\": {}}}", c.size, c.assoc))
@@ -321,9 +403,9 @@ fn render_json(
         let comma = if i + 1 < lowers.len() { "," } else { "" };
         let _ = writeln!(
             j,
-            "    {{\"kind\": \"lower\", \"variant\": \"{}\", \"n\": {}, \
+            "    {{\"kind\": \"lower\", \"variant\": {}, \"n\": {}, \
              \"lower_seconds\": {:.9}, \"lowers_per_s\": {:.1}}}{comma}",
-            p.variant,
+            json_str(&p.variant),
             p.n,
             p.lower_seconds,
             p.lowers_per_s()
@@ -341,13 +423,18 @@ fn render_json(
             ),
             None => ("null".into(), "null".into(), "null".into()),
         };
+        let claimed = match p.claimed {
+            Some(true) => ", \"claimed\": true",
+            Some(false) => ", \"claimed\": false",
+            None => "",
+        };
         let _ = writeln!(
             j,
-            "    {{\"variant\": \"{}\", \"n\": {}, \"accesses\": {}, \
+            "    {{\"variant\": {}, \"n\": {}, \"accesses\": {}, \
              \"fast_seconds\": {:.6}, \"fast_macc_per_s\": {:.3}, \
              \"ref_seconds\": {rs}, \"ref_macc_per_s\": {rm}, \"speedup\": {sp}, \
-             \"dram_bytes\": {}}}{comma}",
-            p.variant,
+             \"dram_bytes\": {}{claimed}}}{comma}",
+            json_str(p.variant),
             p.n,
             p.accesses,
             p.fast_seconds,

@@ -57,7 +57,7 @@ use pdesched_core::{Category, Variant};
 use pdesched_machine::{figures, sweep};
 use pdesched_machine::{
     FaultHook, MachineSpec, PointFailure, PriorSweep, SimPoint, SweepBudget, SweepEngine,
-    TrafficCache,
+    TrafficCache, TrafficMode,
 };
 use pdesched_par::cancel::{self, CancelToken, Cancelled};
 use std::time::Duration;
@@ -178,11 +178,13 @@ fn main() {
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut deadline: Option<Duration> = None;
     let mut point_deadline: Option<Duration> = None;
+    let mut mode = TrafficMode::Simulate;
     let mut wanted: Vec<String> = Vec::new();
     fn usage(msg: &str) -> ! {
         eprintln!("repro: {msg}");
         eprintln!(
             "usage: repro [--fast] [--store PATH] [--threads N] [--json PATH] \
+             [--mode simulate|symbolic|hybrid] \
              [--deadline SECS] [--point-deadline SECS] [TARGET]..."
         );
         std::process::exit(2);
@@ -212,6 +214,14 @@ fn main() {
             }
             "--deadline" => deadline = Some(secs_flag(it.next(), "--deadline")),
             "--point-deadline" => point_deadline = Some(secs_flag(it.next(), "--point-deadline")),
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("simulate" | "sim") => TrafficMode::Simulate,
+                    Some("symbolic" | "sym") => TrafficMode::Symbolic,
+                    Some("hybrid" | "hyb") => TrafficMode::Hybrid,
+                    _ => usage("--mode needs one of simulate|symbolic|hybrid"),
+                }
+            }
             flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
             other => wanted.push(other.to_string()),
         }
@@ -235,7 +245,7 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    let mut cache = TrafficCache::with_store(&store);
+    let mut cache = TrafficCache::with_store(&store).with_mode(mode);
     if let Some(fault) = env_fault() {
         eprintln!("[repro] REPRO_FAULT set: deterministic fault injection armed");
         cache = cache.with_fault_hook(std::sync::Arc::new(fault));
@@ -600,19 +610,7 @@ fn print_faultcheck(cache: &TrafficCache, engine: &SweepEngine, log: &mut RunLog
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use pdesched_bench::json_str;
 
 /// Serialize stages + figures + cache counters as JSON (no external
 /// dependencies, so the writer is by hand; the shape is stable,
@@ -632,12 +630,13 @@ fn render_json(
     let _ = writeln!(j, "  \"schema_version\": 2,");
     let _ = writeln!(j, "  \"fast\": {fast},");
     let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"mode\": {},", json_str(cache.mode().tag()));
     match interrupted {
         Some((reason, code)) => {
             let _ = writeln!(
                 j,
-                "  \"interrupted\": {{\"reason\": \"{}\", \"exit_code\": {code}}},",
-                json_escape(reason)
+                "  \"interrupted\": {{\"reason\": {}, \"exit_code\": {code}}},",
+                json_str(reason)
             );
         }
         None => {
@@ -653,10 +652,7 @@ fn render_json(
                 p.total,
                 p.failed,
                 p.timed_out,
-                p.cancelled
-                    .as_deref()
-                    .map(|c| format!("\"{}\"", json_escape(c)))
-                    .unwrap_or_else(|| "null".into())
+                p.cancelled.as_deref().map(json_str).unwrap_or_else(|| "null".into())
             );
         }
         None => {
@@ -679,7 +675,7 @@ fn render_json(
         "  \"store\": {{\"path\": {}, \"read_only\": {}, \"corrupt_lines\": {}, \"store_errors\": {}}},",
         cache
             .store_path()
-            .map(|p| format!("\"{}\"", json_escape(&p.display().to_string())))
+            .map(|p| json_str(&p.display().to_string()))
             .unwrap_or_else(|| "null".into()),
         cache.store_read_only(),
         s.corrupt_lines,
@@ -690,12 +686,13 @@ fn render_json(
         let comma = if i + 1 < log.failures.len() { "," } else { "" };
         let _ = writeln!(
             j,
-            "    {{\"stage\": \"{}\", \"kind\": \"{kind}\", \"variant\": \"{}\", \"n\": {}, \
-             \"error\": \"{}\"}}{comma}",
-            json_escape(stage),
-            json_escape(&f.variant),
+            "    {{\"stage\": {}, \"kind\": {}, \"variant\": {}, \"n\": {}, \
+             \"error\": {}}}{comma}",
+            json_str(stage),
+            json_str(kind),
+            json_str(&f.variant),
             f.n,
-            json_escape(&f.error)
+            json_str(&f.error)
         );
     }
     let _ = writeln!(j, "  ],");
@@ -704,8 +701,8 @@ fn render_json(
         let comma = if i + 1 < stages.len() { "," } else { "" };
         let _ = writeln!(
             j,
-            "    {{\"target\": \"{}\", \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}}}{comma}",
-            json_escape(&st.name),
+            "    {{\"target\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}}}{comma}",
+            json_str(&st.name),
             st.seconds,
             st.hits,
             st.misses
@@ -715,18 +712,18 @@ fn render_json(
     let _ = writeln!(j, "  \"figures\": [");
     for (i, f) in figs.iter().enumerate() {
         let _ = writeln!(j, "    {{");
-        let _ = writeln!(j, "      \"id\": \"{}\",", json_escape(&f.id));
-        let _ = writeln!(j, "      \"title\": \"{}\",", json_escape(&f.title));
-        let _ = writeln!(j, "      \"xlabel\": \"{}\",", json_escape(&f.xlabel));
-        let _ = writeln!(j, "      \"ylabel\": \"{}\",", json_escape(&f.ylabel));
+        let _ = writeln!(j, "      \"id\": {},", json_str(&f.id));
+        let _ = writeln!(j, "      \"title\": {},", json_str(&f.title));
+        let _ = writeln!(j, "      \"xlabel\": {},", json_str(&f.xlabel));
+        let _ = writeln!(j, "      \"ylabel\": {},", json_str(&f.ylabel));
         let _ = writeln!(j, "      \"series\": [");
         for (k, srs) in f.series.iter().enumerate() {
             let pts: Vec<String> = srs.points.iter().map(|(x, y)| format!("[{x}, {y}]")).collect();
             let comma = if k + 1 < f.series.len() { "," } else { "" };
             let _ = writeln!(
                 j,
-                "        {{\"label\": \"{}\", \"points\": [{}]}}{comma}",
-                json_escape(&srs.label),
+                "        {{\"label\": {}, \"points\": [{}]}}{comma}",
+                json_str(&srs.label),
                 pts.join(", ")
             );
         }

@@ -49,14 +49,64 @@ fn clean_run_reports_healthy_store_and_no_failures() {
     assert!(!json.contains("\"error\":"), "clean run must report no failures: {json}");
 }
 
+/// Walk every JSON string literal in `doc` and fail on a bare `"` that
+/// ends a string early or a truncated escape — the failure mode of a
+/// writer that forgets to escape. A tiny validator, not a JSON parser:
+/// the writers emit one construct per line, so scanning strings is
+/// enough to prove the escaping holds.
+fn assert_json_strings_wellformed(doc: &str) {
+    let mut chars = doc.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        // Inside a string: consume to the closing quote, honoring
+        // escapes; a newline inside a string means an unescaped quote
+        // leaked and tore the literal open.
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => {
+                    let e = chars.next().expect("truncated escape");
+                    assert!(
+                        matches!(e, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                        "invalid escape \\{e} in JSON output"
+                    );
+                }
+                Some('\n') | None => panic!("unterminated JSON string literal in output"),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Regression: a store path containing `"` or `\` must survive the
+/// hand-rolled `--json` writer as escaped, parseable JSON.
+#[test]
+fn hostile_store_path_emits_escaped_json() {
+    let dir = TempDir::new("repro-hostile");
+    let evil = dir.path().join("we\"ird\\q");
+    std::fs::create_dir_all(&evil).expect("create hostile dir");
+    let store = evil.join("store.txt");
+    let json_path = dir.file("out.json");
+    run(repro()
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "1", "fig1"]));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains(r#"we\"ird\\q"#), "path must be escaped in --json: {json}");
+    assert_json_strings_wellformed(&json);
+}
+
 #[test]
 fn corrupted_store_is_recovered_quarantined_and_reported() {
     let dir = TempDir::new("repro-corrupt");
     let store = dir.file("store.txt");
     let json_path = dir.file("out.json");
-    // A valid-version store whose entry lines are garbage (bit rot /
-    // torn writes): repro must quarantine them, compact the store, and
-    // surface the damage in --json — not crash and not trust the data.
+    // A readable-version store (v3, the accepted legacy format) whose
+    // entry lines are garbage (bit rot / torn writes): repro must
+    // quarantine them, compact the store, and surface the damage in
+    // --json — not crash and not trust the data.
     std::fs::write(&store, "# pdesched-traffic-store v3\nthis line is rot\nanother bad line 123\n")
         .unwrap();
     let (_, stderr) = run(repro()
@@ -68,10 +118,11 @@ fn corrupted_store_is_recovered_quarantined_and_reported() {
     assert!(stderr.contains("store recovery"), "recovery must be narrated: {stderr}");
     let quarantine = std::fs::read_to_string(dir.file("store.txt.quarantine")).unwrap();
     assert!(quarantine.contains("this line is rot"), "{quarantine}");
-    // Compacted: the rot is gone from the store itself.
+    // Compacted: the rot is gone and the store is upgraded to the
+    // current schema version in the same rewrite.
     let compacted = std::fs::read_to_string(&store).unwrap();
     assert!(!compacted.contains("rot"), "{compacted}");
-    assert!(compacted.starts_with("# pdesched-traffic-store v3"), "{compacted}");
+    assert!(compacted.starts_with("# pdesched-traffic-store v4"), "{compacted}");
 }
 
 #[test]

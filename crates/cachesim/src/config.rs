@@ -18,6 +18,12 @@ impl CacheConfig {
         CacheConfig { size, line: 64, assoc }
     }
 
+    /// Effective capacity in lines (`sets × assoc`): the most distinct
+    /// lines the level can hold at once.
+    pub fn lines(&self) -> usize {
+        self.size / self.line
+    }
+
     /// Number of sets.
     pub fn sets(&self) -> usize {
         let s = self.size / (self.line * self.assoc);

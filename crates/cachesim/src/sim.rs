@@ -144,6 +144,8 @@ pub struct Hierarchy {
     lowerp: Vec<PackedLevel>,
     /// Reference-path levels, L1 first (empty in fast mode).
     ref_levels: Vec<CacheLevel>,
+    /// Level geometries, L1 first (for [`Hierarchy::geometry`]).
+    configs: Vec<CacheConfig>,
     line: usize,
     line_shift: u32,
     reads: u64,
@@ -189,6 +191,7 @@ impl Hierarchy {
             l1p: PackedLevel::new(configs[0]),
             lowerp: configs[1..].iter().map(|&c| PackedLevel::new(c)).collect(),
             ref_levels,
+            configs: configs.to_vec(),
             line,
             line_shift: line.trailing_zeros(),
             reads: 0,
@@ -209,6 +212,14 @@ impl Hierarchy {
     /// Line size in bytes.
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// The level geometries this hierarchy was built from, L1 first.
+    /// Symbolic analyses use these (set counts, associativities,
+    /// capacities in lines) to prove that a grouped replay cannot
+    /// perturb any replacement decision.
+    pub fn geometry(&self) -> &[CacheConfig] {
+        &self.configs
     }
 
     /// Statistics so far. Assembled on demand: in fast mode L1 hits are
@@ -280,6 +291,70 @@ impl Hierarchy {
     #[inline]
     pub fn write_run(&mut self, addr: usize, elems: usize) {
         self.run(addr, elems, true);
+    }
+
+    /// `reps` 8-byte reads of the *same* address: statistics-identical
+    /// to calling [`Hierarchy::read`] at `addr` `reps` times. The
+    /// weighted-probe primitive of the symbolic traffic summarizer
+    /// (`pdesched-machine`): a phase proven regular touches one line
+    /// many times in a row, and this accounts the repeat touches in
+    /// closed form exactly like the tail of a run — the head access
+    /// makes the line resident and hot, the other `reps − 1` are L1
+    /// hits by construction (advance the clock, refresh the stamp).
+    #[inline]
+    pub fn read_rep(&mut self, addr: usize, reps: usize) {
+        self.rep(addr, reps, false);
+    }
+
+    /// `reps` 8-byte writes of the same address; see
+    /// [`Hierarchy::read_rep`].
+    #[inline]
+    pub fn write_rep(&mut self, addr: usize, reps: usize) {
+        self.rep(addr, reps, true);
+    }
+
+    fn rep(&mut self, addr: usize, reps: usize, write: bool) {
+        if reps == 0 {
+            return;
+        }
+        self.line_rep((addr >> self.line_shift) as u64, reps, write);
+    }
+
+    /// `reps` touches of the (absolute) line index `line` — the same
+    /// contract as [`Hierarchy::read_rep`]/[`Hierarchy::write_rep`] but
+    /// addressed by line, saving the shift round-trip, and with the
+    /// head probe and the closed-form tail folded into one hot-table
+    /// transaction. Statistics-identical to `reps` single accesses
+    /// anywhere in the line: advancing the clock by all `reps` before
+    /// the head probe is exact because the probing line's own stamp
+    /// never influences its set's victim choice, and the entry's final
+    /// stamp is the final clock either way.
+    #[inline]
+    pub fn line_rep(&mut self, line: u64, reps: usize, write: bool) {
+        debug_assert!(reps > 0);
+        // Branchless read/write accounting: slot-alternating rw streams
+        // would mispredict a counter branch on every probe.
+        let w = write as u64;
+        self.writes += reps as u64 * w;
+        self.reads += reps as u64 * (1 - w);
+        if self.reference {
+            for _ in 0..reps {
+                self.probe_fill(line, write);
+            }
+            return;
+        }
+        let line = self.rebase(line);
+        self.l1p.clock += reps as u64;
+        let slot = (line as usize) & (HOT_SLOTS - 1);
+        let e = &mut self.hot[slot];
+        if e.line as u64 == line {
+            e.last_touch = self.l1p.clock;
+            e.dirty |= write as u16;
+        } else {
+            // Cold head probe: `touch_cold` installs the line hot with
+            // its stamp at the (already final) clock.
+            self.touch_cold(line, write, slot);
+        }
     }
 
     fn run(&mut self, addr: usize, elems: usize, write: bool) {
@@ -687,6 +762,65 @@ mod tests {
         assert_eq!(s.levels[0], LevelStats { hits: 29, misses: 3 });
         h.flush();
         assert_eq!(h.stats().dram_lines_written, 3);
+    }
+
+    /// `read_rep`/`write_rep` must be bit-identical to the same number
+    /// of per-element accesses at one address — in fast mode, in
+    /// reference mode, and interleaved with ordinary traffic.
+    #[test]
+    fn rep_counts_match_repeated_accesses() {
+        let cfgs = [CacheConfig::new(512, 2), CacheConfig::new(2048, 4)];
+        for reference in [false, true] {
+            let build = || {
+                if reference {
+                    Hierarchy::reference(&cfgs)
+                } else {
+                    Hierarchy::new(&cfgs)
+                }
+            };
+            let mut rng = Lcg(0x2545f4914f6cdd1d ^ reference as u64);
+            let mut a = build();
+            let mut b = build();
+            for _ in 0..300 {
+                let addr = (rng.next() % 256) as usize * 8;
+                let reps = (rng.next() % 5) as usize;
+                match rng.next() % 4 {
+                    0 => {
+                        a.read_rep(addr, reps);
+                        for _ in 0..reps {
+                            b.read(addr);
+                        }
+                    }
+                    1 => {
+                        a.write_rep(addr, reps);
+                        for _ in 0..reps {
+                            b.write(addr);
+                        }
+                    }
+                    2 => {
+                        a.read(addr);
+                        b.read(addr);
+                    }
+                    _ => {
+                        a.write(addr);
+                        b.write(addr);
+                    }
+                }
+            }
+            assert_same_state(&a, &b);
+            a.flush();
+            b.flush();
+            assert_same_state(&a, &b);
+        }
+    }
+
+    #[test]
+    fn geometry_reports_configs() {
+        let cfgs = [CacheConfig::new(512, 2), CacheConfig::new(2048, 4)];
+        let h = Hierarchy::new(&cfgs);
+        assert_eq!(h.geometry(), &cfgs);
+        assert_eq!(cfgs[0].lines(), 8);
+        assert_eq!(Hierarchy::reference(&cfgs).geometry(), &cfgs);
     }
 
     #[test]

@@ -132,6 +132,25 @@ pub struct RegionPlan {
     pub phases: Vec<Phase>,
 }
 
+/// Footprint and liveness summary of one phase, exported by
+/// [`Plan::phase_infos`] for plan-level analyses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseInfo {
+    /// Index of the owning region within the plan.
+    pub region: usize,
+    /// The owning region's kind.
+    pub kind: RegionKind,
+    /// Steps across all threads of the phase.
+    pub steps: usize,
+    /// Region-local declared-alloc indices live in this phase (sorted,
+    /// deduplicated): which temporaries the phase's steps touch. A
+    /// buffer's liveness is the span from its first to its last
+    /// appearance across the region's phases.
+    pub buffers: Vec<usize>,
+    /// Whether the phase ends at a barrier.
+    pub barrier: bool,
+}
+
 /// A lowered schedule for one `(Variant, box extents, nthreads)` triple.
 #[derive(Clone, Debug)]
 pub struct Plan {
@@ -166,6 +185,67 @@ impl Plan {
     /// Number of barrier points.
     pub fn barrier_count(&self) -> usize {
         self.regions.iter().flat_map(|r| r.phases.iter()).filter(|p| p.barrier_after).count()
+    }
+
+    /// Per-phase footprint metadata, flattened across regions in
+    /// execution order. Plan-level analyses (the symbolic traffic
+    /// summarizer, liveness reports) key their claims on this instead of
+    /// re-deriving structure from the step lists.
+    pub fn phase_infos(&self) -> Vec<PhaseInfo> {
+        let mut out = Vec::new();
+        for (ri, region) in self.regions.iter().enumerate() {
+            // Steps address face temporaries in fab-view space (raw
+            // carry caches excluded); map back to declared-alloc space.
+            let fab_alloc: Vec<usize> = region
+                .allocs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| matches!(a.kind, AllocKind::Fab { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            let all: Vec<usize> = (0..region.allocs.len()).collect();
+            let raws: Vec<usize> = region
+                .allocs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| matches!(a.kind, AllocKind::Raw { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            for phase in &region.phases {
+                let mut buffers: Vec<usize> = Vec::new();
+                let mut steps = 0;
+                for step in phase.work.iter().flatten() {
+                    steps += 1;
+                    let touched: Vec<usize> = match *step {
+                        Step::Flux1 { flux, .. }
+                        | Step::Flux2Cli { flux, .. }
+                        | Step::Accumulate { flux, .. } => vec![fab_alloc[flux]],
+                        Step::ExtractVel { flux, vel, .. } | Step::Flux2Clo { flux, vel, .. } => {
+                            vec![fab_alloc[flux], fab_alloc[vel]]
+                        }
+                        Step::FillVel { vel, .. } => vec![fab_alloc[vel]],
+                        Step::FusedClo { .. } | Step::WfSpan { .. } | Step::OtTiles { .. } => {
+                            all.clone()
+                        }
+                        Step::FusedCli => raws.clone(),
+                    };
+                    for b in touched {
+                        if !buffers.contains(&b) {
+                            buffers.push(b);
+                        }
+                    }
+                }
+                buffers.sort_unstable();
+                out.push(PhaseInfo {
+                    region: ri,
+                    kind: region.kind,
+                    steps,
+                    buffers,
+                    barrier: phase.barrier_after,
+                });
+            }
+        }
+        out
     }
 
     /// Redundantly recomputed tile-surface faces (overlapped tiles only;
@@ -898,6 +978,39 @@ mod tests {
 
     fn ot(intra: IntraTile, comp: CompLoop, t: i32) -> Variant {
         Variant { comp, ..Variant::overlapped(intra, t, Granularity::WithinBox) }
+    }
+
+    #[test]
+    fn phase_infos_export_footprints() {
+        // Series CLO: 3 regions x 4 phases, each phase in its declared
+        // region, flux (alloc 0) everywhere, vel (alloc 1) only in the
+        // extract and flux2 phases, every phase barriered.
+        let plan = plan_for(Variant::baseline(), IntVect::splat(8), 1);
+        let infos = plan.phase_infos();
+        assert_eq!(infos.len(), 12);
+        for (i, p) in infos.iter().enumerate() {
+            assert_eq!(p.region, i / 4);
+            assert_eq!(p.kind, RegionKind::Series);
+            assert_eq!(p.steps, 1);
+            assert!(p.barrier);
+            let with_vel = matches!(i % 4, 1 | 2);
+            assert_eq!(p.buffers, if with_vel { vec![0, 1] } else { vec![0] }, "phase {i}");
+        }
+        // Fused CLO: one unbarriered phase whose steps touch every
+        // temporary (carry caches 0-1, velocity fabs 2-4).
+        let plan = plan_for(Variant::shift_fuse(), IntVect::splat(8), 1);
+        let infos = plan.phase_infos();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].kind, RegionKind::Fuse);
+        assert_eq!(infos[0].steps, 3 + NCOMP);
+        assert_eq!(infos[0].buffers, vec![0, 1, 2, 3, 4]);
+        assert!(!infos[0].barrier);
+        // Wavefront phases carry their kind so analyses can decline
+        // them; buffers still cover the region's allocs.
+        let plan = plan_for(Variant::blocked_wavefront(CompLoop::Inside, 4), IntVect::splat(8), 1);
+        let infos = plan.phase_infos();
+        assert!(!infos.is_empty());
+        assert!(infos.iter().all(|p| p.kind == RegionKind::Wavefront));
     }
 
     #[test]

@@ -34,6 +34,7 @@ struct Volumes {
 }
 
 fn volumes(n: i32) -> Volumes {
+    debug_assert!(n > 0, "analytic model needs a positive box size, got n={n}");
     let n = n as u64;
     let g = GHOST as u64;
     let c = NCOMP as u64;
@@ -51,11 +52,21 @@ pub fn compulsory(n: i32) -> u64 {
     v.phi0 + 2 * v.phi1
 }
 
+/// Temporary (scratch) bytes the schedule keeps live: the expected
+/// storage model's total, in bytes. Both the working-set and the
+/// overlapped-tile traffic terms use exactly this expression; keep it in
+/// one place so the two cannot drift apart again.
+fn temps_bytes(variant: Variant, n: i32) -> u64 {
+    debug_assert!(n > 0, "analytic model needs a positive box size, got n={n}");
+    pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W
+}
+
 /// The schedule's working set in bytes (what must stay cached for the
 /// resident regime).
 pub fn working_set(variant: Variant, n: i32) -> u64 {
+    debug_assert!(n > 0, "analytic model needs a positive box size, got n={n}");
     let v = volumes(n);
-    let temps = pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
+    let temps = temps_bytes(variant, n);
     match variant.category {
         // The series schedule needs phi0, phi1, the flux array and the
         // velocity live at once.
@@ -127,7 +138,7 @@ pub fn analytic_box_traffic(variant: Variant, n: i32, cache_bytes: u64) -> u64 {
         }
         Category::OverlappedTile => {
             let t = variant.tile_size();
-            let temps = pdesched_core::storage::expected(variant, n, 1).total_f64() as u64 * W;
+            let temps = temps_bytes(variant, n);
             let box_ws = v.phi0 + v.phi1 + temps;
             if box_ws <= cache_bytes {
                 return compulsory(n) + temps;
@@ -216,6 +227,36 @@ mod tests {
             let t = analytic_box_traffic(v, 16, 1 << 30);
             assert!(t >= compulsory(16), "{v}");
         }
+    }
+
+    /// The hoisted `temps_bytes` helper must keep the two former call
+    /// sites (working-set term and overlapped-tile traffic term) on the
+    /// same expression.
+    #[test]
+    fn temps_helper_matches_storage_model() {
+        for n in [8, 16, 32] {
+            for v in Variant::enumerate(n) {
+                let expected =
+                    pdesched_core::storage::expected(v, n, 1).total_f64() as u64 * super::W;
+                assert_eq!(super::temps_bytes(v, n), expected, "{v} n={n}");
+            }
+        }
+    }
+
+    /// Nonpositive box sizes used to wrap silently through the
+    /// `i32 -> u64` cast; they must now trip the debug assertion.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "positive box size")]
+    fn working_set_rejects_nonpositive_n() {
+        working_set(Variant::baseline(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "positive box size")]
+    fn volumes_reject_negative_n() {
+        super::volumes(-4);
     }
 
     #[test]

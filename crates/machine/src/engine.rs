@@ -141,10 +141,19 @@ pub struct PrewarmReport {
     /// What the journal said about a previous interrupted sweep over the
     /// same store — `Some` exactly when this run is a resume.
     pub resumed_from: Option<PriorSweep>,
-    /// Wall-clock seconds spent in the parallel measurement region.
+    /// Wall-clock seconds of the whole prewarm call (dedup, validation,
+    /// journal handling, and the parallel measurement region).
     pub seconds: f64,
-    /// Measurement throughput (`measured / seconds`) of the parallel
-    /// region; 0 when nothing was measured.
+    /// Wall-clock seconds from the first point actually entering
+    /// measurement to the end of the parallel region; 0 when nothing was
+    /// measured. On a resume that skips thousands of already-stored
+    /// points, this excludes the skip/dedup prologue that `seconds`
+    /// includes.
+    pub measure_seconds: f64,
+    /// Measurement throughput (`measured / measure_seconds`), clocked
+    /// from the first measured point onward so a resume over a mostly
+    /// complete store doesn't report a collapsed rate; 0 when nothing
+    /// was measured.
     pub points_per_sec: f64,
 }
 
@@ -297,6 +306,11 @@ impl SweepEngine {
         // per-point deadline scan.
         let slots: Vec<Mutex<Option<(CancelToken, Instant)>>> =
             (0..self.pool.nthreads()).map(|_| Mutex::new(None)).collect();
+        // When the first point actually entered measurement: the rate
+        // basis for `points_per_sec` and the heartbeat ETA, so a resume
+        // that spends its prologue skipping stored points doesn't dilute
+        // the measured rate.
+        let first_measure: Mutex<Option<Instant>> = Mutex::new(None);
         let stop = Mutex::new(false);
         let stop_cv = Condvar::new();
 
@@ -309,6 +323,7 @@ impl SweepEngine {
                 let budget = self.budget.clone();
                 let heartbeat = self.heartbeat;
                 let (slots, stop, stop_cv, done) = (&slots, &stop, &stop_cv, &done);
+                let first_measure = &first_measure;
                 s.spawn(move || {
                     let mut last_beat = Instant::now();
                     let mut guard = stop.lock().unwrap_or_else(|e| e.into_inner());
@@ -345,7 +360,10 @@ impl SweepEngine {
                             if last_beat.elapsed() >= hb {
                                 last_beat = Instant::now();
                                 let d = done.load(Ordering::Relaxed);
-                                let secs = t0.elapsed().as_secs_f64();
+                                let secs = first_measure
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .map_or(0.0, |t| t.elapsed().as_secs_f64());
                                 let rate = if secs > 0.0 { d as f64 / secs } else { 0.0 };
                                 let eta = if rate > 0.0 {
                                     format!("{:.0}s", (total - d) as f64 / rate)
@@ -371,6 +389,12 @@ impl SweepEngine {
                         return;
                     }
                     let p = todo[i];
+                    {
+                        let mut fm = first_measure.lock().unwrap_or_else(|e| e.into_inner());
+                        if fm.is_none() {
+                            *fm = Some(Instant::now());
+                        }
+                    }
                     let point_token = sweep_token.child();
                     *slots[ctx.tid()].lock().unwrap_or_else(|e| e.into_inner()) =
                         Some((point_token.clone(), Instant::now()));
@@ -469,6 +493,10 @@ impl SweepEngine {
         }
         let measured = measured.load(Ordering::Relaxed);
         let seconds = t0.elapsed().as_secs_f64();
+        let measure_seconds = first_measure
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .map_or(0.0, |t| t.elapsed().as_secs_f64());
         PrewarmReport {
             requested: points.len(),
             unique,
@@ -480,7 +508,12 @@ impl SweepEngine {
             cancelled,
             resumed_from,
             seconds,
-            points_per_sec: if seconds > 0.0 { measured as f64 / seconds } else { 0.0 },
+            measure_seconds,
+            points_per_sec: if measured > 0 && measure_seconds > 0.0 {
+                measured as f64 / measure_seconds
+            } else {
+                0.0
+            },
         }
     }
 }

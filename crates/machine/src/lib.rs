@@ -39,6 +39,7 @@ pub mod journal;
 pub mod model;
 pub mod spec;
 pub mod sweep;
+pub mod symbolic;
 pub mod traffic;
 
 pub use adapter::TraceMem;
@@ -47,6 +48,8 @@ pub use fault::FaultHook;
 pub use journal::PriorSweep;
 pub use model::{predict_time, Prediction, Workload};
 pub use spec::MachineSpec;
+pub use symbolic::{measure_box_traffic_symbolic, SymbolicAnalysis};
 pub use traffic::{
     measure_box_traffic, measure_box_traffic_reference, BoxTraffic, CacheStats, TrafficCache,
+    TrafficMode,
 };

@@ -29,8 +29,53 @@ use std::time::Duration;
 /// On-disk store schema version. Bump whenever anything that feeds a
 /// measurement changes shape — the key format, the traced kernel, the
 /// simulator's replacement policy — and every stale store self-discards
-/// instead of serving wrong numbers. (v3: per-line checksums.)
-pub const STORE_VERSION: u32 = 3;
+/// instead of serving wrong numbers. (v3: per-line checksums; v4:
+/// provenance-tagged entries. v3 stores are *migrated*, not discarded:
+/// the symbolic pipeline is bit-identical to the simulator, so v3
+/// measurements stay valid and are rewritten with a `sim` tag.)
+pub const STORE_VERSION: u32 = 4;
+
+/// The v3 header, still accepted on read (see [`STORE_VERSION`]).
+const V3_HEADER: &str = "# pdesched-traffic-store v3";
+
+/// How a traffic number is (or was) produced. For the cache this is
+/// *provenance*, not a key: the three modes agree bit-for-bit (pinned by
+/// the cross-validation suite), so an entry measured under one mode is
+/// served under any other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrafficMode {
+    /// Run the schedule for real and replay every element access
+    /// through the simulator.
+    #[default]
+    Simulate,
+    /// Plan-level symbolic summarization ([`crate::symbolic`]), falling
+    /// back to the simulator when the analysis leaves phases unclaimed.
+    Symbolic,
+    /// Symbolic when the analysis claims the whole plan, simulate
+    /// otherwise — same numbers, explicit intent.
+    Hybrid,
+}
+
+impl TrafficMode {
+    /// The store tag recorded with entries measured under this mode.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TrafficMode::Simulate => "sim",
+            TrafficMode::Symbolic => "sym",
+            TrafficMode::Hybrid => "hyb",
+        }
+    }
+
+    /// Parse a store tag.
+    pub fn from_tag(tag: &str) -> Option<TrafficMode> {
+        match tag {
+            "sim" => Some(TrafficMode::Simulate),
+            "sym" => Some(TrafficMode::Symbolic),
+            "hyb" => Some(TrafficMode::Hybrid),
+            _ => None,
+        }
+    }
+}
 
 /// Measured traffic for one exemplar update of one box.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -160,7 +205,9 @@ pub struct CacheStats {
 /// See the module docs for the crash-safety guarantees.
 #[derive(Default)]
 pub struct TrafficCache {
-    map: Mutex<HashMap<String, BoxTraffic>>,
+    map: Mutex<StoreMap>,
+    /// Measurement mode for misses (provenance-tags new store entries).
+    mode: TrafficMode,
     /// Store file; appends only happen when `owns_lock`.
     store: Option<PathBuf>,
     /// Lock file this cache owns.
@@ -203,6 +250,9 @@ fn store_header() -> String {
     format!("# pdesched-traffic-store v{STORE_VERSION}")
 }
 
+/// In-memory image of the store: measurement plus its provenance tag.
+type StoreMap = HashMap<String, (BoxTraffic, TrafficMode)>;
+
 /// FNV-1a 64-bit, the store's line checksum: tiny, dependency-free, and
 /// plenty to detect torn appends and bit rot (this is integrity against
 /// crashes, not an adversary).
@@ -215,18 +265,52 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialize one entry as its store line: payload fields, then the
-/// payload's checksum as the final field.
-fn entry_line(key: &str, t: &BoxTraffic) -> String {
-    let payload =
-        format!("{key} {} {} {} {} {}", t.dram_bytes, t.reads, t.writes, t.l1_hit, t.llc_hit);
+/// Serialize one entry as its store line: key, provenance tag, payload
+/// fields, then the payload's checksum as the final field.
+fn entry_line(key: &str, t: &BoxTraffic, mode: TrafficMode) -> String {
+    let payload = format!(
+        "{key} {} {} {} {} {} {}",
+        mode.tag(),
+        t.dram_bytes,
+        t.reads,
+        t.writes,
+        t.l1_hit,
+        t.llc_hit
+    );
     let sum = fnv1a64(payload.as_bytes());
     format!("{payload} {sum:016x}")
 }
 
 /// Parse and verify one store line; `None` means corrupt (torn, edited,
 /// or bit-rotted — the checksum covers the exact payload bytes).
-fn parse_entry(line: &str) -> Option<(String, BoxTraffic)> {
+fn parse_entry(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
+    let (payload, sum_hex) = line.rsplit_once(' ')?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    if sum != fnv1a64(payload.as_bytes()) {
+        return None;
+    }
+    let mut it = payload.split_whitespace();
+    let (key, tag, d, r, w, l1, llc) =
+        (it.next()?, it.next()?, it.next()?, it.next()?, it.next()?, it.next()?, it.next()?);
+    if it.next().is_some() {
+        return None;
+    }
+    Some((
+        key.to_string(),
+        BoxTraffic {
+            dram_bytes: d.parse().ok()?,
+            reads: r.parse().ok()?,
+            writes: w.parse().ok()?,
+            l1_hit: l1.parse().ok()?,
+            llc_hit: llc.parse().ok()?,
+        },
+        TrafficMode::from_tag(tag)?,
+    ))
+}
+
+/// Parse one v3 entry line (no provenance tag). v3 measurements were all
+/// simulated, so migrated entries carry the `sim` tag.
+fn parse_entry_v3(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
     let (payload, sum_hex) = line.rsplit_once(' ')?;
     let sum = u64::from_str_radix(sum_hex, 16).ok()?;
     if sum != fnv1a64(payload.as_bytes()) {
@@ -247,6 +331,7 @@ fn parse_entry(line: &str) -> Option<(String, BoxTraffic)> {
             l1_hit: l1.parse().ok()?,
             llc_hit: llc.parse().ok()?,
         },
+        TrafficMode::Simulate,
     ))
 }
 
@@ -357,13 +442,14 @@ fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
 /// reproducible bytes): write a tmp file, then rename over the target,
 /// so a crash mid-rewrite leaves either the old or the new store —
 /// never a half-written one.
-fn write_store_atomic(path: &Path, entries: &HashMap<String, BoxTraffic>) -> std::io::Result<()> {
+fn write_store_atomic(path: &Path, entries: &StoreMap) -> std::io::Result<()> {
     let mut keys: Vec<&String> = entries.keys().collect();
     keys.sort();
     let mut text = store_header();
     text.push('\n');
     for k in keys {
-        text.push_str(&entry_line(k, &entries[k]));
+        let (t, mode) = &entries[k];
+        text.push_str(&entry_line(k, t, *mode));
         text.push('\n');
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
@@ -382,7 +468,9 @@ impl TrafficCache {
     ///
     /// * A missing, headerless, or wrong-version file is discarded and
     ///   atomically re-initialized with the current [`STORE_VERSION`]
-    ///   header.
+    ///   header. Exception: a v3 store (the pre-provenance format) is
+    ///   migrated in place — its entries are loaded, tagged `sim`, and
+    ///   the file is rewritten with the v4 header.
     /// * Lines failing their checksum (torn appends from a crash or
     ///   `kill -9`, bit rot) are copied to `<path>.quarantine`, counted
     ///   in [`CacheStats::corrupt_lines`], and the store is compacted to
@@ -401,30 +489,44 @@ impl TrafficCache {
         let lock = lock_path_for(&path);
         let lock_file = try_acquire_lock(&lock);
         let owns_lock = lock_file.is_some();
-        let mut map = HashMap::new();
+        let mut map = StoreMap::new();
         let mut corrupt: Vec<String> = Vec::new();
         let mut valid_header = false;
+        let mut migrate = false;
         if let Ok(text) = std::fs::read_to_string(&path) {
             let mut lines = text.lines();
-            valid_header = lines.next() == Some(store_header().as_str());
-            if valid_header {
+            let header = lines.next();
+            valid_header = header == Some(store_header().as_str());
+            // v3 is the one accepted legacy version: its measurements
+            // are still valid (the simulator is unchanged), only the
+            // line format grew a provenance tag. Parse with the v3
+            // grammar and rewrite as v4 below.
+            let legacy_v3 = !valid_header && header == Some(V3_HEADER);
+            if valid_header || legacy_v3 {
+                let parse = if legacy_v3 { parse_entry_v3 } else { parse_entry };
                 for line in lines {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    match parse_entry(line) {
-                        Some((k, t)) => {
-                            map.insert(k, t);
+                    match parse(line) {
+                        Some((k, t, mode)) => {
+                            map.insert(k, (t, mode));
                         }
                         None => corrupt.push(line.to_string()),
                     }
                 }
+                valid_header = true;
+                migrate = legacy_v3;
             }
         }
         let mut store_errors = 0;
         if owns_lock {
             if !valid_header {
-                if write_store_atomic(&path, &HashMap::new()).is_err() {
+                if write_store_atomic(&path, &StoreMap::new()).is_err() {
+                    store_errors += 1;
+                }
+            } else if migrate && corrupt.is_empty() {
+                if write_store_atomic(&path, &map).is_err() {
                     store_errors += 1;
                 }
             } else if !corrupt.is_empty() {
@@ -460,6 +562,30 @@ impl TrafficCache {
         self
     }
 
+    /// Measure misses under `mode` (default [`TrafficMode::Simulate`]).
+    /// Hits are mode-agnostic: all modes produce identical numbers.
+    pub fn with_mode(mut self, mode: TrafficMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The mode misses are measured under.
+    pub fn mode(&self) -> TrafficMode {
+        self.mode
+    }
+
+    /// Provenance of a held measurement, if present (`None` = not yet
+    /// measured). What the store's tag records: which pipeline produced
+    /// the number.
+    pub fn provenance(
+        &self,
+        variant: Variant,
+        n: i32,
+        configs: &[CacheConfig],
+    ) -> Option<TrafficMode> {
+        self.map_lock().get(&cache_key(variant, n, configs)).map(|(_, m)| *m)
+    }
+
     /// Whether this cache lost the single-writer race for its store: it
     /// serves the loaded entries and memoizes in memory, but appends
     /// nothing.
@@ -475,18 +601,19 @@ impl TrafficCache {
     /// The map lock, surviving poisoning: a panic in some other holder
     /// (e.g. an injected measurement fault caught mid-insert by a test)
     /// must not cascade into every later lookup.
-    fn map_lock(&self) -> MutexGuard<'_, HashMap<String, BoxTraffic>> {
+    fn map_lock(&self) -> MutexGuard<'_, StoreMap> {
         self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Measured (or memoized) traffic.
     ///
-    /// On a miss this runs the simulator (~seconds for large boxes). A
-    /// failed store append degrades to in-memory memoization and bumps
-    /// [`CacheStats::store_errors`].
+    /// On a miss this measures under the cache's [`TrafficMode`] (the
+    /// modes agree bit-for-bit, so hits are served regardless of the
+    /// mode an entry was measured under). A failed store append degrades
+    /// to in-memory memoization and bumps [`CacheStats::store_errors`].
     pub fn get(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
         let key = cache_key(variant, n, configs);
-        if let Some(t) = self.map_lock().get(&key) {
+        if let Some((t, _)) = self.map_lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
@@ -494,8 +621,20 @@ impl TrafficCache {
         if let Some(hook) = &self.fault {
             hook.before_simulation(sim_index, &key);
         }
-        let t = measure_box_traffic(variant, n, configs);
-        self.map_lock().insert(key.clone(), t);
+        let (t, mode) = match self.mode {
+            TrafficMode::Simulate => {
+                (measure_box_traffic(variant, n, configs), TrafficMode::Simulate)
+            }
+            // Tag with what actually produced the number: a full
+            // fallback is a simulated entry whatever the configured
+            // mode.
+            requested @ (TrafficMode::Symbolic | TrafficMode::Hybrid) => {
+                let (t, used_symbolic) =
+                    crate::symbolic::measure_with_provenance(variant, n, configs);
+                (t, if used_symbolic { requested } else { TrafficMode::Simulate })
+            }
+        };
+        self.map_lock().insert(key.clone(), (t, mode));
         if let (Some(path), true) = (&self.store, self.owned_lock.is_some()) {
             let max_retries = self.retry_max.load(Ordering::Relaxed);
             let backoff_us = self.retry_backoff_us.load(Ordering::Relaxed);
@@ -516,7 +655,7 @@ impl TrafficCache {
                         .create(true)
                         .append(true)
                         .open(path)
-                        .and_then(|mut f| writeln!(f, "{}", entry_line(&key, &t)))
+                        .and_then(|mut f| writeln!(f, "{}", entry_line(&key, &t, mode)))
                         .is_ok();
                 if appended {
                     break;
@@ -712,10 +851,11 @@ mod tests {
     #[test]
     fn checksummed_lines_roundtrip() {
         let t = BoxTraffic { dram_bytes: 123, reads: 45, writes: 6, l1_hit: 0.875, llc_hit: 0.5 };
-        let line = entry_line("some/key/n8/g2", &t);
-        let (k, back) = parse_entry(&line).expect("own line must verify");
+        let line = entry_line("some/key/n8/g2", &t, TrafficMode::Symbolic);
+        let (k, back, mode) = parse_entry(&line).expect("own line must verify");
         assert_eq!(k, "some/key/n8/g2");
         assert_eq!(back, t);
+        assert_eq!(mode, TrafficMode::Symbolic);
         // Any single-byte mutation must fail verification.
         for i in 0..line.len() {
             let mut bytes = line.clone().into_bytes();
@@ -728,6 +868,71 @@ mod tests {
         for cut in 0..line.len() {
             assert!(parse_entry(&line[..cut]).is_none(), "truncation at {cut} must be caught");
         }
+    }
+
+    #[test]
+    fn v3_store_migrates_to_v4_with_sim_provenance() {
+        let dir = TempDir::new("migrate");
+        let path = dir.file("traffic.txt");
+        let cfg = big_hierarchy();
+        // A genuine v3 store: v3 header, entry lines in the tagless v3
+        // grammar with valid checksums. Its measurements are still
+        // correct, so migration must preserve them — no re-measuring.
+        let key = cache_key(Variant::baseline(), 8, &cfg);
+        let t = BoxTraffic { dram_bytes: 77, reads: 5, writes: 3, l1_hit: 0.5, llc_hit: 0.25 };
+        let payload =
+            format!("{key} {} {} {} {} {}", t.dram_bytes, t.reads, t.writes, t.l1_hit, t.llc_hit);
+        let sum = fnv1a64(payload.as_bytes());
+        std::fs::write(&path, format!("{V3_HEADER}\n{payload} {sum:016x}\n")).unwrap();
+        let cache = TrafficCache::with_store(&path);
+        assert_eq!(cache.len(), 1, "v3 entries must be migrated, not discarded");
+        assert_eq!(cache.get(Variant::baseline(), 8, &cfg), t);
+        assert_eq!(cache.stats().misses, 0, "migration must not re-measure");
+        assert_eq!(cache.provenance(Variant::baseline(), 8, &cfg), Some(TrafficMode::Simulate));
+        // The file itself was rewritten in the v4 format.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&store_header()), "{text}");
+        assert!(text.contains(" sim "), "migrated entries carry the sim tag: {text}");
+        drop(cache);
+        let reload = TrafficCache::with_store(&path);
+        assert_eq!((reload.len(), reload.stats().corrupt_lines), (1, 0));
+    }
+
+    #[test]
+    fn symbolic_mode_tags_entries_and_matches_simulate() {
+        let dir = TempDir::new("mode");
+        let path = dir.file("traffic.txt");
+        let cfg = small_hierarchy();
+        let sym = {
+            let cache = TrafficCache::with_store(&path).with_mode(TrafficMode::Symbolic);
+            let t = cache.get(Variant::baseline(), 8, &cfg);
+            assert_eq!(cache.provenance(Variant::baseline(), 8, &cfg), Some(TrafficMode::Symbolic));
+            // An unclaimed plan under symbolic mode is honest about its
+            // provenance: the simulator produced the number.
+            let wf = Variant::blocked_wavefront(CompLoop::Outside, 4);
+            cache.get(wf, 8, &cfg);
+            assert_eq!(cache.provenance(wf, 8, &cfg), Some(TrafficMode::Simulate));
+            t
+        };
+        assert_eq!(sym, measure_box_traffic(Variant::baseline(), 8, &cfg));
+        // The tags round-trip through the store, and a simulate-mode
+        // reader serves symbolic entries (bit-identical by contract).
+        let reload = TrafficCache::with_store(&path);
+        assert_eq!(reload.len(), 2);
+        assert_eq!(reload.provenance(Variant::baseline(), 8, &cfg), Some(TrafficMode::Symbolic));
+        assert_eq!(reload.get(Variant::baseline(), 8, &cfg), sym);
+        assert_eq!(reload.stats().hits, 1);
+    }
+
+    #[test]
+    fn hybrid_mode_picks_the_claimed_pipeline() {
+        let cache = TrafficCache::new().with_mode(TrafficMode::Hybrid);
+        let cfg = small_hierarchy();
+        cache.get(Variant::shift_fuse(), 8, &cfg);
+        assert_eq!(cache.provenance(Variant::shift_fuse(), 8, &cfg), Some(TrafficMode::Hybrid));
+        let wf = Variant::blocked_wavefront(CompLoop::Outside, 4);
+        cache.get(wf, 8, &cfg);
+        assert_eq!(cache.provenance(wf, 8, &cfg), Some(TrafficMode::Simulate));
     }
 
     #[test]

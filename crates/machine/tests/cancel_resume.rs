@@ -213,5 +213,43 @@ fn throughput_is_reported() {
     let report = SweepEngine::new(2).prewarm(&cache, &pts);
     assert_eq!(report.measured, pts.len());
     assert!(report.points_per_sec > 0.0);
-    assert!((report.points_per_sec - report.measured as f64 / report.seconds).abs() < 1e-9);
+    // The rate is clocked over the measurement window, which the whole
+    // prewarm wall time contains.
+    assert!(report.measure_seconds > 0.0);
+    assert!(report.measure_seconds <= report.seconds);
+    assert!((report.points_per_sec - report.measured as f64 / report.measure_seconds).abs() < 1e-9);
+}
+
+/// Regression: `points_per_sec` used to divide measured points by the
+/// *whole* prewarm wall time, so a resume that skips a store full of
+/// completed points (after a long dedup/skip prologue) reported a
+/// collapsed rate. The rate must be clocked from the first measured
+/// point onward.
+#[test]
+fn resume_rate_clocks_from_first_measured_point() {
+    let pts = sweep_points();
+    let dir = TempDir::new("resumerate");
+    let path = dir.file("traffic.txt");
+    {
+        // Complete everything but the last point.
+        let cache = TrafficCache::with_store(&path);
+        SweepEngine::new(2).prewarm(&cache, &pts[..pts.len() - 1]);
+    }
+    // Resume with a heavily duplicated request list: the dedup + skip
+    // prologue is deliberate busywork that must not dilute the rate.
+    let mut dup = Vec::new();
+    for _ in 0..400 {
+        dup.extend(pts.iter().cloned());
+    }
+    let cache = TrafficCache::with_store(&path);
+    let report = SweepEngine::new(2).prewarm(&cache, &dup);
+    assert_eq!(report.measured, 1, "{:?}", report);
+    assert!(report.measure_seconds > 0.0);
+    assert!(report.measure_seconds <= report.seconds);
+    assert!((report.points_per_sec * report.measure_seconds - 1.0).abs() < 1e-9);
+    // Nothing measured → no rate, not NaN or a division by the prologue.
+    let idle = SweepEngine::new(2).prewarm(&TrafficCache::with_store(&path), &pts);
+    assert_eq!(idle.measured, 0);
+    assert_eq!(idle.points_per_sec, 0.0);
+    assert_eq!(idle.measure_seconds, 0.0);
 }
