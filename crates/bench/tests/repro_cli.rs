@@ -39,9 +39,10 @@ fn clean_run_reports_healthy_store_and_no_failures() {
         .args(["--json", json_path.to_str().unwrap()])
         .args(["--threads", "2", "fig1", "table1", "ablation"]));
     let json = std::fs::read_to_string(&json_path).unwrap();
-    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"schema_version\": 3"), "{json}");
     assert!(json.contains("\"interrupted\": null"), "{json}");
     assert!(json.contains("\"resumed_from\": null"), "{json}");
+    assert!(json.contains("\"fabric\": null"), "unsharded run reports no fabric: {json}");
     assert!(json.contains("\"read_only\": false"), "{json}");
     assert!(json.contains("\"corrupt_lines\": 0"), "{json}");
     assert!(json.contains("\"store_errors\": 0"), "{json}");
@@ -225,6 +226,123 @@ fn sigint_interrupts_flushes_and_resumes() {
     let persisted = std::fs::read_to_string(&store).unwrap();
     let entries = persisted.lines().skip(1).filter(|l| !l.is_empty()).count();
     assert_eq!(entries, 2, "resume must complete both points:\n{persisted}");
+}
+
+/// The fabric's determinism contract end to end: the merged canonical
+/// store is a pure function of the measured point set — shard count and
+/// worker count must leave no fingerprint in the bytes.
+#[test]
+fn sharded_sweeps_are_bit_identical_across_shard_and_worker_counts() {
+    let dir = TempDir::new("repro-shardeq");
+    let store_a = dir.file("a.txt");
+    let store_b = dir.file("b.txt");
+    let json_path = dir.file("out.json");
+    run(repro().args(["--store", store_a.to_str().unwrap()]).args([
+        "--threads",
+        "2",
+        "--shards",
+        "1",
+        "--workers",
+        "1",
+        "faultcheck",
+    ]));
+    let (_, stderr) = run(repro()
+        .args(["--store", store_b.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "2", "--shards", "5", "--workers", "3", "faultcheck"]));
+    assert!(stderr.contains("[repro] fabric:"), "{stderr}");
+    let a = std::fs::read_to_string(&store_a).unwrap();
+    let b = std::fs::read_to_string(&store_b).unwrap();
+    assert_eq!(a, b, "merged stores must be byte-identical across fabric shapes");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"fabric\": {"), "{json}");
+    assert!(json.contains("\"shards\": 5"), "{json}");
+    assert!(json.contains("\"stalled\": false"), "{json}");
+    assert!(json.contains("\"conflicts\": 0"), "{json}");
+    assert!(json.contains("\"shard_status\": ["), "{json}");
+    // No shard store or fabric sidecar survives a completed fabric.
+    for entry in std::fs::read_dir(dir.path()).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(!name.contains(".shard"), "leftover shard file {name}");
+    }
+    // A re-run over the complete store needs no workers at all.
+    let (_, stderr) = run(repro().args(["--store", store_b.to_str().unwrap()]).args([
+        "--threads",
+        "2",
+        "--shards",
+        "5",
+        "--workers",
+        "3",
+        "faultcheck",
+    ]));
+    assert!(stderr.contains("every point already stored"), "{stderr}");
+}
+
+/// A worker shot mid-measurement (process abort — no unwinding, no
+/// flush) is reaped and replaced; the guard file keeps the injected
+/// fault from re-firing in the replacement, so the fabric converges and
+/// the final store is indistinguishable from an unharmed run.
+#[cfg(unix)]
+#[test]
+fn fabric_survives_an_aborted_worker_and_converges() {
+    let dir = TempDir::new("repro-abort");
+    let store = dir.file("store.txt");
+    let golden_store = dir.file("golden.txt");
+    let json_path = dir.file("out.json");
+    run(repro().args(["--store", golden_store.to_str().unwrap()]).args([
+        "--threads",
+        "2",
+        "--shards",
+        "1",
+        "--workers",
+        "1",
+        "faultcheck",
+    ]));
+    let (stdout, stderr) = run(repro()
+        .env("REPRO_FAULT", "abort-sim:0")
+        .env("REPRO_FAULT_GUARD", dir.file("guard").to_str().unwrap())
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--json", json_path.to_str().unwrap()])
+        .args(["--threads", "2", "--heartbeat-stale", "2"])
+        .args(["--shards", "2", "--workers", "1", "faultcheck"]));
+    assert!(stdout.contains(" ok"), "{stdout}");
+    assert!(!stdout.contains("FAILED"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    // SIGABRT is reported shell-style (128 + 6), and the pool was
+    // refilled at least once.
+    assert!(json.contains("134"), "worker_exits must record the abort: {json}\n{stderr}");
+    assert!(json.contains("\"stalled\": false"), "{json}");
+    assert!(json.contains("\"interrupted\": null"), "{json}");
+    assert_eq!(
+        std::fs::read_to_string(&store).unwrap(),
+        std::fs::read_to_string(&golden_store).unwrap(),
+        "a crashed-and-reclaimed fabric must converge to the unharmed bytes"
+    );
+}
+
+/// Without the guard every replacement worker re-fires the abort; the
+/// respawn budget runs dry and the coordinator must stall loudly (exit
+/// 14) rather than fall back to quietly measuring everything serially.
+#[cfg(unix)]
+#[test]
+fn fabric_exhausting_its_respawn_budget_stalls_with_exit_14() {
+    let dir = TempDir::new("repro-stall");
+    let store = dir.file("store.txt");
+    let json_path = dir.file("out.json");
+    let (_, stderr) = run_expect(
+        repro()
+            .env("REPRO_FAULT", "abort-sim:0")
+            .args(["--store", store.to_str().unwrap()])
+            .args(["--json", json_path.to_str().unwrap()])
+            .args(["--threads", "2", "--heartbeat-stale", "2"])
+            .args(["--shards", "1", "--workers", "1", "--fabric-respawns", "1", "faultcheck"]),
+        14,
+    );
+    assert!(stderr.contains("fabric STALLED"), "{stderr}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"stalled\": true"), "{json}");
+    assert!(json.contains("\"launches\": 2"), "initial worker + one respawn: {json}");
+    assert!(json.contains("\"exit_code\": 14") || json.contains("\"interrupted\": null"), "{json}");
 }
 
 #[test]

@@ -1,0 +1,427 @@
+//! The sweep-fabric coordinator and worker: crash-tolerant
+//! multi-process prewarm over deterministically sharded stores.
+//!
+//! Roles (see DESIGN.md §12 for the failure model):
+//!
+//! * [`run_fabric`] — the coordinator. Spawns up to K worker processes
+//!   (via a caller-supplied closure, so this module knows nothing about
+//!   command lines), polls shard completion through lock-free store
+//!   snapshots and journal probes, SIGKILLs a claim owner whose journal
+//!   heartbeat has gone stale (a SIGSTOP'd, OOM-livelocked, or
+//!   scheduler-starved process — a *dead* owner's flock releases by
+//!   itself), respawns exited workers up to a respawn budget, and on
+//!   completion merge-compacts the shard stores into the canonical
+//!   store ([`crate::shard::merge_shards`]).
+//! * [`run_worker`] — one worker process's shard loop. Repeatedly scan
+//!   the shards (rotated by worker index so K workers start spread
+//!   out), claim any incomplete one by acquiring its shard store's
+//!   single-writer lock, prewarm it with the supplied engine (which
+//!   appends journal heartbeats), release, and exit when every shard is
+//!   complete. A shard whose lock is held elsewhere is simply skipped —
+//!   claiming *is* lock acquisition, there is no separate registry to
+//!   desync from the truth.
+//!
+//! Cross-process cancellation rides a control file (`<store>.fabric`):
+//! the coordinator writes the cancel reason into it when its own token
+//! trips, workers poll it (e.g. with `pdesched_par::cancel::watch`) and
+//! trip their local trees, and everyone then runs the ordinary orderly
+//! cancellation path — journal `cancelled` records, durable stores,
+//! resumable on the next run. SIGTERM to the children is sent too, but
+//! only as a latency optimization: the file is the correctness path and
+//! survives a coordinator that dies right after writing it.
+
+use crate::engine::{PrewarmReport, SimPoint, SweepEngine};
+use crate::journal;
+use crate::shard::{self, MergeReport};
+use crate::traffic::{self, read_store_snapshot, TrafficCache};
+use pdesched_par::cancel::CancelToken;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The fabric control file next to the canonical `store`. Existence
+/// with content = "the fabric is cancelled, stop at the next
+/// checkpoint"; the content is the reason.
+pub fn fabric_path_for(store: &Path) -> PathBuf {
+    let mut s = store.as_os_str().to_os_string();
+    s.push(".fabric");
+    PathBuf::from(s)
+}
+
+/// Post a fabric-wide cancellation: workers polling the control file
+/// trip on it. Best-effort (a worker that can't be reached this way is
+/// caught by SIGTERM or heartbeat staleness).
+pub fn post_cancel(store: &Path, reason: &str) {
+    let _ = std::fs::write(fabric_path_for(store), reason);
+}
+
+/// The posted cancellation reason, if any. Treats an unreadable or
+/// empty file as no cancellation.
+pub fn read_cancel(store: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(fabric_path_for(store)).ok()?;
+    let text = text.trim();
+    (!text.is_empty()).then(|| text.to_string())
+}
+
+/// Remove a stale control file (a previous fabric's cancellation must
+/// not cancel this one). Called by the coordinator before spawning.
+pub fn clear_cancel(store: &Path) {
+    let _ = std::fs::remove_file(fabric_path_for(store));
+}
+
+/// Whether shard `i` of `n` needs no more work: every expected key is
+/// in its store, or its journal records a completed sweep (the
+/// remaining keys failed/timed out — done, but not silently: the
+/// failures are in the journal and the worker reports). Lock-free, so
+/// the coordinator and every worker can poll it concurrently.
+pub fn shard_done(store: &Path, i: usize, n: usize, expected: &[String]) -> bool {
+    if expected.is_empty() {
+        return true;
+    }
+    let sp = shard::shard_store_path(store, i, n);
+    let (snap, _) = read_store_snapshot(&sp);
+    if expected.iter().all(|k| snap.contains_key(k)) {
+        return true;
+    }
+    journal::is_complete(&journal::journal_path_for(&sp))
+}
+
+#[cfg(unix)]
+fn send_signal(pid: u32, sig: i32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    pid != 0 && unsafe { kill(pid as i32, sig) == 0 }
+}
+
+#[cfg(not(unix))]
+fn send_signal(_pid: u32, _sig: i32) -> bool {
+    // No signals: a stale-but-alive owner cannot be reclaimed, the
+    // fabric waits it out (or the operator kills it). Dead owners still
+    // release their locks via the fallback lock protocol.
+    false
+}
+
+const SIGTERM: i32 = 15;
+const SIGKILL: i32 = 9;
+
+/// Coordinator knobs. `heartbeat_stale` is the claim-reclaim threshold:
+/// a claimed, incomplete shard whose newest journal beat is older than
+/// this is declared orphaned. It must be comfortably larger than the
+/// workers' journal-heartbeat interval (4x or more), or scheduler jitter
+/// turns into spurious kills.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Canonical store path (shard stores live next to it).
+    pub store: PathBuf,
+    /// Number of shard stores.
+    pub shards: usize,
+    /// Target number of live worker processes.
+    pub workers: usize,
+    /// Heartbeat age beyond which a claim is considered orphaned.
+    pub heartbeat_stale: Duration,
+    /// Coordinator poll interval.
+    pub poll: Duration,
+    /// Extra worker launches allowed beyond the initial `workers`
+    /// (crash/respawn budget). Exhausting it with shards still
+    /// incomplete stalls the fabric.
+    pub respawns: usize,
+}
+
+/// Per-shard outcome telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Store keys the fabric expected this shard to hold.
+    pub expected: usize,
+    /// Keys present when the fabric stopped.
+    pub present: usize,
+    /// Whether the shard ended complete (see [`shard_done`]).
+    pub done: bool,
+    /// Orphaned-claim reclaims observed (one per stale writer
+    /// generation).
+    pub reclaims: u32,
+    /// Largest heartbeat gap observed while the shard was claimed and
+    /// incomplete, in milliseconds.
+    pub max_heartbeat_gap_ms: u64,
+}
+
+/// What one [`run_fabric`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FabricReport {
+    /// Shard count.
+    pub shards: usize,
+    /// Target live workers.
+    pub workers: usize,
+    /// Worker processes actually launched (respawns included).
+    pub launches: usize,
+    /// Exit codes of reaped workers, in reap order; a worker killed by
+    /// signal `s` is recorded as `128 + s` (the shell convention).
+    pub worker_exits: Vec<i32>,
+    /// Total orphaned-claim reclaims.
+    pub reclaims: u32,
+    /// Stale-but-alive owners SIGKILL'd.
+    pub kills: u32,
+    /// The fabric gave up: respawn budget exhausted with no live
+    /// workers and shards still incomplete.
+    pub stalled: bool,
+    /// The fabric was cancelled (reason), orderly.
+    pub cancelled: Option<String>,
+    /// Per-shard telemetry.
+    pub shard_status: Vec<ShardStatus>,
+    /// The merge-compaction result; `Some` exactly when the fabric
+    /// completed (not stalled, not cancelled).
+    pub merge: Option<MergeReport>,
+}
+
+/// Run the coordinator loop over `expected` (per-shard store-key sets,
+/// from [`crate::shard::expected_keys`]); `spawn(launch_index)` starts
+/// one worker process. Returns when every shard is done (after
+/// merge-compacting into the canonical store), when cancelled via
+/// `token`, or when stalled. Never returns with a worker still running.
+pub fn run_fabric(
+    cfg: &FabricConfig,
+    expected: &[Vec<String>],
+    token: &CancelToken,
+    mut spawn: impl FnMut(usize) -> std::io::Result<std::process::Child>,
+) -> std::io::Result<FabricReport> {
+    assert_eq!(expected.len(), cfg.shards, "one expected-key set per shard");
+    clear_cancel(&cfg.store);
+    // A journal can claim "complete" from an earlier fabric over a
+    // *different* point set; if its shard is missing keys we expect,
+    // that completion is stale — drop it so the shard is swept (and
+    // past failures are re-attempted, matching single-process resume).
+    for (i, keys) in expected.iter().enumerate() {
+        let sp = shard::shard_store_path(&cfg.store, i, cfg.shards);
+        let jp = journal::journal_path_for(&sp);
+        if journal::is_complete(&jp) {
+            let (snap, _) = read_store_snapshot(&sp);
+            if !keys.iter().all(|k| snap.contains_key(k)) {
+                let _ = std::fs::remove_file(&jp);
+            }
+        }
+    }
+
+    let stale_ms = cfg.heartbeat_stale.as_millis() as u64;
+    let mut status: Vec<ShardStatus> = (0..cfg.shards)
+        .map(|i| ShardStatus { shard: i, expected: expected[i].len(), ..Default::default() })
+        .collect();
+    // The writer generation (pid, beat-ms) already reclaimed per shard,
+    // so one orphaned claim is counted (and killed) exactly once.
+    let mut reclaimed: Vec<Option<(u32, u64)>> = vec![None; cfg.shards];
+    let mut report = FabricReport {
+        shards: cfg.shards,
+        workers: cfg.workers,
+        shard_status: Vec::new(),
+        ..Default::default()
+    };
+    let mut children: Vec<std::process::Child> = Vec::new();
+
+    let exit_of = |st: std::process::ExitStatus| -> i32 {
+        st.code().unwrap_or_else(|| {
+            #[cfg(unix)]
+            {
+                use std::os::unix::process::ExitStatusExt;
+                return st.signal().map(|s| 128 + s).unwrap_or(-1);
+            }
+            #[allow(unreachable_code)]
+            -1
+        })
+    };
+
+    loop {
+        for (i, s) in status.iter_mut().enumerate() {
+            if !s.done {
+                s.done = shard_done(&cfg.store, i, cfg.shards, &expected[i]);
+            }
+        }
+        if status.iter().all(|s| s.done) {
+            break;
+        }
+
+        if token.is_tripped() {
+            let reason = token.reason().unwrap_or_else(|| "cancelled".into());
+            post_cancel(&cfg.store, &reason);
+            for c in &children {
+                send_signal(c.id(), SIGTERM);
+            }
+            report.cancelled = Some(reason);
+            break;
+        }
+
+        // Reap exited workers.
+        let mut live = Vec::new();
+        for mut c in children.drain(..) {
+            match c.try_wait() {
+                Ok(Some(st)) => report.worker_exits.push(exit_of(st)),
+                _ => live.push(c),
+            }
+        }
+        children = live;
+
+        // Orphan detection: an incomplete, claimed shard whose newest
+        // beat is stale. A dead owner's flock already released (the
+        // kernel did the reclaim); a live one is wedged beyond its own
+        // watchdog — SIGKILL it so the lock releases and a healthy
+        // worker can claim.
+        let now = journal::unix_millis();
+        for (i, s) in status.iter_mut().enumerate() {
+            if s.done {
+                continue;
+            }
+            let sp = shard::shard_store_path(&cfg.store, i, cfg.shards);
+            let jp = journal::journal_path_for(&sp);
+            if journal::is_complete(&jp) {
+                continue; // done at the next refresh
+            }
+            let Some((pid, ms)) = journal::last_heartbeat(&jp) else {
+                continue; // never claimed (or pre-heartbeat journal)
+            };
+            let gap = now.saturating_sub(ms);
+            s.max_heartbeat_gap_ms = s.max_heartbeat_gap_ms.max(gap);
+            if gap > stale_ms && reclaimed[i] != Some((pid, ms)) {
+                reclaimed[i] = Some((pid, ms));
+                s.reclaims += 1;
+                report.reclaims += 1;
+                if pid != std::process::id() && traffic::pid_alive(pid) && send_signal(pid, SIGKILL)
+                {
+                    report.kills += 1;
+                }
+            }
+        }
+
+        // Keep the worker pool at strength, within the launch budget.
+        while children.len() < cfg.workers && report.launches < cfg.workers + cfg.respawns {
+            children.push(spawn(report.launches)?);
+            report.launches += 1;
+        }
+        if children.is_empty() {
+            report.stalled = true;
+            break;
+        }
+        std::thread::sleep(cfg.poll);
+    }
+
+    // Drain: workers exit by themselves once every shard is done (or
+    // the cancel propagates); give them a grace period, then escalate.
+    let grace = cfg.heartbeat_stale.max(Duration::from_secs(2));
+    let deadline = std::time::Instant::now() + grace;
+    while !children.is_empty() {
+        let mut live = Vec::new();
+        for mut c in children.drain(..) {
+            match c.try_wait() {
+                Ok(Some(st)) => report.worker_exits.push(exit_of(st)),
+                _ if std::time::Instant::now() >= deadline => {
+                    let _ = c.kill();
+                    if let Ok(st) = c.wait() {
+                        report.worker_exits.push(exit_of(st));
+                    }
+                }
+                _ => live.push(c),
+            }
+        }
+        children = live;
+        if !children.is_empty() {
+            std::thread::sleep(cfg.poll.min(Duration::from_millis(50)));
+        }
+    }
+
+    for (i, s) in status.iter_mut().enumerate() {
+        let sp = shard::shard_store_path(&cfg.store, i, cfg.shards);
+        let (snap, _) = read_store_snapshot(&sp);
+        s.present = expected[i].iter().filter(|k| snap.contains_key(*k)).count();
+    }
+    report.shard_status = status;
+    if !report.stalled && report.cancelled.is_none() {
+        report.merge = Some(shard::merge_shards(&cfg.store, cfg.shards)?);
+    }
+    Ok(report)
+}
+
+/// Worker knobs.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Canonical store path (shard stores live next to it).
+    pub store: PathBuf,
+    /// Shard count — must match the coordinator's.
+    pub shards: usize,
+    /// This worker's index (rotates the scan order so workers start
+    /// spread across the shards instead of piling on shard 0).
+    pub worker_index: usize,
+    /// Sleep between scan passes when every incomplete shard is
+    /// claimed by someone else.
+    pub poll: Duration,
+}
+
+/// What one [`run_worker`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerOutcome {
+    /// Shards this worker swept (claimed and prewarmed).
+    pub shards_swept: usize,
+    /// The prewarm report per swept shard.
+    pub reports: Vec<(usize, PrewarmReport)>,
+    /// Set when the worker stopped for a cancellation rather than
+    /// fabric completion.
+    pub cancelled: Option<String>,
+}
+
+/// One worker process's shard loop (see the module docs). `parts` and
+/// `expected` are the deterministic per-shard partition — every worker
+/// recomputes the same ones from the same inputs. The `engine` should
+/// carry a journal-heartbeat interval
+/// ([`SweepEngine::with_journal_heartbeat`]) of at most a quarter of
+/// the coordinator's staleness threshold, and a cancel token tied to
+/// `token` (tripping `token` stops the sweep at the next checkpoint).
+/// `configure` decorates each freshly claimed shard cache (traffic
+/// mode, fault hook) before the prewarm runs over it.
+pub fn run_worker(
+    cfg: &WorkerConfig,
+    parts: &[Vec<SimPoint>],
+    expected: &[Vec<String>],
+    engine: &SweepEngine,
+    token: &CancelToken,
+    configure: impl Fn(TrafficCache) -> TrafficCache,
+) -> WorkerOutcome {
+    assert_eq!(parts.len(), cfg.shards);
+    assert_eq!(expected.len(), cfg.shards);
+    let mut outcome = WorkerOutcome::default();
+    loop {
+        let mut all_done = true;
+        let mut progressed = false;
+        for off in 0..cfg.shards {
+            let i = (cfg.worker_index + off) % cfg.shards;
+            if shard_done(&cfg.store, i, cfg.shards, &expected[i]) {
+                continue;
+            }
+            all_done = false;
+            if token.is_tripped() {
+                outcome.cancelled = token.reason().or_else(|| Some("cancelled".into()));
+                return outcome;
+            }
+            // Claim = acquire the shard store's single-writer lock.
+            // Losing the race (read-only) just means another worker owns
+            // it; move on.
+            let cache = configure(TrafficCache::with_store(shard::shard_store_path(
+                &cfg.store, i, cfg.shards,
+            )));
+            if cache.store_read_only() {
+                continue;
+            }
+            let r = engine.prewarm(&cache, &parts[i]);
+            progressed = true;
+            outcome.shards_swept += 1;
+            let cancelled = r.cancelled.clone();
+            outcome.reports.push((i, r));
+            if let Some(reason) = cancelled {
+                outcome.cancelled = Some(reason);
+                return outcome;
+            }
+        }
+        if all_done {
+            return outcome;
+        }
+        if !progressed {
+            std::thread::sleep(cfg.poll);
+        }
+    }
+}

@@ -3,39 +3,65 @@
 //!
 //! The store itself is the source of truth for *completed* points (a
 //! measurement is either durably appended or it isn't), so the journal
-//! only needs the rest of the story: that a sweep started, which points
-//! failed or timed out, and whether the sweep finished or was cancelled.
-//! A journal whose `begin` record has no matching `complete` marks an
-//! interrupted sweep — as does a completed one that recorded failures
-//! or timeouts, since those points are still missing from the store.
-//! Either way the next prewarm over the same store reports it in
-//! `PrewarmReport::resumed_from` and picks up exactly the missing
-//! points.
+//! only needs the rest of the story: that a sweep started (and which
+//! process is running it), which points failed or timed out, whether
+//! the writer is still alive (heartbeats), and whether the sweep
+//! finished or was cancelled. A journal whose `begin` record has no
+//! matching `complete` marks an interrupted sweep — as does a completed
+//! one that recorded failures or timeouts, since those points are still
+//! missing from the store. Either way the next prewarm over the same
+//! store reports it in `PrewarmReport::resumed_from` and picks up
+//! exactly the missing points.
 //!
 //! Format (`<store>.journal`, line-oriented, tab-separated fields):
 //!
 //! ```text
 //! # pdesched-sweep-journal v1
-//! begin\t<total-points-to-measure>
+//! begin\t<total-points-to-measure>\t<pid>\t<unix-millis>
+//! heartbeat\t<pid>\t<unix-millis>
 //! fail\t<variant>\t<n>\t<error>
 //! timeout\t<variant>\t<n>\t<error>
 //! cancelled\t<reason>
 //! complete
 //! ```
 //!
-//! Exactly one `begin` (first record) and at most one terminal record
-//! (`cancelled` or `complete`) per sweep; the file is truncated at the
-//! start of each sweep, after the previous contents were read. Records
-//! are appended and flushed one at a time so the journal survives the
-//! same crashes the store does; a torn trailing record is simply
-//! ignored by the parser. Error texts have tabs/newlines flattened to
-//! spaces so one record is always one line.
+//! In the single-process protocol there is one `begin` (first record)
+//! and at most one terminal record (`cancelled` or `complete`) per
+//! sweep; the file is truncated at the start of each sweep, after the
+//! previous contents were read. The parser does **not** enforce that
+//! shape: under the shard fabric a reclaimed shard's journal can carry
+//! interleaved records from several writer generations — a crashed
+//! worker's `begin` followed by its successor's — so [`load`] is
+//! deliberately tolerant: duplicate `begin`s are last-writer-wins, a
+//! record with unparseable fields is skipped rather than condemning the
+//! whole journal, and unknown record kinds are ignored (they are how
+//! this format grows). Records are appended and flushed one at a time
+//! so the journal survives the same crashes the store does; a torn
+//! trailing record is simply ignored. Error texts have tabs/newlines
+//! flattened to spaces so one record is always one line.
+//!
+//! Heartbeats exist for the fabric coordinator: the sweep engine
+//! appends one every heartbeat interval, and a `begin` counts as the
+//! first beat. Staleness of the newest beat (see [`last_heartbeat`]) is
+//! evidence the writing *process* is gone or wedged beyond even its own
+//! watchdog — the watchdog thread keeps beating through a hung point,
+//! so a stale beat is a process-level verdict, not a point-level one.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 const HEADER: &str = "# pdesched-sweep-journal v1";
+
+/// Milliseconds since the unix epoch — the journal's coarse clock.
+/// Wall-clock, not monotonic: heartbeat staleness is compared across
+/// processes, where a monotonic clock has no shared zero.
+pub fn unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// What the journal says about the previous sweep over this store.
 /// Only produced when that sweep left points behind: it was interrupted
@@ -55,6 +81,12 @@ pub struct PriorSweep {
     /// cancel (signal, deadline). `None` means it died without a
     /// terminal record — a crash or `kill -9`.
     pub cancelled: Option<String>,
+    /// Pid of the most recent writer (last `begin`/`heartbeat` that
+    /// carried one). Old journals without pids yield `None`.
+    pub pid: Option<u32>,
+    /// Timestamp of the newest heartbeat (a `begin` counts), unix
+    /// millis. `None` for old journals without timestamps.
+    pub last_heartbeat_ms: Option<u64>,
 }
 
 /// The journal file sidecar path for `store`.
@@ -73,6 +105,11 @@ fn sanitize(s: &str) -> String {
 /// something left to resume (interrupted, or completed with recorded
 /// failures/timeouts). A missing, headerless, or cleanly completed
 /// journal yields `None`.
+///
+/// Tolerant by design (see the module docs): duplicate `begin`s are
+/// last-writer-wins, records with unparseable fields are skipped, and
+/// unknown record kinds are ignored — a crashed worker's journal must
+/// stay resumable, not become "corrupt".
 pub fn load(path: &Path) -> Option<PriorSweep> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut lines = text.lines();
@@ -86,8 +123,28 @@ pub fn load(path: &Path) -> Option<PriorSweep> {
         let mut it = line.split('\t');
         match it.next() {
             Some("begin") => {
-                prior.total = it.next().and_then(|t| t.parse().ok())?;
+                // A later writer's begin supersedes an earlier one; a
+                // begin whose total doesn't parse is a torn/foreign
+                // record and is skipped, not fatal.
+                let Some(total) = it.next().and_then(|t| t.parse().ok()) else {
+                    continue;
+                };
+                prior.total = total;
                 begun = true;
+                if let Some(pid) = it.next().and_then(|p| p.parse().ok()) {
+                    prior.pid = Some(pid);
+                }
+                if let Some(ms) = it.next().and_then(|m| m.parse().ok()) {
+                    prior.last_heartbeat_ms = Some(ms);
+                }
+            }
+            Some("heartbeat") => {
+                if let Some(pid) = it.next().and_then(|p| p.parse().ok()) {
+                    prior.pid = Some(pid);
+                }
+                if let Some(ms) = it.next().and_then(|m| m.parse().ok()) {
+                    prior.last_heartbeat_ms = Some(ms);
+                }
             }
             Some("fail") => prior.failed += 1,
             Some("timeout") => prior.timed_out += 1,
@@ -102,6 +159,57 @@ pub fn load(path: &Path) -> Option<PriorSweep> {
     begun.then_some(prior)
 }
 
+/// The newest `(pid, unix-millis)` beat in the journal at `path` — from
+/// a `heartbeat` record or a timestamped `begin` — regardless of
+/// whether the sweep is resumable or even complete. This is the
+/// coordinator's liveness probe for a claimed shard; `None` means no
+/// journal, no header, or a pre-heartbeat journal, all of which read as
+/// "no evidence of life" (the caller falls back to pid liveness).
+pub fn last_heartbeat(path: &Path) -> Option<(u32, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return None;
+    }
+    let mut newest = None;
+    for line in lines {
+        let mut it = line.split('\t');
+        let kind = it.next();
+        if !matches!(kind, Some("heartbeat") | Some("begin")) {
+            continue;
+        }
+        if kind == Some("begin") {
+            let _ = it.next(); // skip <total>
+        }
+        let (Some(pid), Some(ms)) = (
+            it.next().and_then(|p| p.parse::<u32>().ok()),
+            it.next().and_then(|m| m.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        newest = Some((pid, ms));
+    }
+    newest
+}
+
+/// Whether the journal at `path` records a sweep that ran to the end
+/// (a `complete` record). [`SweepJournal::start`] truncates, so every
+/// record in the file belongs to the newest writer generation; a
+/// `complete` anywhere means that generation finished its point list.
+/// The coordinator uses this to tell "shard swept, some points failed"
+/// (complete — done, reported as failures) from "writer died or was
+/// cancelled mid-sweep" (no `complete` — the shard must be re-offered).
+pub fn is_complete(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return false;
+    }
+    lines.any(|l| l.split('\t').next() == Some("complete"))
+}
+
 /// An open journal for the sweep in progress. Dropping it without
 /// [`SweepJournal::complete`] leaves the interrupted-sweep marker in
 /// place — exactly what a crash does.
@@ -111,12 +219,13 @@ pub struct SweepJournal {
 
 impl SweepJournal {
     /// Truncate `path` and open a fresh journal recording a sweep of
-    /// `total` points. Returns `None` if the file cannot be written
-    /// (the sweep proceeds unjournaled).
+    /// `total` points, stamped with this process's pid and the current
+    /// time (the sweep's first heartbeat). Returns `None` if the file
+    /// cannot be written (the sweep proceeds unjournaled).
     pub fn start(path: &Path, total: usize) -> Option<SweepJournal> {
         let mut f =
             std::fs::OpenOptions::new().create(true).write(true).truncate(true).open(path).ok()?;
-        writeln!(f, "{HEADER}\nbegin\t{total}").ok()?;
+        writeln!(f, "{HEADER}\nbegin\t{total}\t{}\t{}", std::process::id(), unix_millis()).ok()?;
         f.flush().ok()?;
         Some(SweepJournal { file: Mutex::new(f) })
     }
@@ -125,6 +234,13 @@ impl SweepJournal {
         let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
         let _ = writeln!(f, "{record}");
         let _ = f.flush();
+    }
+
+    /// Record a heartbeat: this process is alive and the sweep is still
+    /// running. Appended by the sweep engine's watchdog at the
+    /// configured interval.
+    pub fn heartbeat(&self) {
+        self.append(&format!("heartbeat\t{}\t{}", std::process::id(), unix_millis()));
     }
 
     /// Record one point whose measurement panicked.
@@ -154,6 +270,18 @@ mod tests {
     use super::*;
     use pdesched_testkit::TempDir;
 
+    /// Strip the live pid/timestamp a fresh journal stamps on `begin`
+    /// so tests can compare the deterministic fields exactly.
+    fn stable(p: Option<PriorSweep>) -> Option<PriorSweep> {
+        p.map(|mut p| {
+            assert_eq!(p.pid, Some(std::process::id()), "begin must carry the writer pid");
+            assert!(p.last_heartbeat_ms.is_some(), "begin must carry a timestamp");
+            p.pid = None;
+            p.last_heartbeat_ms = None;
+            p
+        })
+    }
+
     #[test]
     fn cleanly_completed_sweep_leaves_nothing_to_resume() {
         let dir = TempDir::new("journal");
@@ -173,7 +301,10 @@ mod tests {
         let j = SweepJournal::start(&path, 7).unwrap();
         j.fail("sf", 16, "boom");
         j.complete();
-        assert_eq!(load(&path), Some(PriorSweep { total: 7, failed: 1, ..Default::default() }));
+        assert_eq!(
+            stable(load(&path)),
+            Some(PriorSweep { total: 7, failed: 1, ..Default::default() })
+        );
     }
 
     #[test]
@@ -186,14 +317,14 @@ mod tests {
         j.timeout("clo-4", 64, "point deadline");
         drop(j); // crash: no terminal record
         assert_eq!(
-            load(&path),
-            Some(PriorSweep { total: 9, failed: 1, timed_out: 2, cancelled: None })
+            stable(load(&path)),
+            Some(PriorSweep { total: 9, failed: 1, timed_out: 2, ..Default::default() })
         );
         // A cancelled sweep carries its reason.
         let j = SweepJournal::start(&path, 3).unwrap();
         j.cancelled("signal SIGINT");
         assert_eq!(
-            load(&path),
+            stable(load(&path)),
             Some(PriorSweep {
                 total: 3,
                 cancelled: Some("signal SIGINT".into()),
@@ -237,6 +368,70 @@ mod tests {
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str("timeo");
         std::fs::write(&path, text).unwrap();
-        assert_eq!(load(&path), Some(PriorSweep { total: 4, failed: 1, ..Default::default() }));
+        assert_eq!(
+            stable(load(&path)),
+            Some(PriorSweep { total: 4, failed: 1, ..Default::default() })
+        );
+    }
+
+    #[test]
+    fn legacy_begin_without_pid_or_timestamp_still_loads() {
+        // Journals written before the shard fabric carried a bare
+        // `begin\t<total>`; they must stay readable (pid/heartbeat
+        // simply unknown).
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        std::fs::write(&path, format!("{HEADER}\nbegin\t6\nfail\tsf\t16\tboom\n")).unwrap();
+        assert_eq!(load(&path), Some(PriorSweep { total: 6, failed: 1, ..Default::default() }));
+        assert_eq!(last_heartbeat(&path), None);
+    }
+
+    #[test]
+    fn interleaved_writers_and_duplicate_begins_are_last_writer_wins() {
+        // A reclaimed shard's journal: worker 111 began, beat, failed a
+        // point, was SIGKILL'd mid-record; worker 222 began over the
+        // same file (append, not truncate, in this simulation) and beat
+        // again. The journal must stay loadable, totals from the newest
+        // begin, failure counts accumulated, newest beat reported.
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER}\n\
+                 begin\t9\t111\t1000\n\
+                 heartbeat\t111\t2000\n\
+                 fail\tsf\t16\tboom\n\
+                 hear\u{0}tbeat garbage not a record\n\
+                 begin\tnot-a-number\t111\t2500\n\
+                 begin\t5\t222\t3000\n\
+                 heartbeat\t222\t4000\n"
+            ),
+        )
+        .unwrap();
+        let prior = load(&path).expect("interleaved journal must load");
+        assert_eq!(prior.total, 5, "newest begin wins");
+        assert_eq!(prior.failed, 1, "failures accumulate across writers");
+        assert_eq!(prior.pid, Some(222));
+        assert_eq!(prior.last_heartbeat_ms, Some(4000));
+        assert_eq!(last_heartbeat(&path), Some((222, 4000)));
+    }
+
+    #[test]
+    fn heartbeat_updates_the_probe_and_survives_completion() {
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 2).unwrap();
+        let (pid0, ms0) = last_heartbeat(&path).expect("begin is the first beat");
+        assert_eq!(pid0, std::process::id());
+        j.heartbeat();
+        let (pid1, ms1) = last_heartbeat(&path).expect("explicit beat");
+        assert_eq!(pid1, std::process::id());
+        assert!(ms1 >= ms0, "beats move forward: {ms0} -> {ms1}");
+        // Completion doesn't erase liveness history: the coordinator
+        // may probe a shard that just finished.
+        j.complete();
+        assert_eq!(load(&path), None, "completed sweep has nothing to resume");
+        assert_eq!(last_heartbeat(&path), Some((pid1, ms1)));
     }
 }

@@ -32,21 +32,27 @@
 
 pub mod adapter;
 pub mod analytic;
+pub mod coordinator;
 pub mod engine;
 pub mod fault;
 pub mod figures;
 pub mod journal;
 pub mod model;
+pub mod shard;
 pub mod spec;
 pub mod sweep;
 pub mod symbolic;
 pub mod traffic;
 
 pub use adapter::TraceMem;
+pub use coordinator::{
+    run_fabric, run_worker, FabricConfig, FabricReport, ShardStatus, WorkerConfig, WorkerOutcome,
+};
 pub use engine::{PointFailure, PrewarmReport, SimPoint, SkippedPoint, SweepBudget, SweepEngine};
 pub use fault::FaultHook;
 pub use journal::PriorSweep;
 pub use model::{predict_time, Prediction, Workload};
+pub use shard::{MergeConflict, MergeReport};
 pub use spec::MachineSpec;
 pub use symbolic::{measure_box_traffic_symbolic, SymbolicAnalysis};
 pub use traffic::{

@@ -1,0 +1,330 @@
+//! Deterministic sharding of the sweep space, and the merge-compaction
+//! that folds shard stores back into one canonical store.
+//!
+//! The partition is a pure function of the store key ([`shard_index`] =
+//! FNV-1a of the key, mod shard count), so every process of a sweep —
+//! coordinator, each worker, a resumed run after a crash — computes the
+//! same assignment without any communication. Each shard gets its own
+//! store file (`<store>.shard<i>of<N>`), which inherits the whole
+//! single-writer machinery of [`crate::traffic::TrafficCache`]: flock'd
+//! lock sidecar, checksummed lines, quarantine, journal. Claiming a
+//! shard *is* acquiring its store lock; there is no separate claim
+//! protocol to get wrong.
+//!
+//! Merge determinism: [`merge_shards`] unions the canonical store's
+//! surviving entries with every shard store's, then rewrites the
+//! canonical store via [`crate::traffic::write_store_atomic`], which
+//! sorts keys and emits a canonical line per entry. The merged bytes
+//! are therefore a pure function of the *entry set* — worker
+//! interleaving, crash/reclaim history, and shard count all vanish at
+//! the merge. Two runs that measured the same points produce
+//! byte-identical canonical stores.
+
+use crate::engine::SimPoint;
+use crate::traffic::{
+    self, read_store_snapshot, store_key, write_store_atomic, BoxTraffic, StoreMap, TrafficMode,
+};
+use std::path::{Path, PathBuf};
+
+/// The shard a store key belongs to, out of `shards`. Stable across
+/// processes, platforms, and runs: FNV-1a 64 of the key string, mod the
+/// shard count.
+pub fn shard_index(key: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (traffic::fnv1a64(key.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// The shard store path for shard `i` of `n` next to the canonical
+/// `store`: `<store>.shard<i>of<n>`. Each shard store carries its own
+/// `.lock`, `.journal`, and `.quarantine` sidecars like any store.
+pub fn shard_store_path(store: &Path, i: usize, n: usize) -> PathBuf {
+    let mut s = store.as_os_str().to_os_string();
+    s.push(format!(".shard{i}of{n}"));
+    PathBuf::from(s)
+}
+
+/// Partition `points` into `shards` buckets by [`shard_index`] of each
+/// point's store key, preserving the input order within a bucket.
+/// Duplicates are kept (the engine dedups); invalid points are the
+/// caller's problem — the fabric filters them before partitioning so a
+/// shard's expected key set contains only measurable points.
+pub fn partition(points: &[SimPoint], shards: usize) -> Vec<Vec<SimPoint>> {
+    let mut buckets: Vec<Vec<SimPoint>> = (0..shards.max(1)).map(|_| Vec::new()).collect();
+    for p in points {
+        let key = store_key(p.variant, p.n, &p.configs);
+        buckets[shard_index(&key, shards)].push(p.clone());
+    }
+    buckets
+}
+
+/// The expected store-key set per shard for `points` — what the
+/// coordinator checks shard snapshots against to decide completion.
+/// Deduplicated, sorted (deterministic for reporting).
+pub fn expected_keys(points: &[SimPoint], shards: usize) -> Vec<Vec<String>> {
+    let mut keys: Vec<Vec<String>> = (0..shards.max(1)).map(|_| Vec::new()).collect();
+    for p in points {
+        let key = store_key(p.variant, p.n, &p.configs);
+        let bucket = &mut keys[shard_index(&key, shards)];
+        if !bucket.contains(&key) {
+            bucket.push(key);
+        }
+    }
+    for bucket in &mut keys {
+        bucket.sort();
+    }
+    keys
+}
+
+/// One key whose measurement disagrees between two stores being merged
+/// — should be impossible (the simulator is deterministic and the
+/// partition is disjoint), so the merge surfaces it loudly instead of
+/// silently picking a side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The store key measured twice with different payloads.
+    pub key: String,
+    /// The shard store the losing value came from.
+    pub shard: usize,
+}
+
+/// What one [`merge_shards`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Shard stores read (existing files; missing shards are fine —
+    /// an empty shard never creates its store).
+    pub shards_read: usize,
+    /// Entries in the merged canonical store.
+    pub entries: usize,
+    /// Keys present in more than one source with *identical* payloads
+    /// (harmless: e.g. a point measured before sharding and again by a
+    /// shard after a partial merge crash).
+    pub duplicates: usize,
+    /// Keys measured twice with *different* payloads. The first writer
+    /// (canonical store, then shards in index order) wins so the output
+    /// stays deterministic, but a non-empty list is a defect report.
+    pub conflicts: Vec<MergeConflict>,
+    /// Corrupt (torn/rotted) lines skipped across all inputs. Torn
+    /// tails from a crashed worker's final append land here; the
+    /// entries those lines would have been are simply remeasured by the
+    /// next run.
+    pub corrupt_lines: u64,
+}
+
+fn merge_into(map: &mut StoreMap, from: StoreMap, shard: usize, report: &mut MergeReport) {
+    // Sorted iteration so the conflict list is independent of HashMap
+    // iteration order.
+    let mut entries: Vec<(String, (BoxTraffic, TrafficMode))> = from.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (k, v) in entries {
+        match map.get(&k) {
+            None => {
+                map.insert(k, v);
+            }
+            Some(existing) if *existing == v => report.duplicates += 1,
+            Some(_) => report.conflicts.push(MergeConflict { key: k, shard }),
+        }
+    }
+}
+
+/// Merge-compact every shard store of `store` (shard count `shards`)
+/// plus the canonical store's own surviving entries into the canonical
+/// store, atomically (tmp + rename), then delete the shard stores and
+/// their sidecars.
+///
+/// Crash-safe and idempotent: the canonical rewrite happens before any
+/// shard file is removed, so a crash at any byte leaves either the old
+/// canonical store with all shard stores intact (rerun merges again) or
+/// the new canonical store with some shard files already gone (rerun
+/// re-merges the survivors; their entries dedup against the canonical
+/// copy as `duplicates`). A completed point can never be lost: its line
+/// is durably in at least one input until it is durably in the output.
+///
+/// The caller must be the only process touching the shard stores (the
+/// coordinator merges only after every worker has exited).
+pub fn merge_shards(store: &Path, shards: usize) -> std::io::Result<MergeReport> {
+    let mut report = MergeReport::default();
+    let (mut merged, corrupt) = read_store_snapshot(store);
+    report.corrupt_lines += corrupt;
+    let mut shard_paths = Vec::new();
+    for i in 0..shards {
+        let sp = shard_store_path(store, i, shards);
+        if !sp.exists() {
+            continue;
+        }
+        let (map, corrupt) = read_store_snapshot(&sp);
+        report.corrupt_lines += corrupt;
+        report.shards_read += 1;
+        merge_into(&mut merged, map, i, &mut report);
+        shard_paths.push(sp);
+    }
+    report.entries = merged.len();
+    write_store_atomic(store, &merged)?;
+    // Durable: the canonical store now holds every entry. Clean up the
+    // shard stores and their sidecars; all workers have exited, so the
+    // lock files are dead and safe to unlink.
+    for sp in shard_paths {
+        let _ = std::fs::remove_file(&sp);
+        for ext in ["lock", "journal", "quarantine"] {
+            let mut s = sp.as_os_str().to_os_string();
+            s.push(format!(".{ext}"));
+            let _ = std::fs::remove_file(PathBuf::from(s));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+    use crate::traffic::TrafficCache;
+    use pdesched_core::Variant;
+    use pdesched_testkit::TempDir;
+
+    fn tiny() -> Vec<pdesched_cachesim::CacheConfig> {
+        vec![pdesched_cachesim::CacheConfig::new(8 * 1024, 4)]
+    }
+
+    fn points() -> Vec<SimPoint> {
+        let mut p = Vec::new();
+        for v in [Variant::baseline(), Variant::shift_fuse()] {
+            for n in [8, 12, 16] {
+                p.push(SimPoint { variant: v, n, configs: tiny() });
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn partition_is_stable_and_total() {
+        let pts = points();
+        for shards in [1, 2, 3, 7] {
+            let parts = partition(&pts, shards);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), pts.len());
+            // Stability: same input, same partition.
+            assert_eq!(parts, partition(&pts, shards));
+            // Each point landed in the shard its key hashes to.
+            for (i, bucket) in parts.iter().enumerate() {
+                for p in bucket {
+                    let key = store_key(p.variant, p.n, &p.configs);
+                    assert_eq!(shard_index(&key, shards), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_keys_dedup_and_cover_the_partition() {
+        let mut pts = points();
+        pts.extend(points()); // duplicates must collapse
+        let keys = expected_keys(&pts, 3);
+        assert_eq!(keys.iter().map(Vec::len).sum::<usize>(), points().len());
+        for bucket in &keys {
+            let mut sorted = bucket.clone();
+            sorted.sort();
+            assert_eq!(*bucket, sorted, "buckets are sorted");
+        }
+    }
+
+    #[test]
+    fn merge_unions_shards_into_canonical_bytes() {
+        let _ = MachineSpec::i5_desktop();
+        let dir = TempDir::new("shard-merge");
+        let store = dir.file("traffic.txt");
+        let pts = points();
+        let shards = 3;
+
+        // Serial golden: one store, all points, then normalized to the
+        // canonical sorted form (a zero-shard merge is exactly that
+        // compaction — the serial store is append-ordered).
+        let golden_path = dir.file("golden.txt");
+        {
+            let cache = TrafficCache::with_store(&golden_path);
+            for p in &pts {
+                cache.get(p.variant, p.n, &p.configs);
+            }
+        }
+        merge_shards(&golden_path, 0).unwrap();
+
+        // Sharded: each shard store measured independently, then merged.
+        for (i, bucket) in partition(&pts, shards).iter().enumerate() {
+            let cache = TrafficCache::with_store(shard_store_path(&store, i, shards));
+            for p in bucket {
+                cache.get(p.variant, p.n, &p.configs);
+            }
+        }
+        let report = merge_shards(&store, shards).unwrap();
+        assert_eq!(report.entries, pts.len());
+        assert!(report.conflicts.is_empty(), "{:?}", report.conflicts);
+        assert_eq!(report.corrupt_lines, 0);
+
+        let merged = std::fs::read_to_string(&store).unwrap();
+        let golden = std::fs::read_to_string(&golden_path).unwrap();
+        assert_eq!(merged, golden, "merged store must be byte-identical to the serial run");
+        // Shard files are compacted away.
+        for i in 0..shards {
+            assert!(!shard_store_path(&store, i, shards).exists());
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_crash_rerunnable() {
+        let dir = TempDir::new("shard-remerge");
+        let store = dir.file("traffic.txt");
+        let pts = points();
+        let shards = 2;
+        let parts = partition(&pts, shards);
+        for (i, bucket) in parts.iter().enumerate() {
+            let cache = TrafficCache::with_store(shard_store_path(&store, i, shards));
+            for p in bucket {
+                cache.get(p.variant, p.n, &p.configs);
+            }
+        }
+        let r1 = merge_shards(&store, shards).unwrap();
+        let bytes1 = std::fs::read_to_string(&store).unwrap();
+
+        // Simulate a crash *after* the canonical rewrite but *before*
+        // shard cleanup: re-create one shard store (as if remove_file
+        // never ran) and merge again. Its entries must dedup, the bytes
+        // must not change.
+        {
+            let cache = TrafficCache::with_store(shard_store_path(&store, 0, shards));
+            for p in &parts[0] {
+                cache.get(p.variant, p.n, &p.configs);
+            }
+        }
+        let r2 = merge_shards(&store, shards).unwrap();
+        assert_eq!(r2.entries, r1.entries);
+        assert_eq!(r2.duplicates, parts[0].len());
+        assert!(r2.conflicts.is_empty());
+        assert_eq!(std::fs::read_to_string(&store).unwrap(), bytes1);
+    }
+
+    #[test]
+    fn merge_reports_conflicting_measurements() {
+        let dir = TempDir::new("shard-conflict");
+        let store = dir.file("traffic.txt");
+        // Hand-craft two stores that disagree on one key.
+        let line_a = traffic::entry_line(
+            "k1",
+            &BoxTraffic { dram_bytes: 1, reads: 1, writes: 1, l1_hit: 0.0, llc_hit: 0.0 },
+            TrafficMode::Simulate,
+        );
+        let line_b = traffic::entry_line(
+            "k1",
+            &BoxTraffic { dram_bytes: 2, reads: 2, writes: 2, l1_hit: 0.0, llc_hit: 0.0 },
+            TrafficMode::Simulate,
+        );
+        let header = format!("# pdesched-traffic-store v{}", traffic::STORE_VERSION);
+        std::fs::write(shard_store_path(&store, 0, 2), format!("{header}\n{line_a}\n")).unwrap();
+        std::fs::write(shard_store_path(&store, 1, 2), format!("{header}\n{line_b}\n")).unwrap();
+        let report = merge_shards(&store, 2).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.conflicts, vec![MergeConflict { key: "k1".into(), shard: 1 }]);
+        // First writer (lower shard index) wins, deterministically.
+        let merged = std::fs::read_to_string(&store).unwrap();
+        assert!(merged.contains(&line_a), "{merged}");
+        assert!(!merged.contains(&line_b), "{merged}");
+    }
+}

@@ -234,7 +234,12 @@ pub struct TrafficCache {
 /// kernel-wide constant today, but part of the measured working set), and
 /// each cache level's geometry — which is how the *machine and thread
 /// count* enter, via `MachineSpec::hierarchy_for(threads_on_socket)`.
-fn cache_key(variant: Variant, n: i32, configs: &[CacheConfig]) -> String {
+///
+/// Public because the key is also the unit of *sharding*: the sweep
+/// fabric ([`crate::shard`]) assigns each point to a shard store by a
+/// stable hash of exactly this string, so every process of a sweep
+/// computes the same partition.
+pub fn store_key(variant: Variant, n: i32, configs: &[CacheConfig]) -> String {
     use std::fmt::Write;
     let mut k = format!(
         "{:?}/{:?}/{:?}/{:?}/{:?}/n{}/g{}",
@@ -246,17 +251,18 @@ fn cache_key(variant: Variant, n: i32, configs: &[CacheConfig]) -> String {
     k
 }
 
-fn store_header() -> String {
+pub(crate) fn store_header() -> String {
     format!("# pdesched-traffic-store v{STORE_VERSION}")
 }
 
 /// In-memory image of the store: measurement plus its provenance tag.
-type StoreMap = HashMap<String, (BoxTraffic, TrafficMode)>;
+pub(crate) type StoreMap = HashMap<String, (BoxTraffic, TrafficMode)>;
 
-/// FNV-1a 64-bit, the store's line checksum: tiny, dependency-free, and
-/// plenty to detect torn appends and bit rot (this is integrity against
-/// crashes, not an adversary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit: the store's line checksum, and the stable hash the
+/// sweep fabric shards keys with (tiny, dependency-free, and plenty to
+/// detect torn appends and bit rot — this is integrity against crashes,
+/// not an adversary).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -267,7 +273,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Serialize one entry as its store line: key, provenance tag, payload
 /// fields, then the payload's checksum as the final field.
-fn entry_line(key: &str, t: &BoxTraffic, mode: TrafficMode) -> String {
+pub(crate) fn entry_line(key: &str, t: &BoxTraffic, mode: TrafficMode) -> String {
     let payload = format!(
         "{key} {} {} {} {} {} {}",
         mode.tag(),
@@ -283,7 +289,7 @@ fn entry_line(key: &str, t: &BoxTraffic, mode: TrafficMode) -> String {
 
 /// Parse and verify one store line; `None` means corrupt (torn, edited,
 /// or bit-rotted — the checksum covers the exact payload bytes).
-fn parse_entry(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
+pub(crate) fn parse_entry(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
     let (payload, sum_hex) = line.rsplit_once(' ')?;
     let sum = u64::from_str_radix(sum_hex, 16).ok()?;
     if sum != fnv1a64(payload.as_bytes()) {
@@ -310,7 +316,7 @@ fn parse_entry(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
 
 /// Parse one v3 entry line (no provenance tag). v3 measurements were all
 /// simulated, so migrated entries carry the `sim` tag.
-fn parse_entry_v3(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
+pub(crate) fn parse_entry_v3(line: &str) -> Option<(String, BoxTraffic, TrafficMode)> {
     let (payload, sum_hex) = line.rsplit_once(' ')?;
     let sum = u64::from_str_radix(sum_hex, 16).ok()?;
     if sum != fnv1a64(payload.as_bytes()) {
@@ -350,12 +356,12 @@ fn quarantine_path_for(store: &Path) -> PathBuf {
 }
 
 #[cfg(target_os = "linux")]
-fn pid_alive(pid: u32) -> bool {
+pub(crate) fn pid_alive(pid: u32) -> bool {
     Path::new(&format!("/proc/{pid}")).exists()
 }
 
 #[cfg(not(target_os = "linux"))]
-fn pid_alive(_pid: u32) -> bool {
+pub(crate) fn pid_alive(_pid: u32) -> bool {
     // No portable liveness probe: assume the holder is alive (the safe
     // direction — we degrade to read-only instead of double-writing).
     true
@@ -412,21 +418,42 @@ fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
 /// Fallback single-writer protocol without `flock`: O_EXCL creation of
 /// the pid file, dead-holder locks removed and re-raced (the retried
 /// `create_new` re-serializes concurrent stealers), lock removed on
-/// drop. Weaker than the flock path (a steal can race between the
-/// staleness check and the removal) but portable.
-#[cfg(not(unix))]
-fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
+/// drop. Compiled on every platform (and public) so the flock-less
+/// protocol stays testable from Linux CI even though only non-unix
+/// builds route [`TrafficCache`] through it.
+///
+/// The steal path is where the old protocol raced: two stealers could
+/// both observe a dead holder, one `remove_file` + `create_new` pair
+/// could delete the *other stealer's* freshly created lock, and both
+/// would believe they won. `create_new` alone cannot arbitrate that,
+/// because the unlink makes "the file I created" and "the file at the
+/// path" different inodes. So after writing our pid we re-read the
+/// *path* and keep the lock only if the content is exactly our pid:
+/// whoever's create survived at the directory entry wins, every other
+/// stealer observes a foreign pid (or an empty not-yet-written file)
+/// and concedes. Conceding never removes the file — it is the winner's.
+pub fn try_acquire_lock_fallback(lock: &Path) -> Option<std::fs::File> {
+    let own = std::process::id();
     for attempt in 0..2 {
         match std::fs::OpenOptions::new().write(true).create_new(true).open(lock) {
             Ok(mut f) => {
-                let _ = write!(f, "{}", std::process::id());
-                return Some(f);
+                write!(f, "{own}").ok()?;
+                f.flush().ok()?;
+                // Re-verify through the directory entry, not our fd: if
+                // a concurrent stealer unlinked our file and created its
+                // own, the path now holds *its* pid and our fd points at
+                // an orphaned inode.
+                let content = std::fs::read_to_string(lock).ok()?;
+                if content.trim().parse::<u32>() == Ok(own) {
+                    return Some(f);
+                }
+                return None;
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
                 let holder =
                     std::fs::read_to_string(lock).ok().and_then(|s| s.trim().parse::<u32>().ok());
                 match holder {
-                    Some(pid) if !pid_alive(pid) => {
+                    Some(pid) if pid == own || !pid_alive(pid) => {
                         let _ = std::fs::remove_file(lock);
                     }
                     _ => return None,
@@ -438,11 +465,19 @@ fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
     None
 }
 
+#[cfg(not(unix))]
+fn try_acquire_lock(lock: &Path) -> Option<std::fs::File> {
+    try_acquire_lock_fallback(lock)
+}
+
 /// Atomically replace `path` with header + `entries` (sorted by key for
 /// reproducible bytes): write a tmp file, then rename over the target,
 /// so a crash mid-rewrite leaves either the old or the new store —
-/// never a half-written one.
-fn write_store_atomic(path: &Path, entries: &StoreMap) -> std::io::Result<()> {
+/// never a half-written one. Because the keys are sorted and the line
+/// format is canonical, the bytes are a pure function of the entry set:
+/// the shard fabric's merge-compaction relies on this to make the merged
+/// store byte-stable regardless of worker interleaving.
+pub(crate) fn write_store_atomic(path: &Path, entries: &StoreMap) -> std::io::Result<()> {
     let mut keys: Vec<&String> = entries.keys().collect();
     keys.sort();
     let mut text = store_header();
@@ -455,6 +490,42 @@ fn write_store_atomic(path: &Path, entries: &StoreMap) -> std::io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     std::fs::write(&tmp, text)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Lock-free, read-only snapshot of a store: intact entries plus the
+/// count of corrupt lines. Accepts the current and the v3 grammar, never
+/// repairs, quarantines, or locks — this is the coordinator's view of a
+/// shard store that a worker may still own (an append can tear mid-line
+/// under the reader; the torn tail shows up as one corrupt line and the
+/// next snapshot sees it whole). A missing or wrong-version file reads
+/// as empty.
+pub(crate) fn read_store_snapshot(path: &Path) -> (StoreMap, u64) {
+    let mut map = StoreMap::new();
+    let mut corrupt = 0u64;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (map, corrupt);
+    };
+    let mut lines = text.lines();
+    let header = lines.next();
+    let parse = if header == Some(store_header().as_str()) {
+        parse_entry
+    } else if header == Some(V3_HEADER) {
+        parse_entry_v3
+    } else {
+        return (map, corrupt);
+    };
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Some((k, t, mode)) => {
+                map.insert(k, (t, mode));
+            }
+            None => corrupt += 1,
+        }
+    }
+    (map, corrupt)
 }
 
 impl TrafficCache {
@@ -583,7 +654,7 @@ impl TrafficCache {
         n: i32,
         configs: &[CacheConfig],
     ) -> Option<TrafficMode> {
-        self.map_lock().get(&cache_key(variant, n, configs)).map(|(_, m)| *m)
+        self.map_lock().get(&store_key(variant, n, configs)).map(|(_, m)| *m)
     }
 
     /// Whether this cache lost the single-writer race for its store: it
@@ -612,7 +683,7 @@ impl TrafficCache {
     /// mode an entry was measured under). A failed store append degrades
     /// to in-memory memoization and bumps [`CacheStats::store_errors`].
     pub fn get(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> BoxTraffic {
-        let key = cache_key(variant, n, configs);
+        let key = store_key(variant, n, configs);
         if let Some((t, _)) = self.map_lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *t;
@@ -697,7 +768,7 @@ impl TrafficCache {
     /// simulation, no counter update) — the sweep engine uses this to
     /// schedule only the genuinely missing points.
     pub fn contains(&self, variant: Variant, n: i32, configs: &[CacheConfig]) -> bool {
-        self.map_lock().contains_key(&cache_key(variant, n, configs))
+        self.map_lock().contains_key(&store_key(variant, n, configs))
     }
 
     /// Hit/miss and store-health counters since construction.
@@ -831,7 +902,7 @@ mod tests {
         // Simulate a store written by an older schema: wrong header, plus
         // an entry whose key matches the *current* format. It must not be
         // trusted.
-        let key = cache_key(Variant::baseline(), 8, &cfg);
+        let key = store_key(Variant::baseline(), 8, &cfg);
         std::fs::write(&path, format!("# pdesched-traffic-store v1\n{key} 1 1 1 0.5 0.5\n"))
             .unwrap();
         let cache = TrafficCache::with_store(&path);
@@ -878,7 +949,7 @@ mod tests {
         // A genuine v3 store: v3 header, entry lines in the tagless v3
         // grammar with valid checksums. Its measurements are still
         // correct, so migration must preserve them — no re-measuring.
-        let key = cache_key(Variant::baseline(), 8, &cfg);
+        let key = store_key(Variant::baseline(), 8, &cfg);
         let t = BoxTraffic { dram_bytes: 77, reads: 5, writes: 3, l1_hit: 0.5, llc_hit: 0.25 };
         let payload =
             format!("{key} {} {} {} {} {}", t.dram_bytes, t.reads, t.writes, t.l1_hit, t.llc_hit);

@@ -1,0 +1,277 @@
+//! Integration tests for the sharded sweep fabric: coordinator loop,
+//! claim-by-lock workers, stale-heartbeat reclaim, stall detection, and
+//! the bit-stable merge-compaction (DESIGN.md §12).
+//!
+//! Worker *processes* here are stand-ins (`sh -c true`, `sleep`): the
+//! coordinator only observes workers through shard stores, journals,
+//! and child exits, so the tests drive those observables directly and
+//! keep the suite fast and deterministic. The real worker loop is
+//! exercised in-process (threads — flock is per open file description,
+//! so claims exclude within one process too) and end-to-end through the
+//! `repro` binary in `crates/bench/tests/repro_cli.rs`.
+
+use pdesched_cachesim::CacheConfig;
+use pdesched_core::Variant;
+use pdesched_machine::traffic::store_key;
+use pdesched_machine::{coordinator, journal, shard};
+use pdesched_machine::{FabricConfig, SimPoint, SweepEngine, TrafficCache, WorkerConfig};
+use pdesched_par::cancel::CancelToken;
+use pdesched_testkit::TempDir;
+use std::time::Duration;
+
+fn tiny() -> Vec<CacheConfig> {
+    vec![CacheConfig::new(8 * 1024, 4)]
+}
+
+fn points() -> Vec<SimPoint> {
+    let mut p = Vec::new();
+    for v in [Variant::baseline(), Variant::shift_fuse()] {
+        for n in [8, 12, 16] {
+            p.push(SimPoint { variant: v, n, configs: tiny() });
+        }
+    }
+    p
+}
+
+fn fill_shard(store: &std::path::Path, i: usize, n: usize, bucket: &[SimPoint]) {
+    let cache = TrafficCache::with_store(shard::shard_store_path(store, i, n));
+    for p in bucket {
+        cache.get(p.variant, p.n, &p.configs);
+    }
+}
+
+fn cfg(store: &std::path::Path, shards: usize, workers: usize, respawns: usize) -> FabricConfig {
+    FabricConfig {
+        store: store.to_path_buf(),
+        shards,
+        workers,
+        heartbeat_stale: Duration::from_millis(80),
+        poll: Duration::from_millis(10),
+        respawns,
+    }
+}
+
+/// The canonical bytes a serial run of `pts` would produce after
+/// compaction — the golden the fabric's merge must hit exactly.
+fn golden_bytes(dir: &TempDir, pts: &[SimPoint]) -> String {
+    let path = dir.file("golden.txt");
+    {
+        let cache = TrafficCache::with_store(&path);
+        for p in pts {
+            cache.get(p.variant, p.n, &p.configs);
+        }
+    }
+    shard::merge_shards(&path, 0).unwrap();
+    std::fs::read_to_string(&path).unwrap()
+}
+
+#[test]
+fn fabric_over_complete_shards_spawns_no_workers_and_merges() {
+    let dir = TempDir::new("fabric-done");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 2;
+    for (i, bucket) in shard::partition(&pts, shards).iter().enumerate() {
+        fill_shard(&store, i, shards, bucket);
+    }
+    let expected = shard::expected_keys(&pts, shards);
+    let token = CancelToken::new();
+    let report =
+        coordinator::run_fabric(&cfg(&store, shards, 2, 2), &expected, &token, |_launch| {
+            panic!("every shard is complete: no worker may be spawned")
+        })
+        .unwrap();
+    assert_eq!(report.launches, 0);
+    assert!(!report.stalled);
+    assert_eq!(report.cancelled, None);
+    let merge = report.merge.expect("completed fabric must merge");
+    assert_eq!(merge.entries, pts.len());
+    assert!(merge.conflicts.is_empty(), "{:?}", merge.conflicts);
+    assert!(report.shard_status.iter().all(|s| s.done));
+    assert_eq!(
+        std::fs::read_to_string(&store).unwrap(),
+        golden_bytes(&dir, &pts),
+        "merged canonical store must be byte-identical to a serial run"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn fabric_reclaims_a_stale_but_alive_owner() {
+    use std::os::unix::process::ExitStatusExt;
+    let dir = TempDir::new("fabric-reclaim");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 1;
+    let expected = shard::expected_keys(&pts, shards);
+
+    // A decoy "worker" that claimed shard 0 and then wedged: its journal
+    // heartbeat is an hour stale but the process is alive (SIGKILL is
+    // the only thing that unsticks it — a dead owner's flock would have
+    // released by itself).
+    let mut decoy = std::process::Command::new("sleep").arg("30").spawn().unwrap();
+    let sp = shard::shard_store_path(&store, 0, shards);
+    let stale_ms = journal::unix_millis().saturating_sub(3_600_000);
+    std::fs::write(
+        journal::journal_path_for(&sp),
+        format!("# pdesched-sweep-journal v1\nbegin\t{}\t{}\t{stale_ms}\n", pts.len(), decoy.id()),
+    )
+    .unwrap();
+
+    let token = CancelToken::new();
+    let report =
+        coordinator::run_fabric(&cfg(&store, shards, 1, 0), &expected, &token, |_launch| {
+            // The replacement "worker": completes the shard, exits clean.
+            fill_shard(&store, 0, shards, &pts);
+            std::process::Command::new("sh").args(["-c", "true"]).spawn()
+        })
+        .unwrap();
+    assert_eq!(report.reclaims, 1, "one stale writer generation reclaimed");
+    assert_eq!(report.kills, 1, "the live wedged owner must be SIGKILL'd");
+    assert!(!report.stalled);
+    assert!(report.merge.is_some());
+    assert_eq!(report.shard_status[0].reclaims, 1);
+    assert!(report.shard_status[0].max_heartbeat_gap_ms >= 3_000_000);
+    let st = decoy.wait().unwrap();
+    assert_eq!(st.signal(), Some(9), "decoy must have died by SIGKILL, got {st:?}");
+}
+
+#[test]
+fn fabric_stalls_when_the_respawn_budget_runs_dry() {
+    let dir = TempDir::new("fabric-stall");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 1;
+    let expected = shard::expected_keys(&pts, shards);
+    let token = CancelToken::new();
+    // Every "worker" exits immediately without doing any work.
+    let report =
+        coordinator::run_fabric(&cfg(&store, shards, 1, 1), &expected, &token, |_launch| {
+            std::process::Command::new("sh").args(["-c", "true"]).spawn()
+        })
+        .unwrap();
+    assert!(report.stalled, "{report:?}");
+    assert_eq!(report.launches, 2, "initial worker + one respawn");
+    assert_eq!(report.merge, None, "a stalled fabric must not merge");
+    assert!(!report.shard_status[0].done);
+    assert_eq!(report.shard_status[0].present, 0);
+}
+
+#[test]
+fn cancelled_fabric_posts_the_control_file_and_skips_the_merge() {
+    let dir = TempDir::new("fabric-cancel");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 2;
+    let expected = shard::expected_keys(&pts, shards);
+    let token = CancelToken::new();
+    token.trip("deadline 0.1s exceeded");
+    let report =
+        coordinator::run_fabric(&cfg(&store, shards, 2, 2), &expected, &token, |_launch| {
+            panic!("a cancelled fabric must not spawn")
+        })
+        .unwrap();
+    assert_eq!(report.cancelled.as_deref(), Some("deadline 0.1s exceeded"));
+    assert_eq!(report.launches, 0);
+    assert_eq!(report.merge, None);
+    assert_eq!(
+        coordinator::read_cancel(&store).as_deref(),
+        Some("deadline 0.1s exceeded"),
+        "cancellation must be posted for out-of-band workers"
+    );
+    // The next fabric over the same store starts clean.
+    for (i, bucket) in shard::partition(&pts, shards).iter().enumerate() {
+        fill_shard(&store, i, shards, bucket);
+    }
+    let token = CancelToken::new();
+    let report = coordinator::run_fabric(&cfg(&store, shards, 1, 0), &expected, &token, |_l| {
+        panic!("complete shards: no spawn")
+    })
+    .unwrap();
+    assert_eq!(report.cancelled, None, "stale control file must have been cleared");
+    assert!(report.merge.is_some());
+}
+
+#[test]
+fn stale_complete_journal_over_a_different_point_set_is_reswept() {
+    // An earlier fabric completed shard 0 for a *smaller* point set; its
+    // `complete` journal survives. The new fabric expects more keys, so
+    // that completion is stale and must not mask the missing work.
+    let dir = TempDir::new("fabric-stalejournal");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 1;
+    let old = &pts[..2];
+    fill_shard(&store, 0, shards, old);
+    let sp = shard::shard_store_path(&store, 0, shards);
+    std::fs::write(
+        journal::journal_path_for(&sp),
+        format!("# pdesched-sweep-journal v1\nbegin\t2\t1\t{}\ncomplete\n", journal::unix_millis()),
+    )
+    .unwrap();
+    assert!(coordinator::shard_done(&store, 0, shards, &shard::expected_keys(old, shards)[0]));
+
+    let expected = shard::expected_keys(&pts, shards);
+    let token = CancelToken::new();
+    let report =
+        coordinator::run_fabric(&cfg(&store, shards, 1, 0), &expected, &token, |_launch| {
+            fill_shard(&store, 0, shards, &pts);
+            std::process::Command::new("sh").args(["-c", "true"]).spawn()
+        })
+        .unwrap();
+    assert_eq!(report.launches, 1, "the stale completion must be re-offered: {report:?}");
+    assert!(!report.stalled);
+    assert_eq!(report.merge.as_ref().map(|m| m.entries), Some(pts.len()));
+}
+
+#[test]
+fn in_process_workers_split_the_shards_and_converge() {
+    // Two real `run_worker` loops racing over three shards in one
+    // process: flock claims are per open file description, so they
+    // exclude each other exactly like two processes would. Every shard
+    // ends complete, and the merge is byte-identical to the serial run.
+    let dir = TempDir::new("fabric-workers");
+    let store = dir.file("traffic.txt");
+    let pts = points();
+    let shards = 3;
+    let parts = shard::partition(&pts, shards);
+    assert!(parts.iter().all(|b| !b.is_empty()), "want all shards busy: {parts:?}");
+    let expected = shard::expected_keys(&pts, shards);
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|w| {
+                let (store, parts, expected) = (store.clone(), parts.clone(), expected.clone());
+                s.spawn(move || {
+                    let token = CancelToken::new();
+                    let engine = SweepEngine::new(1).with_cancel_token(token.clone());
+                    let cfg = WorkerConfig {
+                        store,
+                        shards,
+                        worker_index: w,
+                        poll: Duration::from_millis(5),
+                    };
+                    coordinator::run_worker(&cfg, &parts, &expected, &engine, &token, |c| c)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for o in &outcomes {
+        assert_eq!(o.cancelled, None);
+        for (_, r) in &o.reports {
+            assert!(r.failed.is_empty() && r.timed_out.is_empty());
+        }
+    }
+    for (i, keys) in expected.iter().enumerate() {
+        assert!(coordinator::shard_done(&store, i, shards, keys), "shard {i}");
+    }
+    let merge = shard::merge_shards(&store, shards).unwrap();
+    assert_eq!(merge.entries, pts.len());
+    assert!(merge.conflicts.is_empty(), "{:?}", merge.conflicts);
+    assert_eq!(std::fs::read_to_string(&store).unwrap(), golden_bytes(&dir, &pts));
+    // Sanity: the expected keys really are the engine's store keys.
+    let all: Vec<String> = expected.concat();
+    for p in &pts {
+        assert!(all.contains(&store_key(p.variant, p.n, &p.configs)));
+    }
+}

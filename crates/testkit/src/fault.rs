@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct FaultPlan {
     panic_on_sim: Option<u64>,
     hang_on_sim: Option<u64>,
+    abort_on_sim: Option<u64>,
     fail_append_every: Option<u64>,
     truncate_after_byte: Option<u64>,
     sims: AtomicU64,
@@ -46,6 +47,16 @@ impl FaultPlan {
     /// 60 s safety cap bounds the hang even with an always-true gate.
     pub fn hang_on_sim(mut self, k: u64) -> Self {
         self.hang_on_sim = Some(k);
+        self
+    }
+
+    /// `std::process::abort()` on the `k`-th (0-based) sim probe: the
+    /// process dies instantly with no unwinding, no destructors, no
+    /// flushes — the in-process stand-in for `kill -9` / the OOM
+    /// killer. Only meaningful in a child process a test spawned on
+    /// purpose (the shard fabric's process-kill fault plans).
+    pub fn abort_on_sim(mut self, k: u64) -> Self {
+        self.abort_on_sim = Some(k);
         self
     }
 
@@ -87,6 +98,11 @@ impl FaultPlan {
             while keep_hanging() && t0.elapsed() < HANG_CAP {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
+        }
+        if self.abort_on_sim == Some(idx) {
+            // Deliberately not a panic: nothing may unwind, flush, or
+            // clean up — this simulates the process being shot.
+            std::process::abort();
         }
         if self.panic_on_sim == Some(idx) {
             panic!("injected fault: panic on simulation {idx}");

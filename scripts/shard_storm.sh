@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Shard storm: run the multi-process sweep fabric while randomly
+# SIGKILLing its workers, then resume once without interference.
+# Verifies the fabric's crash-tolerance claims end to end:
+#
+#   * a worker shot mid-measurement never loses a completed point —
+#     its shard store keeps every fully-appended line, the orphaned
+#     claim is reclaimed, and a replacement worker resumes the shard;
+#   * every coordinator exit is from the documented taxonomy: 0 (done),
+#     or 14 (stalled — respawn budget shot out from under it), which
+#     the next round resumes from;
+#   * the merged canonical store after the storm is bit-for-bit
+#     identical to a serial golden run (1 shard, 1 worker): shard
+#     count, worker interleaving, and crash/reclaim history must leave
+#     no fingerprint in the bytes.
+#
+# Usage: scripts/shard_storm.sh [path/to/repro] [rounds]
+set -ueo pipefail
+
+REPRO=${1:-target/release/repro}
+ROUNDS=${2:-3}
+TARGETS=(sweep faultcheck)
+WORK=$(mktemp -d -t shard-storm-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== shard storm: serial golden (1 shard, 1 worker) =="
+"$REPRO" --store "$WORK/golden.txt" --threads 2 \
+    --shards 1 --workers 1 "${TARGETS[@]}" >/dev/null
+
+echo "== shard storm: $ROUNDS stormed fabric runs =="
+total_kills=0
+for i in $(seq 1 "$ROUNDS"); do
+    # Fresh store each round so every round has live workers to shoot;
+    # the last round's (possibly stalled) state feeds the final resume.
+    rm -f "$WORK/storm.txt" "$WORK/storm.txt".*
+    "$REPRO" --store "$WORK/storm.txt" --json "$WORK/storm.json" \
+        --threads 2 --shards 4 --workers 3 --heartbeat-stale 2 \
+        --fabric-respawns 24 "${TARGETS[@]}" >/dev/null 2>"$WORK/storm.err" &
+    coord=$!
+    kills=0
+    while kill -0 "$coord" 2>/dev/null; do
+        # The whole worker fleet lives only a few hundred ms in release
+        # builds, so the kill cadence must be well inside that window.
+        sleep "$(awk -v r="$RANDOM" 'BEGIN { printf "%.3f", 0.02 + (r % 80) / 1000 }')"
+        # Shoot one live worker of this coordinator, if any.
+        victim=$(pgrep -P "$coord" -f 'shard-worker' | shuf -n 1 || true)
+        if [ -n "${victim:-}" ]; then
+            kill -KILL "$victim" 2>/dev/null || true
+            kills=$((kills + 1))
+        fi
+    done
+    total_kills=$((total_kills + kills))
+    set +e
+    wait "$coord"
+    code=$?
+    set -e
+    echo "round $i: $kills worker kill(s), coordinator exit $code"
+    case "$code" in
+        0) ;;
+        14) ;; # respawn budget shot dry: the next round resumes the work
+        *)
+            echo "FAIL: coordinator exit $code is outside the documented taxonomy"
+            cat "$WORK/storm.err"
+            exit 1
+            ;;
+    esac
+done
+if [ "$total_kills" -eq 0 ]; then
+    echo "FAIL: no SIGKILL ever landed on a worker; the storm was vacuous"
+    exit 1
+fi
+
+echo "== shard storm: final resumed fabric (no interference) =="
+"$REPRO" --store "$WORK/storm.txt" --json "$WORK/final.json" \
+    --threads 2 --shards 4 --workers 3 --heartbeat-stale 2 "${TARGETS[@]}" >/dev/null
+
+if ! cmp -s "$WORK/golden.txt" "$WORK/storm.txt"; then
+    echo "FAIL: merged store differs from the serial golden"
+    diff "$WORK/golden.txt" "$WORK/storm.txt" | head -20
+    exit 1
+fi
+entries=$(grep -vc '^#' "$WORK/golden.txt")
+echo "shard storm OK: $entries store entries bit-identical to the serial golden"
