@@ -94,6 +94,9 @@ struct Stage {
     seconds: f64,
     hits: u64,
     misses: u64,
+    /// Largest per-point engine-thread grant any of this stage's sweeps
+    /// received (1 = every point measured on the serial engines).
+    engine_threads: usize,
 }
 
 /// Fault injection requested via `REPRO_FAULT` (for the deterministic
@@ -522,7 +525,7 @@ fn main() {
 
     let mut stages: Vec<Stage> = Vec::new();
     let mut json_figures: Vec<figures::Figure> = Vec::new();
-    let mut log = RunLog { failures: Vec::new(), resumed_from: None };
+    let mut log = RunLog { failures: Vec::new(), resumed_from: None, stage_engine_threads: 1 };
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if fabric_stalled {
             // A stalled fabric left shards incomplete. Rendering now
@@ -539,6 +542,7 @@ fn main() {
             }
             let t0 = std::time::Instant::now();
             let before = cache.stats();
+            log.stage_engine_threads = 1;
             let mut fig: Option<figures::Figure> = None;
             match w.as_str() {
                 "fig1" => fig = Some(figures::figure1()),
@@ -585,6 +589,7 @@ fn main() {
                 seconds: t0.elapsed().as_secs_f64(),
                 hits: s.hits - before.hits,
                 misses: s.misses - before.misses,
+                engine_threads: log.stage_engine_threads,
             };
             eprintln!(
                 "[repro] {w} done in {:.1?} ({} hits / {} misses, {} traces cached)",
@@ -886,6 +891,9 @@ fn print_plandump(spec: &MachineSpec, n: i32) {
 struct RunLog {
     failures: Vec<(String, &'static str, PointFailure)>,
     resumed_from: Option<PriorSweep>,
+    /// Largest engine-thread grant seen since the current stage began
+    /// (reset by the stage loop, raised by each `prewarm`).
+    stage_engine_threads: usize,
 }
 
 /// Prewarm one target's simulation points, narrating to stderr and
@@ -901,6 +909,7 @@ fn prewarm(
     log: &mut RunLog,
 ) -> bool {
     let r = engine.prewarm(cache, &points);
+    log.stage_engine_threads = log.stage_engine_threads.max(r.engine_threads);
     if let (None, Some(prior)) = (&log.resumed_from, &r.resumed_from) {
         eprintln!(
             "[repro] {target}: resuming an interrupted sweep ({} points planned, \
@@ -915,12 +924,17 @@ fn prewarm(
     if r.measured > 0 || !r.failed.is_empty() || !r.timed_out.is_empty() {
         eprintln!(
             "[repro] {target}: measured {} of {} unique points in {:.1}s \
-             ({:.2} points/s) on {} threads{}{}",
+             ({:.2} points/s) on {} threads{}{}{}",
             r.measured,
             r.unique,
             r.seconds,
             r.points_per_sec,
             engine.nthreads(),
+            if r.engine_threads > 1 {
+                format!(" ({}x engine threads per point)", r.engine_threads)
+            } else {
+                String::new()
+            },
             if r.failed.is_empty() {
                 String::new()
             } else {
@@ -991,10 +1005,21 @@ fn render_json(
     use std::fmt::Write;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema_version\": 3,");
+    let _ = writeln!(j, "  \"schema_version\": 4,");
     let _ = writeln!(j, "  \"fast\": {fast},");
     let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(j, "  \"mode\": {},", json_str(cache.mode().tag()));
+    // Claim-rate observability: how many of this run's measured points
+    // the symbolic engine claimed vs fell back to the simulator (both
+    // zero under `--mode simulate`, where no claiming happens).
+    {
+        let s = cache.stats();
+        let _ = writeln!(
+            j,
+            "  \"traffic\": {{\"claimed_points\": {}, \"fallback_points\": {}}},",
+            s.claimed_points, s.fallback_points
+        );
+    }
     match interrupted {
         Some((reason, code)) => {
             let _ = writeln!(
@@ -1114,11 +1139,13 @@ fn render_json(
         let comma = if i + 1 < stages.len() { "," } else { "" };
         let _ = writeln!(
             j,
-            "    {{\"target\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}}}{comma}",
+            "    {{\"target\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}, \
+             \"engine_threads\": {}}}{comma}",
             json_str(&st.name),
             st.seconds,
             st.hits,
-            st.misses
+            st.misses,
+            st.engine_threads
         );
     }
     let _ = writeln!(j, "  ],");

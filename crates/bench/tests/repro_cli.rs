@@ -39,7 +39,8 @@ fn clean_run_reports_healthy_store_and_no_failures() {
         .args(["--json", json_path.to_str().unwrap()])
         .args(["--threads", "2", "fig1", "table1", "ablation"]));
     let json = std::fs::read_to_string(&json_path).unwrap();
-    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    assert!(json.contains("\"schema_version\": 4"), "{json}");
+    assert!(json.contains("\"traffic\": {\"claimed_points\": 0, \"fallback_points\": 0"), "{json}");
     assert!(json.contains("\"interrupted\": null"), "{json}");
     assert!(json.contains("\"resumed_from\": null"), "{json}");
     assert!(json.contains("\"fabric\": null"), "unsharded run reports no fabric: {json}");

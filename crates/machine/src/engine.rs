@@ -155,6 +155,10 @@ pub struct PrewarmReport {
     /// complete store doesn't report a collapsed rate; 0 when nothing
     /// was measured.
     pub points_per_sec: f64,
+    /// Shard-worker threads each point's measurement was granted
+    /// (1 = serial engines): `pool threads / ready points` when the
+    /// sweep had fewer ready points than pool threads, else 1.
+    pub engine_threads: usize,
 }
 
 /// Best-effort text of a panic payload.
@@ -310,6 +314,19 @@ impl SweepEngine {
             _ => None,
         };
         cache.set_append_retry(self.budget.max_retries, self.budget.backoff);
+
+        // Point-level thread policy: when the sweep has fewer ready
+        // points than pool threads, the idle threads become shard
+        // workers *inside* each point's measurement (`crate::parallel`,
+        // bit-identical by construction). With plenty of points the
+        // point-level parallelism of the pool already saturates the
+        // host, so each point stays serial.
+        let engine_threads = if total > 0 && total < self.pool.nthreads() {
+            self.pool.nthreads() / total
+        } else {
+            1
+        };
+        cache.set_engine_threads(engine_threads);
 
         let sweep_token = self.token.clone().unwrap_or_default();
         let counter = AtomicUsize::new(0);
@@ -496,6 +513,9 @@ impl SweepEngine {
             stop_cv.notify_all();
             r
         });
+        // Later misses (figure rendering on the caller's thread, a next
+        // prewarm with its own policy) go back to the serial engines.
+        cache.set_engine_threads(1);
 
         let mut failed = failures.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut timed_out = timeouts.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -540,6 +560,7 @@ impl SweepEngine {
             } else {
                 0.0
             },
+            engine_threads,
         }
     }
 }

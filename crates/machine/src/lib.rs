@@ -38,6 +38,7 @@ pub mod fault;
 pub mod figures;
 pub mod journal;
 pub mod model;
+pub mod parallel;
 pub mod shard;
 pub mod spec;
 pub mod sweep;
@@ -52,6 +53,10 @@ pub use engine::{PointFailure, PrewarmReport, SimPoint, SkippedPoint, SweepBudge
 pub use fault::FaultHook;
 pub use journal::PriorSweep;
 pub use model::{predict_time, Prediction, Workload};
+pub use parallel::{
+    max_point_threads, measure_box_traffic_parallel, measure_box_traffic_parallel_sim,
+    ParallelStats,
+};
 pub use shard::{MergeConflict, MergeReport};
 pub use spec::MachineSpec;
 pub use symbolic::{measure_box_traffic_symbolic, SymbolicAnalysis};

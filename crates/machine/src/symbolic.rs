@@ -167,6 +167,35 @@ pub fn measure_symbolic_detailed(
     if !analyze(variant, n).fully_claimed() {
         return None;
     }
+    let mut h = Hierarchy::new(configs);
+    let (k, stats) = emit_symbolic_stream(variant, n, configs, &mut h);
+    h.flush();
+    let s = h.stats();
+    let nlev = s.levels.len();
+    Some((
+        BoxTraffic {
+            dram_bytes: s.dram_bytes(h.line()) / k as u64,
+            reads: s.reads / k as u64,
+            writes: s.writes / k as u64,
+            l1_hit: s.levels[0].hit_ratio(),
+            llc_hit: s.levels[nlev - 1].hit_ratio(),
+        },
+        stats,
+    ))
+}
+
+/// Drive the whole symbolic emission for one measurement point into
+/// `sink`, returning the box-repetition count `k` (divide the sink's
+/// accumulated counters by it) and the window-engine counters. The
+/// caller must have checked [`analyze`]`.fully_claimed()` — the
+/// emitters cover only claimed plans. The emitted rep stream is a pure
+/// function of `(variant, n, configs)`, independent of the sink.
+pub(crate) fn emit_symbolic_stream<S: LineSink>(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    sink: &mut S,
+) -> (usize, SymbolicStats) {
     let cells = IBox::cube(n);
     let min_edge = cells.extent(0).min(cells.extent(1)).min(cells.extent(2));
     if let Err(e) = variant.validate_for_box(min_edge) {
@@ -176,19 +205,12 @@ pub fn measure_symbolic_detailed(
     // k interleaved (phi0, phi1) allocations, then per-box rewinds of the
     // scratch region — the emitted addresses must equal the real run's.
     trace_addr::reset();
-    let k: usize = if n <= 32 {
-        4
-    } else if n <= 64 {
-        2
-    } else {
-        1
-    };
+    let k = crate::traffic::box_reps(n);
     let grown = cells.grown(GHOST);
     let pairs: Vec<(SymFab, SymFab)> =
         (0..k).map(|_| (SymFab::alloc(grown, NCOMP), SymFab::alloc(cells, NCOMP))).collect();
     let plan = plan_for(variant, cells.size(), 1);
-    let mut h = Hierarchy::new(configs);
-    let mut rec = Recorder::new(&mut h, configs);
+    let mut rec = Recorder::new(sink, configs);
     let scratch = trace_addr::mark();
     for (phi0, phi1) in &pairs {
         trace_addr::rewind(scratch);
@@ -203,19 +225,7 @@ pub fn measure_symbolic_detailed(
         emitted_reps: rec.emitted_reps,
         cert_misses: rec.cert_misses,
     };
-    h.flush();
-    let s = h.stats();
-    let nlev = s.levels.len();
-    Some((
-        BoxTraffic {
-            dram_bytes: s.dram_bytes(h.line()) / k as u64,
-            reads: s.reads / k as u64,
-            writes: s.writes / k as u64,
-            l1_hit: s.levels[0].hit_ratio(),
-            llc_hit: s.levels[nlev - 1].hit_ratio(),
-        },
-        stats,
-    ))
+    (k, stats)
 }
 
 /// Address-only view of a buffer: the layout metadata of
@@ -399,13 +409,31 @@ struct LevelGeom {
     assoc: u32,
 }
 
+/// Where the recorder's compressed rep stream lands. The serial engine
+/// plugs a [`Hierarchy`] in directly; the parallel engine plugs in a
+/// shard router that forwards each rep to the worker owning its
+/// set-shard (`crate::parallel`). The emitted stream is identical
+/// either way — the sink only decides *where* the miss machinery runs.
+pub trait LineSink {
+    /// `reps` touches of the absolute line index `line`; the contract
+    /// of [`Hierarchy::line_rep`].
+    fn line_rep(&mut self, line: u64, reps: usize, write: bool);
+}
+
+impl LineSink for Hierarchy {
+    #[inline(always)]
+    fn line_rep(&mut self, line: u64, reps: usize, write: bool) {
+        Hierarchy::line_rep(self, line, reps, write);
+    }
+}
+
 /// The row capture/replay engine: collects one row's touches into
 /// slots, compiles the row into a [`Template`] (windows of consecutive
 /// x's with identical slot shapes, emitted grouped when certified,
 /// per-x otherwise), and replays templates for every later row of the
 /// same class.
-struct Recorder<'a> {
-    h: &'a mut Hierarchy,
+struct Recorder<'a, S: LineSink> {
+    h: &'a mut S,
     line_shift: u32,
     levels: Vec<LevelGeom>,
     /// Union of every level's set mask (set counts are powers of two,
@@ -434,9 +462,9 @@ struct Recorder<'a> {
     cert_misses: u64,
 }
 
-impl<'a> Recorder<'a> {
-    fn new(h: &'a mut Hierarchy, configs: &[CacheConfig]) -> Self {
-        let line_shift = h.line().trailing_zeros();
+impl<'a, S: LineSink> Recorder<'a, S> {
+    fn new(h: &'a mut S, configs: &[CacheConfig]) -> Self {
+        let line_shift = configs[0].line.trailing_zeros();
         let levels = configs
             .iter()
             .map(|c| LevelGeom { set_mask: (c.sets() - 1) as u64, assoc: c.assoc as u32 })
@@ -592,7 +620,7 @@ impl<'a> Recorder<'a> {
 
     #[inline(always)]
     fn run(&mut self, addr: usize, len: usize, write: bool) {
-        let line = self.h.line();
+        let line = 1usize << self.line_shift;
         let mut a = addr;
         let mut rem = len;
         while rem > 0 {
@@ -840,7 +868,13 @@ fn shape_eq(cur: &[CSlot], a: (u32, u32), b: (u32, u32)) -> bool {
 /// Walk the plan exactly as `plan::execute` does at one thread:
 /// materialize each region's buffers in declared order, then emit each
 /// phase's steps with a cancellation checkpoint per phase.
-fn emit_plan(plan: &Plan, phi0: &SymFab, phi1: &SymFab, cells: IBox, rec: &mut Recorder<'_>) {
+fn emit_plan<S: LineSink>(
+    plan: &Plan,
+    phi0: &SymFab,
+    phi1: &SymFab,
+    cells: IBox,
+    rec: &mut Recorder<'_, S>,
+) {
     for region in &plan.regions {
         let mut fabs: Vec<SymFab> = Vec::new();
         let mut raws: Vec<(usize, usize)> = Vec::new();
@@ -868,13 +902,13 @@ fn emit_plan(plan: &Plan, phi0: &SymFab, phi1: &SymFab, cells: IBox, rec: &mut R
     }
 }
 
-fn emit_series_step(
+fn emit_series_step<S: LineSink>(
     step: &Step,
     phi0: &SymFab,
     phi1: &SymFab,
     cells: IBox,
     fabs: &[SymFab],
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let z0 = cells.lo()[2];
     match *step {
@@ -907,7 +941,7 @@ fn emit_series_step(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn emit_fuse_step(
+fn emit_fuse_step<S: LineSink>(
     step: &Step,
     phi0: &SymFab,
     phi1: &SymFab,
@@ -915,7 +949,7 @@ fn emit_fuse_step(
     fabs: &[SymFab],
     ybase: (usize, usize),
     zbase: (usize, usize),
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     match *step {
         Step::FillVel { vel, d, zr } => {
@@ -932,7 +966,13 @@ fn emit_fuse_step(
 /// The address image of `shared::face_interp_at`: four stencil reads
 /// along `d` (one run when `d == 0`).
 #[inline(always)]
-fn face_interp(rec: &mut Recorder<'_>, phi0: &SymFab, d: usize, f: IntVect, c: usize) {
+fn face_interp<S: LineSink>(
+    rec: &mut Recorder<'_, S>,
+    phi0: &SymFab,
+    d: usize,
+    f: IntVect,
+    c: usize,
+) {
     let stride = phi0.stride(d);
     let i0 = phi0.index(f, c);
     let base = phi0.abase;
@@ -949,7 +989,7 @@ fn face_interp(rec: &mut Recorder<'_>, phi0: &SymFab, d: usize, f: IntVect, c: u
 /// `shared::face_fluxes_all`: the NCOMP interpolations (flux products
 /// emit no memory events).
 #[inline(always)]
-fn face_fluxes_all(rec: &mut Recorder<'_>, phi0: &SymFab, d: usize, f: IntVect) {
+fn face_fluxes_all<S: LineSink>(rec: &mut Recorder<'_, S>, phi0: &SymFab, d: usize, f: IntVect) {
     for c in 0..NCOMP {
         face_interp(rec, phi0, d, f, c);
     }
@@ -958,20 +998,27 @@ fn face_fluxes_all(rec: &mut Recorder<'_>, phi0: &SymFab, d: usize, f: IntVect) 
 /// `fuse::clo_flux`: one velocity read, plus the interpolation unless
 /// `c` is the velocity component.
 #[inline(always)]
-fn clo_flux(rec: &mut Recorder<'_>, phi0: &SymFab, vel: &SymFab, d: usize, f: IntVect, c: usize) {
+fn clo_flux<S: LineSink>(
+    rec: &mut Recorder<'_, S>,
+    phi0: &SymFab,
+    vel: &SymFab,
+    d: usize,
+    f: IntVect,
+    c: usize,
+) {
     rec.r(vel.addr(vel.index(f, 0)));
     if c != vel_comp(d) {
         face_interp(rec, phi0, d, f, c);
     }
 }
 
-fn emit_flux1(
+fn emit_flux1<S: LineSink>(
     phi0: &SymFab,
     flux: &SymFab,
     faces: IBox,
     d: usize,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let mut memo = RowMemo::default();
@@ -993,13 +1040,13 @@ fn emit_flux1(
     }
 }
 
-fn emit_flux1_cli(
+fn emit_flux1_cli<S: LineSink>(
     phi0: &SymFab,
     flux: &SymFab,
     faces: IBox,
     d: usize,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let mut memo = RowMemo::default();
@@ -1021,13 +1068,13 @@ fn emit_flux1_cli(
     }
 }
 
-fn emit_extract_vel(
+fn emit_extract_vel<S: LineSink>(
     flux: &SymFab,
     vel: &SymFab,
     d: usize,
     faces: IBox,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let vc = vel_comp(d);
@@ -1048,12 +1095,12 @@ fn emit_extract_vel(
     }
 }
 
-fn emit_flux2_clo(
+fn emit_flux2_clo<S: LineSink>(
     flux: &SymFab,
     vel: &SymFab,
     faces: IBox,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let mut memo = RowMemo::default();
@@ -1077,12 +1124,12 @@ fn emit_flux2_clo(
     }
 }
 
-fn emit_flux2_cli(
+fn emit_flux2_cli<S: LineSink>(
     flux: &SymFab,
     d: usize,
     faces: IBox,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let vc = vel_comp(d);
@@ -1107,21 +1154,21 @@ fn emit_flux2_cli(
     }
 }
 
-fn emit_accumulate(
+fn emit_accumulate<S: LineSink>(
     phi1: &SymFab,
     flux: &SymFab,
     cells: IBox,
     d: usize,
     zr: std::ops::Range<i32>,
     comp: CompLoop,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let e = IntVect::basis(d);
     let flux_unit = flux.stride(d) == 1;
     #[inline(always)]
-    fn do_cell(
-        rec: &mut Recorder<'_>,
+    fn do_cell<S: LineSink>(
+        rec: &mut Recorder<'_, S>,
         phi1: &SymFab,
         flux: &SymFab,
         iv: IntVect,
@@ -1177,13 +1224,13 @@ fn emit_accumulate(
     }
 }
 
-fn emit_fill_vel(
+fn emit_fill_vel<S: LineSink>(
     phi0: &SymFab,
     vel: &SymFab,
     faces: IBox,
     d: usize,
     zr: std::ops::Range<i32>,
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (faces.lo(), faces.hi());
     let vc = vel_comp(d);
@@ -1205,7 +1252,7 @@ fn emit_fill_vel(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn emit_fused_clo(
+fn emit_fused_clo<S: LineSink>(
     phi0: &SymFab,
     phi1: &SymFab,
     cells: IBox,
@@ -1213,7 +1260,7 @@ fn emit_fused_clo(
     vels: &[SymFab],
     ybase: (usize, usize),
     zbase: (usize, usize),
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let nx = cells.extent(0) as usize;
@@ -1265,13 +1312,13 @@ fn emit_fused_clo(
     }
 }
 
-fn emit_fused_cli(
+fn emit_fused_cli<S: LineSink>(
     phi0: &SymFab,
     phi1: &SymFab,
     cells: IBox,
     ybase: (usize, usize),
     zbase: (usize, usize),
-    rec: &mut Recorder<'_>,
+    rec: &mut Recorder<'_, S>,
 ) {
     let (lo, hi) = (cells.lo(), cells.hi());
     let nx = cells.extent(0) as usize;
@@ -1333,6 +1380,50 @@ mod tests {
 
     fn big() -> Vec<CacheConfig> {
         vec![CacheConfig::new(32 * 1024, 8), CacheConfig::new(16 * 1024 * 1024, 16)]
+    }
+
+    /// Instrumentation probe, not an assertion: times the symbolic
+    /// emitter into a null sink vs the full serial engine, printing the
+    /// producer's share of the serial wall — the Amdahl bound on what
+    /// the §13 parallel pipeline can gain (its producer runs exactly
+    /// this emission plus cheap routing). Run on demand:
+    /// `cargo test --release -p pdesched-machine --lib producer_cost -- --ignored --nocapture`
+    #[test]
+    #[ignore = "instrumentation: prints the serial-producer Amdahl bound"]
+    fn producer_cost_probe() {
+        struct Null(u64);
+        impl LineSink for Null {
+            fn line_rep(&mut self, line: u64, reps: usize, write: bool) {
+                self.0 = self.0.wrapping_add(line ^ reps as u64 ^ write as u64);
+            }
+        }
+        let cfg = small();
+        for variant in [Variant::baseline(), Variant::shift_fuse()] {
+            let n = 64;
+            let time = |f: &mut dyn FnMut()| {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t0 = std::time::Instant::now();
+                    f();
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                best
+            };
+            let mut sink = Null(0);
+            let emit = time(&mut || {
+                emit_symbolic_stream(variant, n, &cfg, &mut sink);
+            });
+            let serial = time(&mut || {
+                std::hint::black_box(measure_symbolic_detailed(variant, n, &cfg));
+            });
+            println!(
+                "{variant} n={n}: emit-only {emit:.3}s of serial {serial:.3}s \
+                 ({:.0}% producer share, parallel speedup cap {:.2}x) [{}]",
+                100.0 * emit / serial,
+                serial / emit,
+                sink.0
+            );
+        }
     }
 
     #[test]

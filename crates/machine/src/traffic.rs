@@ -120,23 +120,29 @@ pub fn measure_box_traffic_reference(
     measure_impl(variant, n, configs, true)
 }
 
+/// How many boxes one measurement streams through before dividing the
+/// counters: amortizes cold-start (first touch of the reusable
+/// temporaries) and the final flush. Cheap small boxes get more
+/// repetitions; large boxes stream through the caches anyway, so one
+/// pass is already steady state. Shared by every engine — the division
+/// must match the allocation pattern exactly.
+pub(crate) fn box_reps(n: i32) -> usize {
+    if n <= 32 {
+        4
+    } else if n <= 64 {
+        2
+    } else {
+        1
+    }
+}
+
 fn measure_impl(variant: Variant, n: i32, configs: &[CacheConfig], reference: bool) -> BoxTraffic {
     // Deterministic trace layout: every buffer below (and every
     // temporary inside the runs) gets its virtual address from this
     // thread's allocation order, so the measurement is a pure function
     // of (variant, n, configs) — identical on any thread of any run.
     pdesched_mesh::trace_addr::reset();
-    // Amortize cold-start (first touch of the reusable temporaries) and
-    // the final flush across several boxes: cheap small boxes get more
-    // repetitions; large boxes stream through the caches anyway, so one
-    // pass is already steady state.
-    let k: usize = if n <= 32 {
-        4
-    } else if n <= 64 {
-        2
-    } else {
-        1
-    };
+    let k = box_reps(n);
     let cells = IBox::cube(n);
     let mut boxes: Vec<(FArrayBox, FArrayBox)> = (0..k)
         .map(|i| {
@@ -190,6 +196,15 @@ pub struct CacheStats {
     /// Append retry attempts made under [`TrafficCache::set_append_retry`]
     /// (an append that succeeds on its first try contributes zero).
     pub retried_appends: u64,
+    /// Misses measured under a symbolic-capable mode whose plan the
+    /// analysis fully claimed (the symbolic producer ran). Zero under
+    /// [`TrafficMode::Simulate`].
+    pub claimed_points: u64,
+    /// Misses measured under a symbolic-capable mode that fell back to
+    /// the exact simulator (unclaimed plan — e.g. wavefront or
+    /// overlapped-tile variants). `claimed_points + fallback_points ==
+    /// misses` under Symbolic/Hybrid modes.
+    pub fallback_points: u64,
 }
 
 /// A memoizing cache of per-box traffic measurements: figure generation
@@ -221,6 +236,11 @@ pub struct TrafficCache {
     corrupt_lines: AtomicU64,
     store_errors: AtomicU64,
     retried_appends: AtomicU64,
+    claimed_points: AtomicU64,
+    fallback_points: AtomicU64,
+    /// Shard-worker threads each miss may use ([`TrafficCache::set_engine_threads`]);
+    /// 1 = the serial engines.
+    engine_threads: AtomicU64,
     appends: AtomicU64,
     /// Transient-append retry budget (see `set_append_retry`): max
     /// retries per append, and the initial backoff in microseconds.
@@ -645,6 +665,27 @@ impl TrafficCache {
         self.mode
     }
 
+    /// Measure misses with up to `threads` shard workers each (default
+    /// 1 = the serial engines). All counts produce identical numbers —
+    /// the parallel path is bit-identical by construction — so this
+    /// only trades point latency for thread occupancy. The sweep
+    /// engine raises it when a sweep has fewer ready points than pool
+    /// threads ([`crate::SweepEngine::prewarm`]).
+    pub fn set_engine_threads(&self, threads: usize) {
+        self.engine_threads.store(threads.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Builder form of [`TrafficCache::set_engine_threads`].
+    pub fn with_engine_threads(self, threads: usize) -> Self {
+        self.set_engine_threads(threads);
+        self
+    }
+
+    /// Shard workers each miss may use (1 = serial engines).
+    pub fn engine_threads(&self) -> usize {
+        (self.engine_threads.load(Ordering::Relaxed).max(1)) as usize
+    }
+
     /// Provenance of a held measurement, if present (`None` = not yet
     /// measured). What the store's tag records: which pipeline produced
     /// the number.
@@ -692,16 +733,35 @@ impl TrafficCache {
         if let Some(hook) = &self.fault {
             hook.before_simulation(sim_index, &key);
         }
+        // 0 and 1 both mean the serial engines (the field defaults to 0
+        // through `derive(Default)`).
+        let threads = self.engine_threads.load(Ordering::Relaxed).max(1) as usize;
         let (t, mode) = match self.mode {
             TrafficMode::Simulate => {
-                (measure_box_traffic(variant, n, configs), TrafficMode::Simulate)
+                let t = if threads > 1 {
+                    crate::parallel::measure_box_traffic_parallel_sim(variant, n, configs, threads)
+                        .0
+                } else {
+                    measure_box_traffic(variant, n, configs)
+                };
+                (t, TrafficMode::Simulate)
             }
             // Tag with what actually produced the number: a full
             // fallback is a simulated entry whatever the configured
             // mode.
             requested @ (TrafficMode::Symbolic | TrafficMode::Hybrid) => {
-                let (t, used_symbolic) =
-                    crate::symbolic::measure_with_provenance(variant, n, configs);
+                let (t, used_symbolic) = if threads > 1 {
+                    let (t, ps) =
+                        crate::parallel::measure_box_traffic_parallel(variant, n, configs, threads);
+                    (t, ps.used_symbolic)
+                } else {
+                    crate::symbolic::measure_with_provenance(variant, n, configs)
+                };
+                if used_symbolic {
+                    self.claimed_points.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.fallback_points.fetch_add(1, Ordering::Relaxed);
+                }
                 (t, if used_symbolic { requested } else { TrafficMode::Simulate })
             }
         };
@@ -779,6 +839,8 @@ impl TrafficCache {
             corrupt_lines: self.corrupt_lines.load(Ordering::Relaxed),
             store_errors: self.store_errors.load(Ordering::Relaxed),
             retried_appends: self.retried_appends.load(Ordering::Relaxed),
+            claimed_points: self.claimed_points.load(Ordering::Relaxed),
+            fallback_points: self.fallback_points.load(Ordering::Relaxed),
         }
     }
 
