@@ -1,7 +1,7 @@
 //! Trace→cachesim pipeline throughput benchmark.
 //!
 //! ```text
-//! bench [--phase traffic|lower|all] [--mode simulate|symbolic|hybrid]
+//! bench [--phase traffic|lower|passes|all] [--mode simulate|symbolic|hybrid]
 //!       [--label L] [--sizes 16,32,64] [--samples K] [--variants a,b]
 //!       [--out PATH] [--skip-reference] [--check-against PATH]
 //!       [--threshold X] [--min-speedup X] [--threads N]
@@ -16,8 +16,20 @@
 //!   the plan IR) for *every* extended variant valid at each size, and
 //!   report lowerings per second. Guards against a lowering-cost
 //!   regression sneaking into every solver step and sweep.
-//! * `all` — both; `--check-against` then checks whichever kinds the
-//!   baseline file carries.
+//! * `passes` — two things at once. First it times the pass pipeline
+//!   itself (lower + `Pipeline::apply` + verifier) for a pinned set of
+//!   (variant, pipeline) combinations at each size, reporting applies
+//!   per second, gated by `--check-against` like the other kinds.
+//!   Second it reruns the headline schedule search
+//!   (`search_schedules` on the i5 desktop at the pinned box size) and
+//!   **fails** unless a pass-discovered schedule still strictly beats
+//!   the best hand-written schedule's simulator-measured pair traffic —
+//!   the committed `BENCH_passes.json` records both results and CI
+//!   regenerates them.
+//! * `all` — the traffic and lower phases (the passes phase is explicit
+//!   only: its search leg simulates pair traffic, which is much heavier
+//!   than a timing smoke); `--check-against` then checks whichever
+//!   kinds the baseline file carries.
 //!
 //! Times `measure_box_traffic` (the run-batched, hot-line-filtered fast
 //! path) and `measure_box_traffic_reference` (the per-element reference
@@ -74,6 +86,7 @@ use pdesched_core::{CompLoop, Variant};
 use pdesched_machine::parallel::{measure_box_traffic_parallel, measure_box_traffic_parallel_sim};
 use pdesched_machine::symbolic::{analyze, measure_box_traffic_symbolic};
 use pdesched_machine::traffic::{measure_box_traffic, measure_box_traffic_reference, BoxTraffic};
+use pdesched_machine::{search_schedules, MachineSpec, TrafficCache};
 use std::time::Instant;
 
 /// The undersized stress hierarchy every golden test pins (8 KiB 4-way
@@ -133,6 +146,54 @@ impl LowerPoint {
     }
 }
 
+/// One `--phase passes` timing: lowering `variant` and running the
+/// `passes` pipeline (including its verifier) for an `n`^3 box.
+struct PassPoint {
+    variant: &'static str,
+    passes: &'static str,
+    n: i32,
+    apply_seconds: f64,
+}
+
+impl PassPoint {
+    fn applies_per_s(&self) -> f64 {
+        1.0 / self.apply_seconds
+    }
+}
+
+/// The pinned (variant, threads, pipeline) combinations the passes
+/// phase times: one per built-in pass family, on the plan shapes that
+/// exercise the interesting analysis paths.
+fn pass_combos() -> Vec<(&'static str, Variant, usize, &'static str)> {
+    use pdesched_core::Granularity;
+    let mut fuse_cli = Variant::shift_fuse();
+    fuse_cli.comp = CompLoop::Inside;
+    let series_nt = Variant { gran: Granularity::WithinBox, ..Variant::baseline() };
+    vec![
+        ("series_nt4", series_nt, 4, "elide-barriers,fuse-phases"),
+        ("fuse_cli", fuse_cli, 1, "cross-box-fuse:4"),
+        ("bwf_cli4", Variant::blocked_wavefront(CompLoop::Inside, 4), 2, "elide-barriers"),
+        ("bwf_cli4", Variant::blocked_wavefront(CompLoop::Inside, 4), 2, "rechunk:6"),
+    ]
+}
+
+/// The headline gate the passes phase re-proves on every run: the box
+/// size and machine where the committed `BENCH_passes.json` records a
+/// pass-discovered schedule beating the hand-written best.
+const HEADLINE_N: i32 = 24;
+
+/// What the headline search found (for the JSON and the gate).
+struct SearchRecord {
+    machine: String,
+    box_n: i32,
+    candidates_ranked: usize,
+    best_handwritten: String,
+    best_handwritten_dram: u64,
+    winner: String,
+    winner_dram: u64,
+    beats: bool,
+}
+
 fn named_variants() -> Vec<(&'static str, Variant)> {
     let mut fuse_cli = Variant::shift_fuse();
     fuse_cli.comp = CompLoop::Inside;
@@ -177,8 +238,8 @@ fn main() {
         match arg.as_str() {
             "--phase" => {
                 phase = val("--phase");
-                if !matches!(phase.as_str(), "traffic" | "lower" | "all") {
-                    usage("--phase must be traffic, lower, or all");
+                if !matches!(phase.as_str(), "traffic" | "lower" | "passes" | "all") {
+                    usage("--phase must be traffic, lower, passes, or all");
                 }
             }
             "--mode" => {
@@ -237,8 +298,15 @@ fn main() {
     if min_par_speedup.is_some() && (threads < 2 || !symbolic_mode) {
         usage("--min-par-speedup needs --threads N > 1 and --mode symbolic or hybrid");
     }
-    let label =
-        label.unwrap_or_else(|| if symbolic_mode { mode.clone() } else { String::from("local") });
+    let label = label.unwrap_or_else(|| {
+        if phase == "passes" {
+            String::from("passes")
+        } else if symbolic_mode {
+            mode.clone()
+        } else {
+            String::from("local")
+        }
+    });
 
     let configs = hierarchy();
     let variants: Vec<(&'static str, Variant)> = match &wanted {
@@ -258,6 +326,7 @@ fn main() {
 
     let traffic_phase = phase == "traffic" || phase == "all";
     let lower_phase = phase == "lower" || phase == "all";
+    let passes_phase = phase == "passes";
 
     let mut points = Vec::new();
     for &n in &sizes {
@@ -375,10 +444,94 @@ fn main() {
         }
     }
 
+    let mut pass_points: Vec<PassPoint> = Vec::new();
+    let mut search: Option<SearchRecord> = None;
+    if passes_phase {
+        use pdesched_core::plan::lower;
+        use pdesched_core::Pipeline;
+        use pdesched_mesh::IntVect;
+        for &n in &sizes {
+            for (vname, variant, nthreads, spec) in pass_combos() {
+                if !variant.valid_for_box(n) {
+                    continue;
+                }
+                let pipe = Pipeline::parse(spec).expect("pinned pass specs parse");
+                if pipe.apply(lower(variant, IntVect::splat(n), nthreads)).is_err() {
+                    println!("passes {vname:<12} [{spec}] n={n} skipped (pipeline does not apply)");
+                    continue;
+                }
+                let secs = time_apply(samples, variant, n, nthreads, &pipe);
+                let p = PassPoint { variant: vname, passes: spec, n, apply_seconds: secs };
+                println!(
+                    "passes {vname:<12} [{spec:<26}] n={n:<4} {:.2} ms/apply \
+                     ({:8.1} applies/s)",
+                    secs * 1e3,
+                    p.applies_per_s()
+                );
+                pass_points.push(p);
+            }
+        }
+        // The headline gate: rerun the schedule search that discovered a
+        // pipeline beating the hand-written best, with the exact
+        // simulator confirming both sides. Deterministic, so a pass here
+        // is a bit-exact reproduction of the committed claim.
+        let spec = MachineSpec::i5_desktop();
+        let cache = TrafficCache::new();
+        println!(
+            "search: pass-pipeline schedule search on {} at N={HEADLINE_N} \
+             (exact pair simulation)...",
+            spec.name
+        );
+        let t0 = Instant::now();
+        let report = search_schedules(&spec, HEADLINE_N, 4, &cache);
+        let hand = report.best_handwritten().clone();
+        let winner = report.winner().expect("discovered frontier is non-empty").clone();
+        println!(
+            "search: best hand-written {} = {} DRAM B/box; best discovered {} = {} \
+             DRAM B/box ({:.1}s, {} candidates ranked)",
+            hand.label(),
+            hand.traffic.dram_bytes,
+            winner.label(),
+            winner.traffic.dram_bytes,
+            t0.elapsed().as_secs_f64(),
+            report.candidates_ranked
+        );
+        search = Some(SearchRecord {
+            machine: report.machine.clone(),
+            box_n: report.box_n,
+            candidates_ranked: report.candidates_ranked,
+            best_handwritten: hand.label(),
+            best_handwritten_dram: hand.traffic.dram_bytes,
+            winner: winner.label(),
+            winner_dram: winner.traffic.dram_bytes,
+            beats: report.beats_handwritten(),
+        });
+    }
+
     let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
-    std::fs::write(&path, render_json(&label, &mode, threads, &configs, &points, &lowers))
-        .expect("write bench JSON");
+    std::fs::write(
+        &path,
+        render_json(&label, &mode, threads, &configs, &points, &lowers, &pass_points, &search),
+    )
+    .expect("write bench JSON");
     println!("wrote {path}");
+
+    if let Some(s) = &search {
+        if s.beats {
+            let saved = 100.0 * (1.0 - s.winner_dram as f64 / s.best_handwritten_dram as f64);
+            println!(
+                "search gate: {} beats {} by {saved:.1}% (simulator-confirmed)",
+                s.winner, s.best_handwritten
+            );
+        } else {
+            eprintln!(
+                "bench: search gate FAILED: no discovered schedule beats {} \
+                 ({} DRAM B/box) on {} at N={}",
+                s.best_handwritten, s.best_handwritten_dram, s.machine, s.box_n
+            );
+            std::process::exit(1);
+        }
+    }
 
     if let Some(min) = min_par_speedup {
         // Wall speedup only means something when the host can actually
@@ -443,7 +596,7 @@ fn main() {
     if let Some(base) = check_against {
         let baseline = std::fs::read_to_string(&base)
             .unwrap_or_else(|e| usage(&format!("cannot read --check-against {base}: {e}")));
-        if let Err(msg) = check_regression(&baseline, &points, &lowers, threshold) {
+        if let Err(msg) = check_regression(&baseline, &points, &lowers, &pass_points, threshold) {
             eprintln!("bench: REGRESSION vs {base}:\n{msg}");
             std::process::exit(1);
         }
@@ -475,6 +628,39 @@ fn time_lower(samples: usize, variant: Variant, n: i32, threads: usize) -> f64 {
     best
 }
 
+/// Fastest observed per-application wall time for lowering `variant`
+/// and running `pipe` over it (batched like [`time_lower`]: one
+/// application is milliseconds at most, dominated by the verifier's
+/// reference lowering and stream normalization).
+fn time_apply(
+    samples: usize,
+    variant: Variant,
+    n: i32,
+    threads: usize,
+    pipe: &pdesched_core::Pipeline,
+) -> f64 {
+    use pdesched_core::plan::lower;
+    use pdesched_mesh::IntVect;
+    let size = IntVect::splat(n);
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let mut reps = 0u32;
+        let t0 = Instant::now();
+        loop {
+            std::hint::black_box(
+                pipe.apply(lower(variant, size, threads)).expect("pre-flighted pipeline applies"),
+            );
+            reps += 1;
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed >= 5e-3 || reps >= 1000 {
+                best = best.min(elapsed / reps as f64);
+                break;
+            }
+        }
+    }
+    best
+}
+
 /// Run `f` `samples` times; return the fastest wall time and the (always
 /// identical) result.
 fn time_best(samples: usize, mut f: impl FnMut() -> BoxTraffic) -> (f64, BoxTraffic) {
@@ -492,6 +678,7 @@ fn time_best(samples: usize, mut f: impl FnMut() -> BoxTraffic) -> (f64, BoxTraf
     (best, result.unwrap())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     label: &str,
     mode: &str,
@@ -499,6 +686,8 @@ fn render_json(
     configs: &[CacheConfig],
     points: &[Point],
     lowers: &[LowerPoint],
+    pass_points: &[PassPoint],
+    search: &Option<SearchRecord>,
 ) -> String {
     use pdesched_bench::json_str;
     use std::fmt::Write;
@@ -529,6 +718,41 @@ fn render_json(
             );
         }
         let _ = writeln!(j, "  ],");
+    }
+    // Same convention as `lower_points`: emitted only when the passes
+    // phase ran.
+    if !pass_points.is_empty() {
+        let _ = writeln!(j, "  \"pass_points\": [");
+        for (i, p) in pass_points.iter().enumerate() {
+            let comma = if i + 1 < pass_points.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    {{\"kind\": \"passes\", \"variant\": {}, \"passes\": {}, \"n\": {}, \
+                 \"apply_seconds\": {:.9}, \"applies_per_s\": {:.1}}}{comma}",
+                json_str(p.variant),
+                json_str(p.passes),
+                p.n,
+                p.apply_seconds,
+                p.applies_per_s()
+            );
+        }
+        let _ = writeln!(j, "  ],");
+    }
+    if let Some(s) = search {
+        let _ = writeln!(
+            j,
+            "  \"search\": {{\"machine\": {}, \"box_n\": {}, \"candidates_ranked\": {}, \
+             \"best_handwritten\": {}, \"best_handwritten_dram_bytes\": {}, \
+             \"winner\": {}, \"winner_dram_bytes\": {}, \"beats_handwritten\": {}}},",
+            json_str(&s.machine),
+            s.box_n,
+            s.candidates_ranked,
+            json_str(&s.best_handwritten),
+            s.best_handwritten_dram,
+            json_str(&s.winner),
+            s.winner_dram,
+            s.beats
+        );
     }
     let _ = writeln!(j, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
@@ -576,17 +800,25 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
+    // A quoted value may contain commas (e.g. a multi-pass pipeline
+    // spec), so close it at the matching quote, not the first comma.
+    if let Some(inner) = rest.strip_prefix('"') {
+        let end = inner.find('"')?;
+        return Some(&inner[..end]);
+    }
     let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
+    Some(rest[..end].trim())
 }
 
 /// Fail if any current point's throughput (fast-path accesses/sec for
-/// traffic points, lowerings/sec for lower points) fell below the
-/// baseline's by more than `threshold`×.
+/// traffic points, lowerings/sec for lower points, applications/sec
+/// for pass points) fell below the baseline's by more than
+/// `threshold`×.
 fn check_regression(
     baseline: &str,
     points: &[Point],
     lowers: &[LowerPoint],
+    pass_points: &[PassPoint],
     threshold: f64,
 ) -> Result<(), String> {
     use std::fmt::Write;
@@ -636,6 +868,37 @@ fn check_regression(
                 failures,
                 "  lower {} n={}: {:.0} lowerings/s vs baseline {:.0} (allowed floor {:.0})",
                 p.variant,
+                p.n,
+                now,
+                base_rate,
+                base_rate / threshold
+            );
+        }
+    }
+    for p in pass_points {
+        let base = baseline.lines().find(|l| {
+            field(l, "kind") == Some("passes")
+                && field(l, "variant") == Some(p.variant)
+                && field(l, "passes") == Some(p.passes)
+                && field(l, "n").and_then(|v| v.parse::<i32>().ok()) == Some(p.n)
+        });
+        let Some(line) = base else {
+            println!(
+                "note: no baseline pass point for {} [{}] n={} — skipped",
+                p.variant, p.passes, p.n
+            );
+            continue;
+        };
+        let base_rate: f64 = field(line, "applies_per_s")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("unparsable baseline line: {line}"))?;
+        let now = p.applies_per_s();
+        if now * threshold < base_rate {
+            let _ = writeln!(
+                failures,
+                "  passes {} [{}] n={}: {:.0} applies/s vs baseline {:.0} (allowed floor {:.0})",
+                p.variant,
+                p.passes,
                 p.n,
                 now,
                 base_rate,

@@ -4,16 +4,27 @@
 //! repro [--fast] [--store PATH] [--threads N] [--json PATH] \
 //!       [--deadline SECS] [--point-deadline SECS] \
 //!       [fig1|fig2|fig3|fig4|table1|fig9|fig10|fig11|fig12|bandwidth|ablation|sweep|plandump|faultcheck|all]...
-//! repro plan <variant-name> [--n N] [--threads T]
+//! repro plan <variant-name> [--n N] [--threads T] [--passes SPEC]
+//! repro describe <variant-name> [--n N] [--threads T] [--passes SPEC]
+//! repro optimize <variant-name> [--n N] [--machine NAME] [--frontier K] [--store PATH]
 //! ```
 //!
 //! `repro plan` prints the lowered schedule IR (`pdesched_core::plan`)
 //! for one variant — its buffers, phases, barriers, and recompute
-//! regions — for an `N`^3 box (default 32) at `T` threads (default 8).
-//! Variant names are the display names from the extended enumeration,
-//! e.g. `repro plan 'Blocked WF-CLI-4: P<Box'`. The `plandump` target
-//! writes the same dumps for the seven named Figure 10 schedules to
-//! `target/plan-dumps/` (CI uploads them as an artifact).
+//! regions — for an `N`^3 box (default 32) at `T` threads (default 8);
+//! `--passes` runs a pass pipeline (DESIGN.md §14) over the lowering
+//! first. `repro describe` prints the Section IV prose plus, with
+//! `--passes`, a per-pass delta table (barriers removed, phases fused,
+//! recompute faces). `repro optimize` runs the model-driven schedule
+//! search: every pipeline candidate is ranked with the analytic pair
+//! model and the frontier is confirmed by the exact simulator, against
+//! a simulator-confirmed hand-written baseline. Variant names are the
+//! display names from the extended enumeration, e.g.
+//! `repro plan 'Blocked WF-CLI-4: P<Box'`. The `plandump` target writes
+//! plan dumps for the seven named Figure 10 schedules to `--out`
+//! (default `target/plan-dumps/`, the CI artifact); `--variant` dumps a
+//! single named schedule instead, and `--passes` dumps transformed
+//! plans under pass-suffixed file names.
 //!
 //! * `--store PATH` — persist/reuse cache-simulator traffic measurements
 //!   (default `target/traffic-cache.txt`). The store is versioned: a
@@ -69,7 +80,7 @@
 use pdesched_bench::render_figure;
 use pdesched_cachesim::CacheConfig;
 use pdesched_core::storage::{expected, paper_formula};
-use pdesched_core::{Category, Variant};
+use pdesched_core::{Category, Pipeline, Variant};
 use pdesched_machine::{coordinator, figures, shard, sweep};
 use pdesched_machine::{
     FabricConfig, FabricReport, FaultHook, MachineSpec, PointFailure, PriorSweep, SimPoint,
@@ -223,9 +234,20 @@ mod signals {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("plan") {
-        run_plan_command(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("plan") => {
+            run_plan_command(&args[1..]);
+            return;
+        }
+        Some("describe") => {
+            run_describe_command(&args[1..]);
+            return;
+        }
+        Some("optimize") => {
+            run_optimize_command(&args[1..]);
+            return;
+        }
+        _ => {}
     }
     let mut store = String::from("target/traffic-cache.txt");
     let mut json: Option<String> = None;
@@ -239,6 +261,9 @@ fn main() {
     let mut heartbeat_stale = Duration::from_secs(10);
     let mut respawns: Option<usize> = None;
     let mut shard_worker: Option<usize> = None;
+    let mut dump_out = String::from("target/plan-dumps");
+    let mut dump_passes = String::new();
+    let mut dump_variant: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     fn usage(msg: &str) -> ! {
         eprintln!("repro: {msg}");
@@ -247,7 +272,11 @@ fn main() {
              [--mode simulate|symbolic|hybrid] \
              [--deadline SECS] [--point-deadline SECS] \
              [--shards N [--workers K] [--heartbeat-stale SECS] [--fabric-respawns N]] \
-             [TARGET]..."
+             [--out DIR] [--passes SPEC] [--variant NAME] \
+             [TARGET]...\n\
+             \x20      repro plan|describe <variant-name> [--n N] [--threads T] [--passes SPEC]\n\
+             \x20      repro optimize <variant-name> [--n N] [--machine NAME] [--frontier K] \
+             [--store PATH]"
         );
         std::process::exit(2);
     }
@@ -297,6 +326,11 @@ fn main() {
                 workers = Some(k);
             }
             "--heartbeat-stale" => heartbeat_stale = secs_flag(it.next(), "--heartbeat-stale"),
+            "--out" => dump_out = it.next().unwrap_or_else(|| usage("--out needs a directory")),
+            "--passes" => dump_passes = it.next().unwrap_or_else(|| usage("--passes needs a spec")),
+            "--variant" => {
+                dump_variant = Some(it.next().unwrap_or_else(|| usage("--variant needs a name")))
+            }
             "--fabric-respawns" => respawns = Some(count_flag(it.next(), "--fabric-respawns")),
             "--shard-worker" => shard_worker = Some(count_flag(it.next(), "--shard-worker")),
             "--mode" => {
@@ -570,7 +604,13 @@ fn main() {
                         print_bandwidth(&cache);
                     }
                 }
-                "plandump" => print_plandump(&machines[0], big_n),
+                "plandump" => print_plandump(
+                    &machines[0],
+                    big_n,
+                    &dump_out,
+                    &dump_passes,
+                    dump_variant.as_deref(),
+                ),
                 "ablation" => print_ablation(),
                 "sweep" => print_sweep(&cache, &engine, &mut log),
                 "faultcheck" => print_faultcheck(&cache, &engine, &mut log),
@@ -680,17 +720,57 @@ fn main() {
     std::process::exit(exit_code);
 }
 
-/// `repro plan <variant-name> [--n N] [--threads T]`: lower one
-/// schedule to the plan IR and print it.
-fn run_plan_command(args: &[String]) {
+/// Resolve a display-name variant argument against the extended
+/// enumeration valid for an `n`^3 box. One parser for every place a
+/// variant name enters the CLI (`repro plan`, `repro describe`,
+/// `repro optimize`, `plandump --variant`); an unknown name lists every
+/// valid one and exits 2.
+fn parse_variant_arg(cmd: &str, name: &str, n: i32) -> Variant {
+    let candidates: Vec<Variant> =
+        Variant::enumerate_extended(n).into_iter().filter(|v| v.valid_for_box(n)).collect();
+    match candidates.iter().find(|v| v.name().eq_ignore_ascii_case(name.trim())) {
+        Some(&v) => v,
+        None => {
+            eprintln!("{cmd}: no variant named '{name}' is valid for a {n}^3 box; valid names:");
+            let mut seen = std::collections::HashSet::new();
+            for v in &candidates {
+                if seen.insert(v.name()) {
+                    eprintln!("  {}", v.name());
+                }
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse a `--passes` spec ([`Pipeline::parse`] grammar) or exit 2 with
+/// the parser's own message (which lists the known passes).
+fn parse_passes_arg(cmd: &str, spec: &str) -> Pipeline {
+    Pipeline::parse(spec).unwrap_or_else(|e| {
+        eprintln!("{cmd}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Shared `<variant-name> [--n N] [--threads T] [--passes SPEC]`
+/// argument shape of the `plan` and `describe` subcommands.
+struct VariantCli {
+    variant: Variant,
+    n: i32,
+    threads: usize,
+    passes: String,
+}
+
+fn parse_variant_cli(cmd: &str, args: &[String]) -> VariantCli {
     let mut name: Option<String> = None;
     let mut n: i32 = 32;
     let mut threads: usize = 8;
-    fn usage(msg: &str) -> ! {
-        eprintln!("repro plan: {msg}");
-        eprintln!("usage: repro plan <variant-name> [--n N] [--threads T]");
+    let mut passes = String::new();
+    let usage = |msg: &str| -> ! {
+        eprintln!("{cmd}: {msg}");
+        eprintln!("usage: {cmd} <variant-name> [--n N] [--threads T] [--passes SPEC]");
         std::process::exit(2);
-    }
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -708,24 +788,249 @@ fn run_plan_command(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| usage("--threads needs a number"))
             }
+            "--passes" => {
+                passes = it.next().unwrap_or_else(|| usage("--passes needs a spec")).clone()
+            }
             flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
             other if name.is_none() => name = Some(other.to_string()),
             other => usage(&format!("unexpected argument '{other}'")),
         }
     }
     let Some(name) = name else { usage("missing variant name") };
-    let candidates: Vec<Variant> =
-        Variant::enumerate_extended(n).into_iter().filter(|v| v.valid_for_box(n)).collect();
-    let Some(&variant) = candidates.iter().find(|v| v.name().eq_ignore_ascii_case(name.trim()))
-    else {
-        eprintln!("repro plan: no variant named '{name}' is valid for a {n}^3 box; valid names:");
-        for v in &candidates {
-            eprintln!("  {}", v.name());
+    VariantCli { variant: parse_variant_arg(cmd, &name, n), n, threads, passes }
+}
+
+/// `repro plan <variant-name> [--n N] [--threads T] [--passes SPEC]`:
+/// lower one schedule to the plan IR, optionally run a pass pipeline
+/// over it, and print the (verified) result.
+fn run_plan_command(args: &[String]) {
+    let cli = parse_variant_cli("repro plan", args);
+    let pipe = parse_passes_arg("repro plan", &cli.passes);
+    let size = pdesched_mesh::IntVect::splat(cli.n);
+    match pdesched_core::plan_for_optimized(cli.variant, size, cli.threads, &pipe) {
+        Ok(plan) => print!("{}", plan.render()),
+        Err(e) => {
+            eprintln!("repro plan: {e}");
+            std::process::exit(2);
         }
+    }
+}
+
+/// `repro describe <variant-name> [--n N] [--threads T] [--passes SPEC]`:
+/// the Section IV prose for one schedule, plus — when a pipeline is
+/// given — a per-pass delta table (barriers removed, phases fused,
+/// recompute faces before/after) so transformed schedules are
+/// inspectable without reading plan dumps.
+fn run_describe_command(args: &[String]) {
+    let cli = parse_variant_cli("repro describe", args);
+    parse_passes_arg("repro describe", &cli.passes); // validate the spec up front
+    let d = pdesched_core::describe::describe(cli.variant, cli.n, cli.threads);
+    println!("== {} (N={}, {} threads) ==", d.name, cli.n, cli.threads);
+    println!("  temporaries:   {}", d.temporaries);
+    println!("  locality:      {}", d.locality);
+    println!("  parallelism:   {}", d.parallelism);
+    println!("  recomputation: {}", d.recomputation);
+    if cli.passes.trim().is_empty() {
+        return;
+    }
+    // Apply the pipeline one pass at a time: each prefix is itself a
+    // valid (verified) pipeline, so every row of the delta table is an
+    // executable plan.
+    let size = pdesched_mesh::IntVect::splat(cli.n);
+    let mut plan = pdesched_core::plan::lower(cli.variant, size, cli.threads);
+    println!("== per-pass deltas ({}) ==", cli.passes);
+    println!(
+        "  {:<24} {:>10} {:>10} {:>10} {:>18}",
+        "pass", "barriers", "phases", "steps", "recompute faces"
+    );
+    let row = |label: &str, p: &pdesched_core::Plan| {
+        println!(
+            "  {:<24} {:>10} {:>10} {:>10} {:>18}",
+            label,
+            p.barrier_count(),
+            p.phase_count(),
+            p.step_count(),
+            p.recompute_faces()
+        );
+    };
+    row("(hand lowering)", &plan);
+    for part in cli.passes.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let single = parse_passes_arg("repro describe", part);
+        plan = match single.apply(plan) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("repro describe: pass '{part}' failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        row(part, &plan);
+    }
+    let hand = pdesched_core::plan::lower(cli.variant, size, cli.threads);
+    println!(
+        "  pipeline total: {} barrier(s) removed, {} phase(s) fused away, \
+         recompute faces {} -> {}{}",
+        hand.barrier_count().saturating_sub(plan.barrier_count()),
+        hand.phase_count().saturating_sub(plan.phase_count()),
+        hand.recompute_faces(),
+        plan.recompute_faces(),
+        if plan.interleave > 1 { ", pair-interleaved execution" } else { "" }
+    );
+}
+
+/// `repro optimize <variant-name> [--n N] [--machine NAME]
+/// [--frontier K] [--store PATH]`: the model-driven schedule search.
+/// Runs the full pass-pipeline search on the chosen machine (analytic
+/// ranking, simulator-confirmed hand-written baseline + discovered
+/// frontier), then zooms into the named variant's own candidate slice.
+fn run_optimize_command(args: &[String]) {
+    let mut name: Option<String> = None;
+    let mut n: i32 = 24;
+    let mut machine: Option<String> = None;
+    let mut frontier_k: usize = 4;
+    let mut store = String::from("target/traffic-cache.txt");
+    let usage = |msg: &str| -> ! {
+        eprintln!("repro optimize: {msg}");
+        eprintln!(
+            "usage: repro optimize <variant-name> [--n N] [--machine NAME] \
+             [--frontier K] [--store PATH]"
+        );
         std::process::exit(2);
     };
-    let plan = pdesched_core::plan_for(variant, pdesched_mesh::IntVect::splat(n), threads);
-    print!("{}", plan.render());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                n = it
+                    .next()
+                    .unwrap_or_else(|| usage("--n needs a box size"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--n needs a number"))
+            }
+            "--machine" => {
+                machine = Some(it.next().unwrap_or_else(|| usage("--machine needs a name")).clone())
+            }
+            "--frontier" => {
+                frontier_k = it
+                    .next()
+                    .unwrap_or_else(|| usage("--frontier needs a count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--frontier needs a number"))
+            }
+            "--store" => store = it.next().unwrap_or_else(|| usage("--store needs a path")).clone(),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
+            other if name.is_none() => name = Some(other.to_string()),
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(name) = name else { usage("missing variant name") };
+    let variant = parse_variant_arg("repro optimize", &name, n);
+    // The three evaluation nodes plus the Section VI-B desktop; default
+    // to the desktop (the single-socket machine the pair study models
+    // most directly).
+    let mut machines = vec![MachineSpec::i5_desktop()];
+    machines.extend(MachineSpec::evaluation_nodes());
+    let spec = match &machine {
+        None => machines[0].clone(),
+        Some(m) => {
+            let lower = m.to_lowercase();
+            match machines.iter().find(|s| s.name.to_lowercase().contains(&lower)) {
+                Some(s) => s.clone(),
+                None => {
+                    eprintln!("repro optimize: no machine matching '{m}'; evaluation nodes:");
+                    for s in &machines {
+                        eprintln!("  {}", s.name);
+                    }
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let cache = TrafficCache::with_store(&store);
+    let report = sweep::search_schedules(&spec, n, frontier_k, &cache);
+    let pct =
+        |bytes: u64, baseline: u64| 100.0 * (bytes as f64 - baseline as f64) / baseline as f64;
+    println!(
+        "== Pass-pipeline schedule search on {} (N={n}, LLC share {} KiB/thread) ==",
+        report.machine,
+        report.llc_share / 1024
+    );
+    println!(
+        "{} candidates ranked analytically; simulator-confirmed {} hand-written shapes \
+         and a frontier of {}",
+        report.candidates_ranked,
+        report.handwritten.len(),
+        report.frontier.len()
+    );
+    let best_hand = report.best_handwritten().clone();
+    println!(
+        "best hand-written: {:<44} {:>12} DRAM B/box",
+        best_hand.label(),
+        best_hand.traffic.dram_bytes
+    );
+    println!("discovered frontier (simulator-confirmed):");
+    for c in &report.frontier {
+        println!(
+            "  {:<44} {:>12} DRAM B/box ({:+.1}% vs best hand-written)",
+            c.label(),
+            c.traffic.dram_bytes,
+            pct(c.traffic.dram_bytes, best_hand.traffic.dram_bytes)
+        );
+    }
+    match report.winner() {
+        Some(w) if report.beats_handwritten() => println!(
+            "verdict: {} beats the best hand-written schedule by {:.1}%",
+            w.label(),
+            -pct(w.traffic.dram_bytes, best_hand.traffic.dram_bytes)
+        ),
+        _ => println!("verdict: no discovered schedule beats the hand-written best here"),
+    }
+
+    // The named variant's own slice of the search space, confirmed.
+    // The pair study dedupes shapes by (category, comp, intra, tile):
+    // granularity collapses at one traced thread, so the named variant
+    // always maps onto exactly one confirmed shape.
+    let hand = report
+        .handwritten
+        .iter()
+        .find(|c| {
+            (c.variant.category, c.variant.comp, c.variant.intra, c.variant.tile)
+                == (variant.category, variant.comp, variant.intra, variant.tile)
+        })
+        .expect("every valid shape is confirmed")
+        .clone();
+    println!("== candidate pipelines for {} ==", variant.name());
+    println!("  {:<44} {:>12} DRAM B/box (hand lowering)", hand.label(), hand.traffic.dram_bytes);
+    let mut mine = sweep::candidate_pipelines(hand.variant, n, report.llc_share);
+    mine.sort_by_key(|c| c.analytic_bytes);
+    let hierarchy = spec.hierarchy_for(spec.cores_per_socket);
+    let mut best_mine: Option<(String, u64)> = None;
+    for cand in mine.iter().take(frontier_k) {
+        let pipe = parse_passes_arg("repro optimize", &cand.passes);
+        match cache.get_pair(cand.variant, n, &hierarchy, &pipe) {
+            Ok(t) => {
+                println!(
+                    "  {:<44} {:>12} DRAM B/box ({:+.1}% vs its hand lowering)",
+                    format!("{} + [{}]", cand.variant.name(), cand.passes),
+                    t.dram_bytes,
+                    pct(t.dram_bytes, hand.traffic.dram_bytes)
+                );
+                if best_mine.as_ref().is_none_or(|(_, b)| t.dram_bytes < *b) {
+                    best_mine = Some((cand.passes.clone(), t.dram_bytes));
+                }
+            }
+            Err(e) => println!("  {} + [{}]: skipped ({e})", cand.variant.name(), cand.passes),
+        }
+    }
+    if let Some((passes, bytes)) = best_mine {
+        if bytes < hand.traffic.dram_bytes {
+            println!(
+                "best pipeline for this variant: [{passes}] saves {:.1}% of its DRAM traffic",
+                -pct(bytes, hand.traffic.dram_bytes)
+            );
+        } else {
+            println!("no pipeline improves this variant here");
+        }
+    }
 }
 
 /// Everything a `--shard-worker` invocation needs (forwarded by the
@@ -863,18 +1168,42 @@ fn fabric_points(wanted: &[String], machines: &[MachineSpec], big_n: i32) -> Vec
     pts
 }
 
-/// Write plan dumps for the seven named Figure 10 schedules to
-/// `target/plan-dumps/` (the CI artifact) and print them.
-fn print_plandump(spec: &MachineSpec, n: i32) {
-    let dir = std::path::Path::new("target/plan-dumps");
-    std::fs::create_dir_all(dir).expect("create target/plan-dumps");
-    println!("== Lowered plans for the Figure 10 schedules ({}, N={n}) ==", spec.name);
-    for (name, variant) in figures::n128_variants(spec) {
+/// Write plan dumps to `out_dir` (default `target/plan-dumps/`, the CI
+/// artifact) and print them: the seven named Figure 10 schedules, or a
+/// single `--variant` by display name, optionally transformed by a
+/// `--passes` pipeline (the pass key lands in the file name, so
+/// transformed dumps never clobber the hand ones).
+fn print_plandump(spec: &MachineSpec, n: i32, out_dir: &str, passes: &str, only: Option<&str>) {
+    let pipe = parse_passes_arg("repro plandump", passes);
+    let dir = std::path::Path::new(out_dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {out_dir}: {e}"));
+    let schedules: Vec<(String, Variant)> = match only {
+        Some(name) => {
+            let v = parse_variant_arg("repro plandump", name, n);
+            vec![(v.name(), v)]
+        }
+        None => figures::n128_variants(spec).into_iter().map(|(s, v)| (s.to_string(), v)).collect(),
+    };
+    let suffix = if pipe.is_empty() { String::new() } else { format!(", passes [{}]", pipe.key()) };
+    println!("== Lowered plans ({}, N={n}{suffix}) ==", spec.name);
+    for (name, variant) in schedules {
         let threads =
             if variant.gran == pdesched_core::Granularity::WithinBox { spec.cores() } else { 1 };
-        let plan = pdesched_core::plan_for(variant, pdesched_mesh::IntVect::splat(n), threads);
+        let plan = match pdesched_core::plan_for_optimized(
+            variant,
+            pdesched_mesh::IntVect::splat(n),
+            threads,
+            &pipe,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("-- {name}: pipeline does not apply: {e} --");
+                continue;
+            }
+        };
         let text = plan.render();
-        let slug: String = name
+        let stem = if pipe.is_empty() { name.clone() } else { format!("{name}__{}", pipe.key()) };
+        let slug: String = stem
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
             .collect();

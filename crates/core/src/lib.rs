@@ -45,6 +45,6 @@ pub mod wavefront;
 
 pub use exec::{run_box, run_box_traced, run_level};
 pub use mem::{CountingMem, Mem, NoMem};
-pub use plan::{plan_for, Plan};
+pub use plan::{plan_for, plan_for_optimized, Pass, Pipeline, PipelineError, Plan};
 pub use storage::TempStorage;
 pub use variant::{Category, CompLoop, Granularity, IntraTile, InvalidVariant, Variant};

@@ -1,0 +1,232 @@
+//! The plan verifier: every transformed plan must pass before the
+//! interpreter sees it.
+//!
+//! [`check`] proves two things against a freshly lowered reference for
+//! the transformed plan's variant:
+//!
+//! 1. **Alloc-order and effect-stream preservation.** The transformed
+//!    plan declares the identical buffers in the identical order (trace
+//!    addresses are a pure function of allocation order, so this pins
+//!    the address assignment), and each thread's step stream, normalized
+//!    by merging contiguous sub-slabs, equals the reference stream. A
+//!    pass may split, regroup, or re-phase work, but it may not add,
+//!    drop, or reorder any thread's computation.
+//! 2. **Barrier soundness.** Every pair of phases left unsynchronized
+//!    carries no cross-thread dependence the interval analysis can see
+//!    ([`super::analysis::unsynced_conflict`]). The analysis is
+//!    conservative (opaque steps conflict with everything), so this
+//!    direction cannot be fooled by imprecision.
+//!
+//! [`fields_bit_identical`] is the end-to-end check: execute transformed
+//! and reference plans on synthetic data and require bit-equal solver
+//! fields. The pass-fuzz suite runs it across a randomized grid; it is
+//! kept out of `Pipeline::apply`'s hot path (a full execution per
+//! lowering would swamp the plan cache's point).
+
+use super::analysis;
+use super::interp::execute;
+use super::ir::{Plan, RegionPlan, Step};
+use super::lower_impl::lower;
+use crate::mem::NoMem;
+use crate::variant::Variant;
+use pdesched_kernels::{GHOST, NCOMP};
+use pdesched_mesh::{FArrayBox, IBox, IntVect};
+use std::fmt;
+
+/// Why a transformed plan was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(msg: String) -> Result<(), VerifyError> {
+    Err(VerifyError(msg))
+}
+
+/// Try to merge `b` into `a`: identical payloads over contiguous ranges.
+fn join(a: &Step, b: &Step) -> Option<Step> {
+    match (*a, *b) {
+        (Step::Flux1 { flux, d, zr, cli }, Step::Flux1 { flux: f2, d: d2, zr: z2, cli: c2 })
+            if flux == f2 && d == d2 && cli == c2 && zr.1 == z2.0 =>
+        {
+            Some(Step::Flux1 { flux, d, zr: (zr.0, z2.1), cli })
+        }
+        (
+            Step::ExtractVel { flux, vel, d, zr },
+            Step::ExtractVel { flux: f2, vel: v2, d: d2, zr: z2 },
+        ) if flux == f2 && vel == v2 && d == d2 && zr.1 == z2.0 => {
+            Some(Step::ExtractVel { flux, vel, d, zr: (zr.0, z2.1) })
+        }
+        (
+            Step::Flux2Clo { flux, vel, d, zr },
+            Step::Flux2Clo { flux: f2, vel: v2, d: d2, zr: z2 },
+        ) if flux == f2 && vel == v2 && d == d2 && zr.1 == z2.0 => {
+            Some(Step::Flux2Clo { flux, vel, d, zr: (zr.0, z2.1) })
+        }
+        (Step::Flux2Cli { flux, d, zr }, Step::Flux2Cli { flux: f2, d: d2, zr: z2 })
+            if flux == f2 && d == d2 && zr.1 == z2.0 =>
+        {
+            Some(Step::Flux2Cli { flux, d, zr: (zr.0, z2.1) })
+        }
+        (
+            Step::Accumulate { flux, d, zr, comp },
+            Step::Accumulate { flux: f2, d: d2, zr: z2, comp: c2 },
+        ) if flux == f2 && d == d2 && comp == c2 && zr.1 == z2.0 => {
+            Some(Step::Accumulate { flux, d, zr: (zr.0, z2.1), comp })
+        }
+        (Step::FillVel { vel, d, zr }, Step::FillVel { vel: v2, d: d2, zr: z2 })
+            if vel == v2 && d == d2 && zr.1 == z2.0 =>
+        {
+            Some(Step::FillVel { vel, d, zr: (zr.0, z2.1) })
+        }
+        (Step::FusedClo { c, zr }, Step::FusedClo { c: c2, zr: z2 }) if c == c2 && zr.1 == z2.0 => {
+            Some(Step::FusedClo { c, zr: (zr.0, z2.1) })
+        }
+        (Step::FusedCli { zr }, Step::FusedCli { zr: z2 }) if zr.1 == z2.0 => {
+            Some(Step::FusedCli { zr: (zr.0, z2.1) })
+        }
+        (
+            Step::WfSpan { group, start, len, comp },
+            Step::WfSpan { group: g2, start: s2, len: l2, comp: c2 },
+        ) if group == g2 && comp == c2 && start + len == s2 => {
+            Some(Step::WfSpan { group, start, len: len + l2, comp })
+        }
+        (
+            Step::OtTiles { start, len, recompute_faces },
+            Step::OtTiles { start: s2, len: l2, recompute_faces: r2 },
+        ) if start + len == s2 => {
+            Some(Step::OtTiles { start, len: len + l2, recompute_faces: recompute_faces + r2 })
+        }
+        _ => None,
+    }
+}
+
+/// Each thread's flattened step stream across the region's phases, with
+/// contiguous sub-slab runs merged back into single steps.
+fn normalized_streams(region: &RegionPlan, nthreads: usize) -> Vec<Vec<Step>> {
+    let mut out: Vec<Vec<Step>> = vec![Vec::new(); nthreads];
+    for phase in &region.phases {
+        for (t, steps) in phase.work.iter().enumerate() {
+            for &s in steps {
+                match out[t].last_mut() {
+                    Some(prev) => match join(prev, &s) {
+                        Some(m) => *prev = m,
+                        None => out[t].push(s),
+                    },
+                    None => out[t].push(s),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Structural verification of a transformed plan against a fresh
+/// lowering of its own variant. `original` is the variant the pipeline
+/// started from; only a `rechunk` pass may change it, and then only its
+/// tile.
+pub fn check(plan: &Plan, original: Variant) -> Result<(), VerifyError> {
+    let rechunked = plan.passes.iter().any(|p| p.starts_with("rechunk:"));
+    let untiled_match =
+        Variant { tile: None, ..plan.variant } == Variant { tile: None, ..original };
+    if !untiled_match || (plan.variant.tile != original.tile && !rechunked) {
+        return err(format!(
+            "variant drifted from '{}' to '{}' without a rechunk pass",
+            original.name(),
+            plan.variant.name()
+        ));
+    }
+    let reference = lower(plan.variant, plan.size, plan.nthreads);
+    if plan.nthreads != reference.nthreads {
+        return err(format!(
+            "thread count {} does not match reference {}",
+            plan.nthreads, reference.nthreads
+        ));
+    }
+    if plan.regions.len() != reference.regions.len() {
+        return err(format!(
+            "{} regions, reference has {}",
+            plan.regions.len(),
+            reference.regions.len()
+        ));
+    }
+    if plan.wf_groups != reference.wf_groups || plan.tile != reference.tile {
+        return err("wavefront grouping or tile decode drifted from reference".into());
+    }
+    if plan.storage != reference.storage {
+        return err(format!(
+            "declared storage {:?} does not match reference {:?}",
+            plan.storage, reference.storage
+        ));
+    }
+    for (ri, (r, rr)) in plan.regions.iter().zip(&reference.regions).enumerate() {
+        if r.kind != rr.kind {
+            return err(format!("region {ri}: kind {:?} vs reference {:?}", r.kind, rr.kind));
+        }
+        // Alloc-order check: identical buffers, identical declared order.
+        if r.allocs != rr.allocs {
+            return err(format!(
+                "region {ri}: alloc events drifted from reference (order is the trace-address \
+                 assignment)"
+            ));
+        }
+        for phase in &r.phases {
+            if phase.work.len() != plan.nthreads {
+                return err(format!(
+                    "region {ri}: phase carries {} thread lists, plan has {} threads",
+                    phase.work.len(),
+                    plan.nthreads
+                ));
+            }
+        }
+        // Dependence preservation, part 1: per-thread computation is a
+        // reordering-free regrouping of the reference stream.
+        let got = normalized_streams(r, plan.nthreads);
+        let want = normalized_streams(rr, plan.nthreads);
+        if got != want {
+            return err(format!(
+                "region {ri}: normalized per-thread step streams differ from reference"
+            ));
+        }
+        // Dependence preservation, part 2: no unsynchronized
+        // cross-thread conflict survives.
+        if let Some((a, b)) = analysis::unsynced_conflict(r, plan.nthreads) {
+            return err(format!(
+                "region {ri}: phases {a} and {b} run unsynchronized but carry a cross-thread \
+                 dependence"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Execute `plan` and a fresh reference lowering of its variant on
+/// synthetic data and require bit-identical solver fields. The
+/// end-to-end guarantee behind the structural checks; used by the
+/// pass-fuzz suite, `repro optimize`, and tests.
+pub fn fields_bit_identical(plan: &Plan) -> Result<(), VerifyError> {
+    let cells = IBox::new(IntVect::ZERO, plan.size - IntVect::splat(1));
+    let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
+    phi0.fill_synthetic(151);
+    let mut got = FArrayBox::new(cells, NCOMP);
+    got.fill_synthetic(152);
+    let mut want = got.clone();
+    let reference = lower(plan.variant, plan.size, plan.nthreads);
+    execute(plan, &phi0, &mut got, cells, &NoMem);
+    execute(&reference, &phi0, &mut want, cells, &NoMem);
+    if got.bit_eq(&want, cells) {
+        Ok(())
+    } else {
+        Err(VerifyError(format!(
+            "solver fields differ from the unoptimized plan for '{}' (passes [{}])",
+            plan.variant.name(),
+            plan.pass_key()
+        )))
+    }
+}

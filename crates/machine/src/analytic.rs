@@ -157,6 +157,57 @@ pub fn analytic_box_traffic(variant: Variant, n: i32, cache_bytes: u64) -> u64 {
     }
 }
 
+/// The bytes of `phi0` shared between two adjacent `n^3` boxes: the
+/// `2·GHOST`-thick slab both boxes' stencils read. This is what
+/// cross-box phase fusion can save (once per pair) by revisiting the
+/// neighbor's halo at chunk distance instead of a whole box later.
+pub fn shared_halo_bytes(n: i32) -> u64 {
+    let span = n as u64 + 2 * GHOST as u64;
+    2 * GHOST as u64 * span * span * NCOMP as u64 * W
+}
+
+/// Closed-form **per-box** traffic of the two-box pair workload
+/// ([`crate::traffic::measure_pair_traffic`]) through an effective cache
+/// of `cache_bytes`. `interleaved` models the `cross-box-fuse` pass with
+/// chunk depth `chunk` (rows of z per visit); `chunk = 0` or
+/// `interleaved = false` is plain sequential execution, which equals
+/// [`analytic_box_traffic`] — the halo is fetched once per box.
+///
+/// The interleaving saves (up to) the shared halo's second fetch: the
+/// pair's reuse distance for a halo line drops from one whole box sweep
+/// to roughly two chunks of working set, so the saving applies when the
+/// chunked slice of both boxes' working sets fits the cache *and* the
+/// sequential sweep would have evicted the halo (working set over
+/// capacity). Like the rest of this model it ranks candidates; the
+/// simulator confirms.
+pub fn analytic_pair_traffic(
+    variant: Variant,
+    n: i32,
+    cache_bytes: u64,
+    interleaved: bool,
+    chunk: i32,
+) -> u64 {
+    let per_box = analytic_box_traffic(variant, n, cache_bytes);
+    if !interleaved || chunk < 1 {
+        return per_box;
+    }
+    // Reuse-distance proxy for a halo line between its two uses:
+    // sequentially, everything one box streams (`per_box` bytes);
+    // interleaved, two boxes' shares of one chunk. Streamed volume, not
+    // resident working set — a fused sweep's working set is a few
+    // planes, but its full phi0/phi1 stream still flushes the halo.
+    let slices = (n as u64).div_ceil(chunk.max(1) as u64).max(1);
+    let chunk_stream = 2 * (per_box / slices).max(1);
+    let saves = per_box > cache_bytes && chunk_stream <= cache_bytes;
+    if saves {
+        // Halved: the halo is shared by the pair, so each box's share of
+        // the saving is half of it.
+        per_box.saturating_sub(shared_halo_bytes(n) / 2)
+    } else {
+        per_box
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +308,24 @@ mod tests {
     #[should_panic(expected = "positive box size")]
     fn volumes_reject_negative_n() {
         super::volumes(-4);
+    }
+
+    #[test]
+    fn pair_model_discounts_shared_halo_when_interleaved() {
+        let n = 32;
+        let v = Variant { comp: CompLoop::Inside, ..Variant::shift_fuse() };
+        let cache = 1536 * 1024;
+        // Sequential pair: each box pays its own full traffic.
+        let seq = analytic_pair_traffic(v, n, cache, false, 0);
+        assert_eq!(seq, analytic_box_traffic(v, n, cache));
+        // Interleaved at a chunk whose stream fits: half the shared halo
+        // comes off each box.
+        let fused = analytic_pair_traffic(v, n, cache, true, 4);
+        assert_eq!(fused, seq - shared_halo_bytes(n) / 2);
+        // When one box already fits in cache, sequential execution never
+        // evicts the halo and interleaving has nothing to save.
+        let big = 64 * 1024 * 1024;
+        assert_eq!(analytic_pair_traffic(v, n, big, true, 4), analytic_box_traffic(v, n, big));
     }
 
     #[test]

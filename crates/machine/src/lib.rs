@@ -54,13 +54,17 @@ pub use fault::FaultHook;
 pub use journal::PriorSweep;
 pub use model::{predict_time, Prediction, Workload};
 pub use parallel::{
-    max_point_threads, measure_box_traffic_parallel, measure_box_traffic_parallel_sim,
-    ParallelStats,
+    max_point_threads, measure_box_traffic_optimized, measure_box_traffic_optimized_sim,
+    measure_box_traffic_parallel, measure_box_traffic_parallel_sim, ParallelStats,
 };
 pub use shard::{MergeConflict, MergeReport};
 pub use spec::MachineSpec;
+pub use sweep::{
+    candidate_pipelines, search_schedules, ConfirmedSchedule, ScheduleCandidate, SearchReport,
+};
 pub use symbolic::{measure_box_traffic_symbolic, SymbolicAnalysis};
 pub use traffic::{
-    measure_box_traffic, measure_box_traffic_reference, BoxTraffic, CacheStats, TrafficCache,
-    TrafficMode,
+    measure_box_traffic, measure_box_traffic_reference, measure_optimized_box_traffic,
+    measure_pair_traffic, pair_store_key, store_key_with_passes, BoxTraffic, CacheStats,
+    TrafficCache, TrafficMode,
 };

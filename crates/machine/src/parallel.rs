@@ -40,7 +40,10 @@
 use crate::symbolic::{analyze, emit_symbolic_stream, LineSink};
 use crate::traffic::{box_reps, BoxTraffic};
 use pdesched_cachesim::{merge_stats, shard_configs, shard_count, CacheConfig, Hierarchy, Stats};
-use pdesched_core::{run_box_traced, Mem, Variant};
+use pdesched_core::plan::Plan;
+use pdesched_core::{
+    plan, plan_for_optimized, run_box_traced, Mem, Pipeline, PipelineError, Variant,
+};
 use pdesched_kernels::{GHOST, NCOMP};
 use pdesched_mesh::{trace_addr, FArrayBox, IBox};
 use std::cell::UnsafeCell;
@@ -305,6 +308,106 @@ fn produce_simulate(variant: Variant, n: i32, router: &mut ShardRouter<'_>) -> u
     k
 }
 
+/// The trace-splitter producer for a *transformed* plan: the same
+/// deterministic layout as `produce_simulate`, executing the given plan
+/// directly instead of re-lowering from the variant.
+fn produce_simulate_plan(arc: &Plan, n: i32, router: &mut ShardRouter<'_>) -> usize {
+    trace_addr::reset();
+    let k = box_reps(n);
+    let cells = IBox::cube(n);
+    let mut boxes: Vec<(FArrayBox, FArrayBox)> = (0..k)
+        .map(|i| {
+            let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
+            phi0.fill_synthetic(97 + i as u64);
+            (phi0, FArrayBox::new(cells, NCOMP))
+        })
+        .collect();
+    let trace = SplitMem { router: UnsafeCell::new(router) };
+    let scratch = trace_addr::mark();
+    for (phi0, phi1) in &mut boxes {
+        trace_addr::rewind(scratch);
+        plan::execute(arc, phi0, phi1, cells, &trace);
+    }
+    k
+}
+
+/// [`measure_box_traffic_parallel`] for a pass-transformed plan, with a
+/// serial escape hatch (`threads <= 1` runs
+/// [`crate::traffic::measure_optimized_box_traffic`] directly).
+///
+/// Producer choice: an order-preserving pipeline on a claimed plan keeps
+/// the symbolic emitters' certificate (the verifier pinned the serial
+/// step stream to the hand lowering), so those points use the symbolic
+/// producer; every other pipeline — rechunk, cross-box fusion — routes
+/// the transformed plan's real traced execution through the splitter.
+/// Fails only if the pipeline fails; nothing is measured then.
+pub fn measure_box_traffic_optimized(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    threads: usize,
+    pipeline: &Pipeline,
+) -> Result<(BoxTraffic, ParallelStats), PipelineError> {
+    measure_optimized_impl(variant, n, configs, threads, pipeline, true)
+}
+
+/// [`measure_box_traffic_optimized`] pinned to the simulator producers:
+/// the optimized counterpart of `TrafficMode::Simulate`.
+pub fn measure_box_traffic_optimized_sim(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    threads: usize,
+    pipeline: &Pipeline,
+) -> Result<(BoxTraffic, ParallelStats), PipelineError> {
+    measure_optimized_impl(variant, n, configs, threads, pipeline, false)
+}
+
+fn measure_optimized_impl(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    threads: usize,
+    pipeline: &Pipeline,
+    allow_symbolic: bool,
+) -> Result<(BoxTraffic, ParallelStats), PipelineError> {
+    if pipeline.is_empty() {
+        if threads <= 1 {
+            let t = crate::traffic::measure_box_traffic(variant, n, configs);
+            return Ok((t, ParallelStats { nshards: 1, shard_ops: vec![0], used_symbolic: false }));
+        }
+        return Ok(measure_box_traffic_parallel_sim(variant, n, configs, threads));
+    }
+    if allow_symbolic && pipeline.order_preserving() && analyze(variant, n).fully_claimed() {
+        // Validate the pipeline (errors must surface even on the claimed
+        // path), then reuse the claim-aware engine wholesale: the
+        // transformed serial stream is the reference stream.
+        plan_for_optimized(variant, IBox::cube(n).size(), 1, pipeline)?;
+        if threads <= 1 {
+            let t = crate::symbolic::measure_box_traffic_symbolic(variant, n, configs);
+            return Ok((t, ParallelStats { nshards: 1, shard_ops: vec![0], used_symbolic: true }));
+        }
+        return Ok(measure_box_traffic_parallel(variant, n, configs, threads));
+    }
+    let arc = plan_for_optimized(variant, IBox::cube(n).size(), 1, pipeline)?;
+    if threads <= 1 {
+        let t = crate::traffic::measure_optimized_box_traffic(variant, n, configs, pipeline)?;
+        return Ok((t, ParallelStats { nshards: 1, shard_ops: vec![0], used_symbolic: false }));
+    }
+    let nshards = shard_count(configs, threads);
+    let (stats, ops, k) =
+        parallel_replay(configs, nshards, |router| produce_simulate_plan(&arc, n, router));
+    let nlev = stats.levels.len();
+    let t = BoxTraffic {
+        dram_bytes: stats.dram_bytes(configs[0].line) / k as u64,
+        reads: stats.reads / k as u64,
+        writes: stats.writes / k as u64,
+        l1_hit: stats.levels[0].hit_ratio(),
+        llc_hit: stats.levels[nlev - 1].hit_ratio(),
+    };
+    Ok((t, ParallelStats { nshards, shard_ops: ops, used_symbolic: false }))
+}
+
 /// Measure one point with up to `threads` shard workers, choosing the
 /// producer by claim: symbolic emission when the analysis claims the
 /// whole plan, the trace splitter otherwise. Bit-identical to
@@ -407,6 +510,47 @@ mod tests {
         let (b, pb) = measure_box_traffic_parallel_sim(Variant::shift_fuse(), 8, &configs, 4);
         assert!(pa.used_symbolic && !pb.used_symbolic);
         assert_eq!(a, b);
+    }
+
+    /// Optimized-plan measurement agrees across every producer: the
+    /// serial transformed-plan interpreter, the sharded trace splitter,
+    /// and (for order-preserving pipelines) the symbolic emitters.
+    #[test]
+    fn optimized_parallel_matches_optimized_serial() {
+        let configs = small();
+        // Stream-reordering pipeline: transformed-plan execution, serial
+        // and sharded.
+        let pipe = Pipeline::parse("cross-box-fuse:2").unwrap();
+        let serial = crate::traffic::measure_optimized_box_traffic(
+            Variant::shift_fuse(),
+            8,
+            &configs,
+            &pipe,
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let (t, ps) =
+                measure_box_traffic_optimized(Variant::shift_fuse(), 8, &configs, threads, &pipe)
+                    .unwrap();
+            assert!(!ps.used_symbolic);
+            assert_eq!(t, serial, "threads={threads}");
+        }
+        // Order-preserving pipeline on a claimed variant: the symbolic
+        // producer answers with the plain variant's (identical) stream.
+        let ep = Pipeline::parse("elide-barriers").unwrap();
+        let plain = measure_box_traffic(Variant::baseline(), 8, &configs);
+        let (b, pb) =
+            measure_box_traffic_optimized(Variant::baseline(), 8, &configs, 4, &ep).unwrap();
+        assert!(pb.used_symbolic);
+        assert_eq!(b, plain);
+        // The forced-simulate twin agrees without claiming.
+        let (c, pc) =
+            measure_box_traffic_optimized_sim(Variant::baseline(), 8, &configs, 4, &ep).unwrap();
+        assert!(!pc.used_symbolic);
+        assert_eq!(c, plain);
+        // Pipeline preconditions surface as errors through every entry.
+        let bad = Pipeline::parse("rechunk:4").unwrap();
+        assert!(measure_box_traffic_optimized(Variant::baseline(), 8, &configs, 4, &bad).is_err());
     }
 
     /// A tripped ambient token cancels the pipeline at a producer

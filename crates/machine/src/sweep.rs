@@ -6,11 +6,12 @@
 //! and returns the ranking; the top candidates can then be re-evaluated
 //! with the simulator-backed model for confirmation.
 
+use crate::analytic::analytic_pair_traffic;
 use crate::engine::{SimPoint, SweepEngine};
 use crate::model::{predict_time, predict_time_analytic, Prediction, Workload};
 use crate::spec::MachineSpec;
-use crate::traffic::TrafficCache;
-use pdesched_core::Variant;
+use crate::traffic::{BoxTraffic, TrafficCache};
+use pdesched_core::{Pipeline, Variant};
 
 /// One ranked entry.
 #[derive(Clone, Debug)]
@@ -98,6 +99,221 @@ pub fn rank_top_measured(
     out
 }
 
+/// One schedule in the pass-pipeline search space: a hand-written
+/// variant plus a pass spec (`""` = the hand lowering itself).
+#[derive(Clone, Debug)]
+pub struct ScheduleCandidate {
+    /// The variant the pipeline starts from.
+    pub variant: Variant,
+    /// Comma-separated pass spec ([`Pipeline::parse`] grammar); empty
+    /// for hand-written schedules.
+    pub passes: String,
+    /// Analytic pair-workload traffic (bytes per box) — the ranking
+    /// score.
+    pub analytic_bytes: u64,
+}
+
+/// A candidate the exact simulator confirmed.
+#[derive(Clone, Debug)]
+pub struct ConfirmedSchedule {
+    /// The variant the pipeline starts from.
+    pub variant: Variant,
+    /// The pass spec (empty = hand-written).
+    pub passes: String,
+    /// The analytic score it was ranked by.
+    pub analytic_bytes: u64,
+    /// Simulator-measured pair-workload traffic, per box.
+    pub traffic: BoxTraffic,
+}
+
+impl ConfirmedSchedule {
+    /// `variant [+ passes]`, the display form.
+    pub fn label(&self) -> String {
+        if self.passes.is_empty() {
+            self.variant.name()
+        } else {
+            format!("{} + [{}]", self.variant.name(), self.passes)
+        }
+    }
+}
+
+/// What [`search_schedules`] found for one `(machine, box size)` point.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Machine display name.
+    pub machine: String,
+    /// Box edge length.
+    pub box_n: i32,
+    /// The per-thread LLC share the pair workload was measured through.
+    pub llc_share: u64,
+    /// Candidates ranked analytically (hand-written + discovered).
+    pub candidates_ranked: usize,
+    /// Every hand-written schedule shape, **simulator-confirmed** on the
+    /// pair workload, sorted by measured traffic. The baseline the
+    /// discovered frontier must beat is `handwritten[0]` — established
+    /// by the simulator, not the model.
+    pub handwritten: Vec<ConfirmedSchedule>,
+    /// The analytic frontier of discovered (non-empty pipeline)
+    /// schedules, simulator-confirmed, sorted by measured traffic.
+    pub frontier: Vec<ConfirmedSchedule>,
+}
+
+impl SearchReport {
+    /// The best hand-written schedule by *measured* pair traffic.
+    pub fn best_handwritten(&self) -> &ConfirmedSchedule {
+        &self.handwritten[0]
+    }
+
+    /// The best discovered schedule by measured pair traffic, if any
+    /// discovered candidate survived confirmation.
+    pub fn winner(&self) -> Option<&ConfirmedSchedule> {
+        self.frontier.first()
+    }
+
+    /// Does the best discovered schedule move strictly less DRAM traffic
+    /// than the best hand-written one — both simulator-measured?
+    pub fn beats_handwritten(&self) -> bool {
+        self.winner()
+            .is_some_and(|w| w.traffic.dram_bytes < self.best_handwritten().traffic.dram_bytes)
+    }
+}
+
+/// The hand-written schedule shapes of the pair-workload study: the
+/// extended variant space, deduplicated by `(category, comp, intra,
+/// tile)`. The pair workload runs serially per thread (tracing happens
+/// at one thread), so the granularity axis collapses — `P >= Box` and
+/// `P < Box` lower to the same serial plan.
+fn handwritten_shapes(box_n: i32) -> Vec<Variant> {
+    let mut seen = std::collections::HashSet::new();
+    Variant::enumerate_extended(box_n)
+        .into_iter()
+        .filter(|v| v.valid_for_box(box_n))
+        .filter(|v| seen.insert((v.category, v.comp, v.intra, v.tile)))
+        .collect()
+}
+
+/// Non-enumerated tile edges the rechunk pass can reach (the paper
+/// samples powers of two only).
+const RECHUNK_TILES: [i32; 6] = [2, 3, 6, 12, 24, 48];
+
+/// Interleave chunk depths the cross-box-fuse pass searches over.
+const FUSE_CHUNKS: [i32; 3] = [2, 4, 8];
+
+/// The discovered (non-empty pipeline) candidates the search considers
+/// for one hand-written shape, analytically scored on a machine with
+/// `llc_share` bytes of last-level cache per thread. `repro optimize`
+/// uses the same enumeration, so what it confirms for a single variant
+/// is exactly the slice of the full search space rooted at that shape.
+pub fn candidate_pipelines(v: Variant, box_n: i32, llc_share: u64) -> Vec<ScheduleCandidate> {
+    let mut discovered: Vec<ScheduleCandidate> = Vec::new();
+    for chunk in FUSE_CHUNKS {
+        if chunk < box_n {
+            discovered.push(ScheduleCandidate {
+                variant: v,
+                passes: format!("cross-box-fuse:{chunk}"),
+                analytic_bytes: analytic_pair_traffic(v, box_n, llc_share, true, chunk),
+            });
+        }
+    }
+    if v.category.tiled() {
+        for t in RECHUNK_TILES {
+            let rv = Variant { tile: Some(t), ..v };
+            if rv.validate_for_box(box_n).is_err() || v.tile == Some(t) {
+                continue;
+            }
+            discovered.push(ScheduleCandidate {
+                variant: v,
+                passes: format!("rechunk:{t}"),
+                analytic_bytes: analytic_pair_traffic(rv, box_n, llc_share, false, 0),
+            });
+            for chunk in FUSE_CHUNKS {
+                if chunk < box_n {
+                    discovered.push(ScheduleCandidate {
+                        variant: v,
+                        passes: format!("rechunk:{t},cross-box-fuse:{chunk}"),
+                        analytic_bytes: analytic_pair_traffic(rv, box_n, llc_share, true, chunk),
+                    });
+                }
+            }
+        }
+    }
+    discovered
+}
+
+/// Model-driven schedule search over the pass-pipeline space.
+///
+/// Candidates are every hand-written shape (empty pipeline) plus, per
+/// shape: `cross-box-fuse:<chunk>` for each chunk depth, `rechunk:<t>`
+/// for each valid non-enumerated tile (tiled categories), and the
+/// combination of both. All candidates are ranked with
+/// [`analytic_pair_traffic`] on the machine's per-core LLC share at full
+/// socket occupancy — instant. The exact simulator then confirms
+/// **every** hand-written shape (so the baseline is measured, not
+/// modeled) and the top `frontier_k` discovered candidates, through
+/// [`TrafficCache::get_pair`] so repeated searches hit the store.
+/// Discovered candidates whose pipeline fails on this shape (a pass
+/// precondition) are skipped at confirmation.
+pub fn search_schedules(
+    spec: &MachineSpec,
+    box_n: i32,
+    frontier_k: usize,
+    cache: &TrafficCache,
+) -> SearchReport {
+    let hierarchy = spec.hierarchy_for(spec.cores_per_socket);
+    let llc_share = hierarchy.last().map(|c| c.size as u64).unwrap_or(0);
+    let shapes = handwritten_shapes(box_n);
+    assert!(!shapes.is_empty(), "no hand-written variant is valid for a {box_n}^3 box");
+
+    // Enumerate + rank analytically.
+    let mut discovered: Vec<ScheduleCandidate> = Vec::new();
+    for &v in &shapes {
+        discovered.extend(candidate_pipelines(v, box_n, llc_share));
+    }
+    discovered.sort_by_key(|c| c.analytic_bytes);
+    let candidates_ranked = shapes.len() + discovered.len();
+
+    // Confirm with the exact simulator: every hand-written shape, then
+    // the analytic frontier of the discovered space.
+    let empty = Pipeline::empty();
+    let mut handwritten: Vec<ConfirmedSchedule> = shapes
+        .iter()
+        .map(|&v| ConfirmedSchedule {
+            variant: v,
+            passes: String::new(),
+            analytic_bytes: analytic_pair_traffic(v, box_n, llc_share, false, 0),
+            traffic: cache
+                .get_pair(v, box_n, &hierarchy, &empty)
+                .expect("the empty pipeline cannot fail"),
+        })
+        .collect();
+    handwritten.sort_by_key(|c| c.traffic.dram_bytes);
+
+    let mut frontier: Vec<ConfirmedSchedule> = Vec::new();
+    for cand in discovered.iter().take(frontier_k) {
+        let pipeline = Pipeline::parse(&cand.passes).expect("search specs parse");
+        // An Err is a pass precondition this shape cannot meet: drop
+        // the candidate, the frontier just gets shorter.
+        if let Ok(traffic) = cache.get_pair(cand.variant, box_n, &hierarchy, &pipeline) {
+            frontier.push(ConfirmedSchedule {
+                variant: cand.variant,
+                passes: cand.passes.clone(),
+                analytic_bytes: cand.analytic_bytes,
+                traffic,
+            });
+        }
+    }
+    frontier.sort_by_key(|c| c.traffic.dram_bytes);
+
+    SearchReport {
+        machine: spec.name.to_string(),
+        box_n,
+        llc_share,
+        candidates_ranked,
+        handwritten,
+        frontier,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +353,34 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses as usize, cache.len());
         assert!(s.hits >= 3, "predictions must hit, got {s:?}");
+    }
+
+    #[test]
+    fn schedule_search_confirms_and_ranks() {
+        let spec = MachineSpec::i5_desktop();
+        let cache = TrafficCache::new();
+        let report = search_schedules(&spec, 8, 3, &cache);
+        assert!(report.candidates_ranked > 0);
+        assert!(!report.handwritten.is_empty());
+        assert!(!report.frontier.is_empty() && report.frontier.len() <= 3);
+        // Hand-written entries carry no passes; discovered entries do.
+        assert!(report.handwritten.iter().all(|c| c.passes.is_empty()));
+        assert!(report.frontier.iter().all(|c| !c.passes.is_empty()));
+        // Both lists are sorted by simulator-confirmed traffic.
+        for list in [&report.handwritten, &report.frontier] {
+            for w in list.windows(2) {
+                assert!(w[0].traffic.dram_bytes <= w[1].traffic.dram_bytes);
+            }
+        }
+        assert_eq!(
+            report.best_handwritten().traffic.dram_bytes,
+            report.handwritten[0].traffic.dram_bytes
+        );
+        // Every confirmation was memoized under a pair key.
+        assert!(cache.len() >= report.handwritten.len() + report.frontier.len());
+        // Labels render with pass provenance.
+        let w = report.winner().expect("non-empty frontier");
+        assert!(w.label().contains('['), "{}", w.label());
     }
 
     #[test]

@@ -76,7 +76,7 @@
 
 use crate::traffic::{measure_box_traffic, BoxTraffic};
 use pdesched_cachesim::{CacheConfig, Hierarchy};
-use pdesched_core::plan::{plan_for, AllocKind, Plan, RegionKind, Step};
+use pdesched_core::plan::{plan_for, zslab, AllocKind, Plan, RegionKind, Step};
 use pdesched_core::{CompLoop, Variant};
 use pdesched_kernels::{vel_comp, GHOST, NCOMP};
 use pdesched_mesh::{trace_addr, IBox, IntVect};
@@ -957,8 +957,12 @@ fn emit_fuse_step<S: LineSink>(
             let z0 = faces.lo()[2];
             emit_fill_vel(phi0, &fabs[vel], faces, d, z0 + zr.0..z0 + zr.1, rec);
         }
-        Step::FusedClo { c } => emit_fused_clo(phi0, phi1, cells, c, fabs, ybase, zbase, rec),
-        Step::FusedCli => emit_fused_cli(phi0, phi1, cells, ybase, zbase, rec),
+        // The emitters mirror the kernels over any box, so a split
+        // step's sub-slab emits exactly (boundary recompute included).
+        Step::FusedClo { c, zr } => {
+            emit_fused_clo(phi0, phi1, zslab(cells, zr), c, fabs, ybase, zbase, rec)
+        }
+        Step::FusedCli { zr } => emit_fused_cli(phi0, phi1, zslab(cells, zr), ybase, zbase, rec),
         ref other => unreachable!("{other:?} in a fuse region"),
     }
 }

@@ -16,7 +16,7 @@
 use crate::adapter::TraceMem;
 use crate::fault::FaultHook;
 use pdesched_cachesim::{CacheConfig, Hierarchy};
-use pdesched_core::{run_box_traced, Variant};
+use pdesched_core::{plan, plan_for_optimized, run_box_traced, Pipeline, PipelineError, Variant};
 use pdesched_kernels::{GHOST, NCOMP};
 use pdesched_mesh::{FArrayBox, IBox};
 use std::collections::HashMap;
@@ -174,6 +174,103 @@ fn measure_impl(variant: Variant, n: i32, configs: &[CacheConfig], reference: bo
     }
 }
 
+/// [`measure_box_traffic`], but executing the plan a pass `pipeline`
+/// produced instead of the hand lowering. The trace layout, warm-up
+/// repetitions, and counter division mirror `measure_impl` exactly, so
+/// the empty pipeline is bit-identical to [`measure_box_traffic`].
+/// Fails only if the pipeline itself fails (a pass precondition or the
+/// plan verifier); nothing is measured in that case.
+pub fn measure_optimized_box_traffic(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    pipeline: &Pipeline,
+) -> Result<BoxTraffic, PipelineError> {
+    let cells = IBox::cube(n);
+    // Lower + transform *before* the trace reset: plan verification may
+    // draw trace addresses of its own, and the measurement layout must
+    // start from a clean slate either way.
+    let plan = plan_for_optimized(variant, cells.size(), 1, pipeline)?;
+    pdesched_mesh::trace_addr::reset();
+    let k = box_reps(n);
+    let mut boxes: Vec<(FArrayBox, FArrayBox)> = (0..k)
+        .map(|i| {
+            let mut phi0 = FArrayBox::new(cells.grown(GHOST), NCOMP);
+            phi0.fill_synthetic(97 + i as u64);
+            (phi0, FArrayBox::new(cells, NCOMP))
+        })
+        .collect();
+    let trace = TraceMem::new(Hierarchy::new(configs));
+    let scratch = pdesched_mesh::trace_addr::mark();
+    for (phi0, phi1) in &mut boxes {
+        pdesched_mesh::trace_addr::rewind(scratch);
+        plan::execute(&plan, phi0, phi1, cells, &trace);
+    }
+    let sim = trace.finish();
+    let s = sim.stats();
+    let nlev = s.levels.len();
+    Ok(BoxTraffic {
+        dram_bytes: s.dram_bytes(sim.line()) / k as u64,
+        reads: s.reads / k as u64,
+        writes: s.writes / k as u64,
+        l1_hit: s.levels[0].hit_ratio(),
+        llc_hit: s.levels[nlev - 1].hit_ratio(),
+    })
+}
+
+/// Per-box steady-state DRAM traffic of the **pair workload**: two
+/// adjacent `n^3` boxes sharing a ghost halo in `x`, updated from one
+/// `phi0` covering their union. This is the workload where cross-box
+/// phase fusion is visible: sequential execution (the default) fetches
+/// the shared halo lines once per box, while an interleaved plan
+/// (`interleave > 1`, produced by the `cross-box-fuse` pass) revisits
+/// them at chunk distance, short enough to still find them in the LLC.
+///
+/// Counters are divided by `2 · box_reps(n)` so the numbers are
+/// per-box, directly comparable to [`measure_box_traffic`].
+pub fn measure_pair_traffic(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    pipeline: &Pipeline,
+) -> Result<BoxTraffic, PipelineError> {
+    let cells_a = IBox::cube(n);
+    let cells_b = cells_a.shifted(pdesched_mesh::IntVect::new(n, 0, 0));
+    let union = IBox::new(cells_a.lo(), cells_b.hi());
+    let plan = plan_for_optimized(variant, cells_a.size(), 1, pipeline)?;
+    pdesched_mesh::trace_addr::reset();
+    let k = box_reps(n);
+    let mut sets: Vec<(FArrayBox, FArrayBox, FArrayBox)> = (0..k)
+        .map(|i| {
+            let mut phi0 = FArrayBox::new(union.grown(GHOST), NCOMP);
+            phi0.fill_synthetic(97 + i as u64);
+            (phi0, FArrayBox::new(cells_a, NCOMP), FArrayBox::new(cells_b, NCOMP))
+        })
+        .collect();
+    let trace = TraceMem::new(Hierarchy::new(configs));
+    let scratch = pdesched_mesh::trace_addr::mark();
+    for (phi0, phi1a, phi1b) in &mut sets {
+        pdesched_mesh::trace_addr::rewind(scratch);
+        if plan.interleave > 1 {
+            plan::execute_pair(&plan, phi0, phi1a, phi1b, cells_a, cells_b, &trace);
+        } else {
+            plan::execute(&plan, phi0, phi1a, cells_a, &trace);
+            plan::execute(&plan, phi0, phi1b, cells_b, &trace);
+        }
+    }
+    let sim = trace.finish();
+    let s = sim.stats();
+    let nlev = s.levels.len();
+    let div = 2 * k as u64;
+    Ok(BoxTraffic {
+        dram_bytes: s.dram_bytes(sim.line()) / div,
+        reads: s.reads / div,
+        writes: s.writes / div,
+        l1_hit: s.levels[0].hit_ratio(),
+        llc_hit: s.levels[nlev - 1].hit_ratio(),
+    })
+}
+
 /// Hit/miss and store-health counters of a [`TrafficCache`] at one
 /// instant.
 ///
@@ -267,6 +364,46 @@ pub fn store_key(variant: Variant, n: i32, configs: &[CacheConfig]) -> String {
     );
     for c in configs {
         let _ = write!(k, "/{}-{}-{}", c.size, c.assoc, c.line);
+    }
+    k
+}
+
+/// [`store_key`] with the pass pipeline's provenance appended. The empty
+/// pipeline produces the **byte-identical** plain key: a warm store
+/// written before the pass pipeline existed stays valid, and pass-free
+/// lookups share entries with [`TrafficCache::get`]. A non-empty
+/// pipeline appends `/p[<pass-key>]` — the comma-joined pass names, the
+/// same string [`pdesched_core::plan::Plan::pass_key`] stamps on the
+/// transformed plan.
+pub fn store_key_with_passes(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    pipeline: &Pipeline,
+) -> String {
+    let mut k = store_key(variant, n, configs);
+    if !pipeline.is_empty() {
+        use std::fmt::Write;
+        let _ = write!(k, "/p[{}]", pipeline.key());
+    }
+    k
+}
+
+/// The key of a pair-workload measurement ([`measure_pair_traffic`]):
+/// the single-box key with a `/pair` component, then the pass suffix.
+/// Distinct from every single-box key, so pair and single-box numbers
+/// can never be served for one another.
+pub fn pair_store_key(
+    variant: Variant,
+    n: i32,
+    configs: &[CacheConfig],
+    pipeline: &Pipeline,
+) -> String {
+    let mut k = store_key(variant, n, configs);
+    k.push_str("/pair");
+    if !pipeline.is_empty() {
+        use std::fmt::Write;
+        let _ = write!(k, "/p[{}]", pipeline.key());
     }
     k
 }
@@ -765,6 +902,15 @@ impl TrafficCache {
                 (t, if used_symbolic { requested } else { TrafficMode::Simulate })
             }
         };
+        self.record(key, t, mode);
+        t
+    }
+
+    /// Memoize a fresh measurement and append it to the store (if this
+    /// cache owns the writer lock), with the configured retry budget.
+    /// Shared by every miss path so the append semantics cannot drift
+    /// between the plain, optimized, and pair entry points.
+    fn record(&self, key: String, t: BoxTraffic, mode: TrafficMode) {
         self.map_lock().insert(key.clone(), (t, mode));
         if let (Some(path), true) = (&self.store, self.owned_lock.is_some()) {
             let max_retries = self.retry_max.load(Ordering::Relaxed);
@@ -796,7 +942,102 @@ impl TrafficCache {
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
-        t
+    }
+
+    /// Measured (or memoized) traffic of `variant` transformed by a pass
+    /// `pipeline`.
+    ///
+    /// The empty pipeline delegates to [`TrafficCache::get`] — same key,
+    /// same entry, same counters — so pass-free callers share the warm
+    /// store. Non-empty pipelines key under
+    /// [`store_key_with_passes`]'s `/p[...]`-suffixed key.
+    ///
+    /// Under a symbolic-capable mode, an **order-preserving** pipeline
+    /// (barrier/phase restructuring only — the verifier proves the
+    /// serial step stream unchanged) on a fully claimed plan is served
+    /// by the symbolic engine: the transformed plan's one-thread trace
+    /// is identical to the hand lowering's, so the claim stays sound.
+    /// Everything else (rechunk, cross-box fusion) executes the
+    /// transformed plan through the exact simulator and counts as a
+    /// fallback point. Errors (a pass precondition or verifier
+    /// rejection) are returned, never cached.
+    pub fn get_optimized(
+        &self,
+        variant: Variant,
+        n: i32,
+        configs: &[CacheConfig],
+        pipeline: &Pipeline,
+    ) -> Result<BoxTraffic, PipelineError> {
+        if pipeline.is_empty() {
+            return Ok(self.get(variant, n, configs));
+        }
+        let key = store_key_with_passes(variant, n, configs, pipeline);
+        if let Some((t, _)) = self.map_lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*t);
+        }
+        let sim_index = self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = &self.fault {
+            hook.before_simulation(sim_index, &key);
+        }
+        let threads = self.engine_threads.load(Ordering::Relaxed).max(1) as usize;
+        let (t, mode) = match self.mode {
+            TrafficMode::Simulate => {
+                let t = crate::parallel::measure_box_traffic_optimized_sim(
+                    variant, n, configs, threads, pipeline,
+                )?
+                .0;
+                (t, TrafficMode::Simulate)
+            }
+            requested @ (TrafficMode::Symbolic | TrafficMode::Hybrid) => {
+                // The claim rule lives in the parallel front end: an
+                // order-preserving pipeline on a claimed plan keeps the
+                // symbolic certificate (the verifier pinned the serial
+                // stream to the hand lowering); everything else executes
+                // the transformed plan through the exact simulator.
+                let (t, ps) = crate::parallel::measure_box_traffic_optimized(
+                    variant, n, configs, threads, pipeline,
+                )?;
+                if ps.used_symbolic {
+                    self.claimed_points.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.fallback_points.fetch_add(1, Ordering::Relaxed);
+                }
+                (t, if ps.used_symbolic { requested } else { TrafficMode::Simulate })
+            }
+        };
+        self.record(key, t, mode);
+        Ok(t)
+    }
+
+    /// Measured (or memoized) traffic of the two-box pair workload
+    /// ([`measure_pair_traffic`]), keyed under [`pair_store_key`]. The
+    /// pair workload is always measured by the exact simulator — the
+    /// symbolic engine does not model the interleaved two-box stream —
+    /// so under a symbolic-capable mode a pair miss counts as a fallback
+    /// point and is tagged `sim`.
+    pub fn get_pair(
+        &self,
+        variant: Variant,
+        n: i32,
+        configs: &[CacheConfig],
+        pipeline: &Pipeline,
+    ) -> Result<BoxTraffic, PipelineError> {
+        let key = pair_store_key(variant, n, configs, pipeline);
+        if let Some((t, _)) = self.map_lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*t);
+        }
+        let sim_index = self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = &self.fault {
+            hook.before_simulation(sim_index, &key);
+        }
+        let t = measure_pair_traffic(variant, n, configs, pipeline)?;
+        if matches!(self.mode, TrafficMode::Symbolic | TrafficMode::Hybrid) {
+            self.fallback_points.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record(key, t, TrafficMode::Simulate);
+        Ok(t)
     }
 
     /// Retry transient store-append failures: up to `max_retries` extra
@@ -1147,5 +1388,114 @@ mod tests {
         );
         assert!(wf.dram_bytes > fused.dram_bytes, "tiling should cost spatial locality here");
         assert!(wf.dram_bytes < fused.dram_bytes * 3);
+    }
+
+    #[test]
+    fn pass_free_store_keys_are_byte_identical() {
+        // The compatibility contract: an empty pipeline must produce the
+        // exact pre-pipeline key (existing stores stay valid), and any
+        // non-empty pipeline gets its own suffix.
+        let cfg = small_hierarchy();
+        let v = Variant::shift_fuse();
+        assert_eq!(store_key_with_passes(v, 8, &cfg, &Pipeline::empty()), store_key(v, 8, &cfg));
+        let pipe = Pipeline::parse("cross-box-fuse:2").unwrap();
+        let k = store_key_with_passes(v, 8, &cfg, &pipe);
+        assert!(k.ends_with("/p[cross-box-fuse:2]"), "{k}");
+        assert!(k.starts_with(&store_key(v, 8, &cfg)), "{k}");
+        // Pair keys never collide with single-box keys.
+        let pk = pair_store_key(v, 8, &cfg, &Pipeline::empty());
+        assert_ne!(pk, store_key(v, 8, &cfg));
+        assert!(pk.contains("/pair"), "{pk}");
+    }
+
+    #[test]
+    fn optimized_measurement_matches_plain_for_stream_preserving_pipelines() {
+        // Empty pipeline: same producer, identical numbers. An
+        // order-preserving pipeline keeps the serial access stream, so
+        // the simulated traffic is identical too (barriers are free at
+        // one thread).
+        let n = 8;
+        let cfg = small_hierarchy();
+        let plain = measure_box_traffic(Variant::baseline(), n, &cfg);
+        let empty = measure_optimized_box_traffic(Variant::baseline(), n, &cfg, &Pipeline::empty())
+            .unwrap();
+        assert_eq!(plain, empty);
+        let pipe = Pipeline::parse("elide-barriers,fuse-phases").unwrap();
+        let opt = measure_optimized_box_traffic(Variant::baseline(), n, &cfg, &pipe).unwrap();
+        assert_eq!(plain, opt);
+        // A pass that refuses the plan surfaces as an error, not a panic.
+        let bad = Pipeline::parse("rechunk:4").unwrap();
+        assert!(measure_optimized_box_traffic(Variant::baseline(), n, &cfg, &bad).is_err());
+    }
+
+    #[test]
+    fn cross_box_fusion_saves_shared_halo_traffic() {
+        // The headline mechanism at unit scale: two x-adjacent boxes
+        // share a 2-ghost halo slab of phi0. Sequential execution
+        // refetches it (the LLC is smaller than one box's stream);
+        // chunk-interleaved execution revisits it at chunk distance.
+        let n = 12;
+        let cfg = vec![CacheConfig::new(8 * 1024, 4), CacheConfig::new(256 * 1024, 16)];
+        let v = Variant { comp: CompLoop::Inside, ..Variant::shift_fuse() };
+        let seq = measure_pair_traffic(v, n, &cfg, &Pipeline::empty()).unwrap();
+        let pipe = Pipeline::parse("cross-box-fuse:2").unwrap();
+        let fused = measure_pair_traffic(v, n, &cfg, &pipe).unwrap();
+        assert!(
+            fused.dram_bytes < seq.dram_bytes,
+            "interleaved {} !< sequential {}",
+            fused.dram_bytes,
+            seq.dram_bytes
+        );
+    }
+
+    #[test]
+    fn get_optimized_tags_producers_and_memoizes() {
+        let cache = TrafficCache::new().with_mode(TrafficMode::Hybrid);
+        let cfg = small_hierarchy();
+        // Empty pipeline delegates to the plain entry point (same key).
+        let plain = cache.get_optimized(Variant::baseline(), 8, &cfg, &Pipeline::empty()).unwrap();
+        assert_eq!(plain, cache.get(Variant::baseline(), 8, &cfg));
+        assert_eq!(cache.len(), 1);
+        // Order-preserving pipeline on a fully claimed variant: the
+        // symbolic producer answers, under a pass-suffixed key.
+        let ep = Pipeline::parse("elide-barriers,fuse-phases").unwrap();
+        let claimed_before = cache.stats().claimed_points;
+        let a = cache.get_optimized(Variant::baseline(), 8, &cfg, &ep).unwrap();
+        assert_eq!(a, plain, "stream-preserving pipeline must not change traffic");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().claimed_points, claimed_before + 1);
+        // Stream-reordering pipeline: simulator fallback.
+        let xb = Pipeline::parse("cross-box-fuse:2").unwrap();
+        let fallback_before = cache.stats().fallback_points;
+        let _ = cache.get_optimized(Variant::shift_fuse(), 8, &cfg, &xb).unwrap();
+        assert_eq!(cache.stats().fallback_points, fallback_before + 1);
+        // Second lookups hit.
+        let h = cache.stats().hits;
+        let _ = cache.get_optimized(Variant::baseline(), 8, &cfg, &ep).unwrap();
+        let _ = cache.get_optimized(Variant::shift_fuse(), 8, &cfg, &xb).unwrap();
+        assert_eq!(cache.stats().hits, h + 2);
+    }
+
+    #[test]
+    fn get_pair_persists_under_pair_keys() {
+        let dir = TempDir::new("pair-store");
+        let path = dir.file("traffic.txt");
+        let cfg = big_hierarchy();
+        let v = Variant::shift_fuse();
+        let pipe = Pipeline::parse("cross-box-fuse:2").unwrap();
+        let a = {
+            let cache = TrafficCache::with_store(&path);
+            let seq = cache.get_pair(v, 8, &cfg, &Pipeline::empty()).unwrap();
+            let il = cache.get_pair(v, 8, &cfg, &pipe).unwrap();
+            assert_ne!(cache.get(v, 8, &cfg), seq, "pair and single-box entries must not collide");
+            assert_eq!(cache.len(), 3);
+            (seq, il)
+        };
+        // A fresh cache reloads all three entries from the store.
+        let cache2 = TrafficCache::with_store(&path);
+        assert_eq!(cache2.len(), 3);
+        assert_eq!(cache2.get_pair(v, 8, &cfg, &Pipeline::empty()).unwrap(), a.0);
+        assert_eq!(cache2.get_pair(v, 8, &cfg, &pipe).unwrap(), a.1);
+        assert_eq!(cache2.stats().misses, 0);
     }
 }

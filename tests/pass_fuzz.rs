@@ -1,0 +1,98 @@
+//! Pass-pipeline fuzzing: random pipelines applied to random
+//! (variant, extent, threads) points must either be rejected up front
+//! (a pass precondition or the verifier refusing the combination) or
+//! produce a plan that passes the structural verifier *and* executes to
+//! solver fields bit-identical to the untransformed lowering.
+//!
+//! This is the end-to-end soundness net behind `plan::passes`: the
+//! individual passes argue their legality via `plan::analysis`, and
+//! this suite checks the argument against reality on a fuzzed grid.
+//! Deterministic (seeded testkit LCG) so failures reproduce.
+
+use pdesched_core::plan::{lower, verify};
+use pdesched_core::{Pipeline, Variant};
+use pdesched_mesh::IntVect;
+use pdesched_testkit::Rng;
+
+/// Specs drawn from the full pass vocabulary, including tiles/chunks
+/// that are invalid for many extents — rejection paths are part of the
+/// contract under test.
+const PASS_POOL: &[&str] = &[
+    "elide-barriers",
+    "fuse-phases",
+    "rechunk:2",
+    "rechunk:3",
+    "rechunk:4",
+    "rechunk:6",
+    "cross-box-fuse:2",
+    "cross-box-fuse:3",
+    "cross-box-fuse:4",
+];
+
+fn random_pipeline(rng: &mut Rng) -> Pipeline {
+    let len = rng.range_usize(1, 4);
+    let spec = (0..len).map(|_| *rng.choose(PASS_POOL)).collect::<Vec<_>>().join(",");
+    Pipeline::parse(&spec).expect("every pool combination parses")
+}
+
+#[test]
+fn random_pipelines_verify_and_preserve_solver_fields() {
+    let mut rng = Rng::new(0x9a55_f022);
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    for case in 0..200 {
+        let n = *rng.choose(&[6, 8, 12]);
+        let variants: Vec<Variant> =
+            Variant::enumerate_extended(n).into_iter().filter(|v| v.valid_for_box(n)).collect();
+        let variant = *rng.choose(&variants);
+        let threads = *rng.choose(&[1usize, 2, 4]);
+        let pipe = random_pipeline(&mut rng);
+        let plan = lower(variant, IntVect::splat(n), threads);
+        match pipe.apply(plan) {
+            Ok(optimized) => {
+                // `Pipeline::apply` already ran the structural verifier;
+                // re-check explicitly so a future refactor that drops the
+                // internal call still fails here.
+                verify::check(&optimized, variant).unwrap_or_else(|e| {
+                    panic!(
+                        "case {case}: verifier rejected applied pipeline [{}] on {} n={n} \
+                         threads={threads}: {e}",
+                        optimized.pass_key(),
+                        variant.name()
+                    )
+                });
+                verify::fields_bit_identical(&optimized).unwrap_or_else(|e| {
+                    panic!(
+                        "case {case}: pipeline [{}] on {} n={n} threads={threads} changed the \
+                         solver fields: {e}",
+                        optimized.pass_key(),
+                        variant.name()
+                    )
+                });
+                applied += 1;
+            }
+            // A precondition rejection (bad tile, multi-thread cross-box
+            // fuse, ...) is a legal outcome; silently mutating the plan
+            // would not be.
+            Err(_) => rejected += 1,
+        }
+    }
+    assert_eq!(applied + rejected, 200);
+    // The pool is built so plenty of combinations apply; if this floor
+    // breaks, the passes got stricter and the fuzz lost its teeth.
+    assert!(applied >= 60, "only {applied}/200 pipelines applied — fuzz coverage collapsed");
+}
+
+/// The empty pipeline is the identity: same plan, same pass key, and
+/// bit-identical fields trivially.
+#[test]
+fn empty_pipeline_is_identity() {
+    let pipe = Pipeline::empty();
+    for v in [Variant::baseline(), Variant::shift_fuse()] {
+        let plan = lower(v, IntVect::splat(8), 2);
+        let before = plan.render();
+        let after = pipe.apply(plan).expect("empty pipeline always applies");
+        assert_eq!(after.render(), before);
+        assert_eq!(after.pass_key(), "");
+    }
+}
