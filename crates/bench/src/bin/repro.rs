@@ -7,6 +7,8 @@
 //! repro plan <variant-name> [--n N] [--threads T] [--passes SPEC]
 //! repro describe <variant-name> [--n N] [--threads T] [--passes SPEC]
 //! repro optimize <variant-name> [--n N] [--machine NAME] [--frontier K] [--store PATH]
+//! repro serve [--addr HOST:PORT] [--store PATH] [--max-inflight N] \
+//!       [--request-deadline SECS] [--stale-ok]
 //! ```
 //!
 //! `repro plan` prints the lowered schedule IR (`pdesched_core::plan`)
@@ -60,7 +62,18 @@
 //! aborting the sweep. Exit codes: 0 complete, 10 interrupted by
 //! signal, 11 deadline exceeded, 12 point failures/timeouts,
 //! 13 store was read-only (lock held by another repro), 14 sweep
-//! fabric stalled, 15 merge conflict.
+//! fabric stalled, 15 merge conflict, 16 serve could not start.
+//!
+//! `repro serve` (DESIGN.md §15) turns the traffic store into a
+//! long-lived schedule-query service: line-delimited JSON over local
+//! TCP, warm answers from an immutable store snapshot (no flock on the
+//! read path), cold points measured once per key no matter how many
+//! clients ask (request coalescing), admission control past
+//! `--max-inflight`, and stale-tagged snapshot answers when another
+//! process holds the store lock (`--stale-ok`). SIGINT/SIGTERM drain
+//! inflight requests, compact and flush the store, and exit 10.
+//! `REPRO_FAULT` grows `drop-req:K` / `hang-req:K` for the
+//! request-path storm tests.
 //!
 //! Sharded sweeps (see DESIGN.md §12): `--shards N --workers K`
 //! partitions the measurement space deterministically into N shard
@@ -98,6 +111,7 @@ const EXIT_POINT_FAILURES: i32 = 12;
 const EXIT_STORE_READ_ONLY: i32 = 13;
 const EXIT_FABRIC_STALLED: i32 = 14;
 const EXIT_MERGE_CONFLICT: i32 = 15;
+const EXIT_SERVE: i32 = 16;
 
 /// Wall time and cache activity of one regenerated target.
 struct Stage {
@@ -117,6 +131,8 @@ struct EnvFault {
     hang_sim: Option<u64>,
     abort_sim: Option<u64>,
     fail_append_every: Option<u64>,
+    drop_req: Option<u64>,
+    hang_req: Option<u64>,
     /// `REPRO_FAULT_GUARD`: a path claimed atomically (`create_new`)
     /// the first time any planned sim fault is about to fire, across
     /// every process sharing the env. A respawned fabric worker
@@ -165,6 +181,20 @@ impl FaultHook for EnvFault {
     }
 }
 
+impl pdesched_machine::ServeHook for EnvFault {
+    fn on_request(&self, request_index: u64) -> Option<pdesched_machine::ServeFaultAction> {
+        if self.drop_req == Some(request_index) && self.claim_guard() {
+            eprintln!("[repro] injected fault (REPRO_FAULT): dropping request {request_index}");
+            return Some(pdesched_machine::ServeFaultAction::DropConnection);
+        }
+        if self.hang_req == Some(request_index) && self.claim_guard() {
+            eprintln!("[repro] injected fault (REPRO_FAULT): hanging request {request_index}");
+            return Some(pdesched_machine::ServeFaultAction::Hang);
+        }
+        None
+    }
+}
+
 /// Parse `REPRO_FAULT` (`panic-sim:K` | `hang-sim:K` | `abort-sim:K` |
 /// `fail-append:N`) and `REPRO_FAULT_GUARD` (once-latch path).
 fn env_fault() -> Option<EnvFault> {
@@ -174,6 +204,8 @@ fn env_fault() -> Option<EnvFault> {
         hang_sim: None,
         abort_sim: None,
         fail_append_every: None,
+        drop_req: None,
+        hang_req: None,
         guard: std::env::var("REPRO_FAULT_GUARD").ok().map(Into::into),
     };
     for part in spec.split(',') {
@@ -182,6 +214,8 @@ fn env_fault() -> Option<EnvFault> {
             Some(("hang-sim", k)) => fault.hang_sim = Some(k),
             Some(("abort-sim", k)) => fault.abort_sim = Some(k),
             Some(("fail-append", n)) => fault.fail_append_every = Some(n),
+            Some(("drop-req", k)) => fault.drop_req = Some(k),
+            Some(("hang-req", k)) => fault.hang_req = Some(k),
             _ => {
                 eprintln!("repro: ignoring unrecognized REPRO_FAULT part '{part}'");
             }
@@ -247,6 +281,9 @@ fn main() {
             run_optimize_command(&args[1..]);
             return;
         }
+        Some("serve") => {
+            run_serve_command(&args[1..]);
+        }
         _ => {}
     }
     let mut store = String::from("target/traffic-cache.txt");
@@ -276,7 +313,9 @@ fn main() {
              [TARGET]...\n\
              \x20      repro plan|describe <variant-name> [--n N] [--threads T] [--passes SPEC]\n\
              \x20      repro optimize <variant-name> [--n N] [--machine NAME] [--frontier K] \
-             [--store PATH]"
+             [--store PATH]\n\
+             \x20      repro serve [--addr HOST:PORT] [--store PATH] [--max-inflight N] \
+             [--request-deadline SECS] [--stale-ok]"
         );
         std::process::exit(2);
     }
@@ -1030,6 +1069,129 @@ fn run_optimize_command(args: &[String]) {
         } else {
             println!("no pipeline improves this variant here");
         }
+    }
+}
+
+/// `repro serve`: run the schedule-query service until a signal drains
+/// it (exit 10) or the bind fails (exit 16). The bound address goes to
+/// stderr as `[repro] serve: listening on ADDR` so scripts launching
+/// with `--addr 127.0.0.1:0` can scrape the ephemeral port.
+fn run_serve_command(args: &[String]) -> ! {
+    fn usage(msg: &str) -> ! {
+        eprintln!("repro serve: {msg}");
+        eprintln!(
+            "usage: repro serve [--addr HOST:PORT] [--store PATH] \
+             [--mode simulate|symbolic|hybrid] [--threads N] [--max-inflight N] \
+             [--retry-after-ms MS] [--request-deadline SECS] [--point-deadline SECS] \
+             [--drain-deadline SECS] [--stale-ok]"
+        );
+        std::process::exit(2);
+    }
+    fn secs(value: Option<&String>, flag: &str) -> Duration {
+        let v: f64 = value
+            .unwrap_or_else(|| usage(&format!("{flag} needs seconds")))
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("{flag} needs a number of seconds")));
+        if !(v > 0.0 && v.is_finite()) {
+            usage(&format!("{flag} needs a positive number of seconds"));
+        }
+        Duration::from_secs_f64(v)
+    }
+    let mut cfg = pdesched_machine::ServeConfig {
+        store: Some(std::path::PathBuf::from("target/traffic-cache.txt")),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().unwrap_or_else(|| usage("--addr needs HOST:PORT")).clone()
+            }
+            "--store" => {
+                cfg.store = Some(it.next().unwrap_or_else(|| usage("--store needs a path")).into())
+            }
+            "--mode" => {
+                cfg.mode = match it.next().map(String::as_str) {
+                    Some("simulate") => TrafficMode::Simulate,
+                    Some("symbolic") => TrafficMode::Symbolic,
+                    Some("hybrid") => TrafficMode::Hybrid,
+                    _ => usage("--mode needs simulate|symbolic|hybrid"),
+                }
+            }
+            "--threads" => {
+                cfg.engine_threads = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs a number"))
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = it
+                    .next()
+                    .unwrap_or_else(|| usage("--max-inflight needs a count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-inflight needs a number"));
+                if cfg.max_inflight == 0 {
+                    usage("--max-inflight needs at least 1");
+                }
+            }
+            "--retry-after-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .unwrap_or_else(|| usage("--retry-after-ms needs milliseconds"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--retry-after-ms needs a number"));
+                cfg.retry_after = Duration::from_millis(ms);
+            }
+            "--request-deadline" => {
+                cfg.request_deadline = Some(secs(it.next(), "--request-deadline"))
+            }
+            "--point-deadline" => {
+                cfg.budget.point_deadline = Some(secs(it.next(), "--point-deadline"))
+            }
+            "--drain-deadline" => cfg.drain_deadline = secs(it.next(), "--drain-deadline"),
+            "--stale-ok" => cfg.stale_ok = true,
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    // One EnvFault drives both fault surfaces: the request path
+    // (drop-req/hang-req via ServeHook) and the measurement/store path
+    // (panic-sim/hang-sim/fail-append via FaultHook).
+    if let Some(fault) = env_fault() {
+        let fault = std::sync::Arc::new(fault);
+        cfg.hook = Some(fault.clone() as _);
+        cfg.store_fault = Some(fault as _);
+    }
+    // Install the latch before binding so a supervisor that signals
+    // immediately after spawn still gets an orderly drain.
+    signals::install();
+    let server = match pdesched_machine::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro serve: cannot start: {e}");
+            std::process::exit(EXIT_SERVE);
+        }
+    };
+    eprintln!("[repro] serve: listening on {}", server.local_addr());
+    if server.cache().store_read_only() {
+        eprintln!("[repro] serve: store lock held elsewhere; answering from snapshots (degraded)");
+    }
+    loop {
+        if let Some(sig) = signals::pending() {
+            eprintln!("[repro] serve: {sig}: draining");
+            let clean = server.drain();
+            let stats = server.stats();
+            drop(server);
+            eprintln!(
+                "[repro] serve: drained {}; {} requests ({} rejected, {} coalesced)",
+                if clean { "cleanly" } else { "by force" },
+                stats.requests,
+                stats.rejected,
+                stats.coalesced
+            );
+            std::process::exit(EXIT_SIGNAL);
+        }
+        std::thread::sleep(Duration::from_millis(25));
     }
 }
 

@@ -5,6 +5,8 @@
 //! (documented in README).
 
 use pdesched_testkit::TempDir;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::Command;
 
 fn repro() -> Command {
@@ -363,4 +365,110 @@ fn run_deadline_interrupts_with_exit_11() {
     let json = std::fs::read_to_string(&json_path).unwrap();
     assert!(json.contains("\"exit_code\": 11"), "{json}");
     assert!(json.contains("deadline"), "{json}");
+}
+
+/// Spawn `repro serve` on an ephemeral port with the given extra env
+/// and scrape the bound address from its stderr banner.
+fn spawn_serve(
+    store: &std::path::Path,
+    extra_env: &[(&str, &str)],
+) -> (std::process::Child, String) {
+    let mut cmd = repro();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--store", store.to_str().unwrap()])
+        .stderr(std::process::Stdio::piped());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn repro serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read serve stderr") > 0 {
+        if let Some(rest) = line.trim().strip_prefix("[repro] serve: listening on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("serve must print its bound address before exiting");
+    // Keep draining stderr so the child can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// One request, one response line; `None` when the server closed the
+/// connection without answering.
+fn ask(addr: &str, request: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect to repro serve");
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    let n = BufReader::new(stream).read_line(&mut line).expect("read response");
+    (n > 0).then_some(line)
+}
+
+fn drain_with_sigterm(mut child: std::process::Child) {
+    let killed = Command::new("kill")
+        .args(["-s", "TERM", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success(), "kill -TERM must succeed");
+    let status = child.wait().expect("wait repro serve");
+    assert_eq!(status.code(), Some(10), "serve drain must exit 10");
+}
+
+#[test]
+fn serve_answers_requests_and_drains_on_sigterm() {
+    let dir = TempDir::new("repro-serve");
+    let store = dir.file("store.txt");
+    let (child, addr) = spawn_serve(&store, &[]);
+    let req = r#"{"machine":"i5","n":8,"threads":2,"top":1}"#;
+    let cold = ask(&addr, req).expect("cold request must be answered");
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    assert!(cold.contains("\"stale\":false"), "{cold}");
+    assert!(cold.contains("\"source\":\"sim\""), "{cold}");
+    // The replay is warm: answered from the snapshot, no re-measurement.
+    let warm = ask(&addr, req).expect("warm request must be answered");
+    assert!(warm.contains("\"ok\":true"), "{warm}");
+    assert!(warm.contains("\"source\":\"warm\""), "{warm}");
+    drain_with_sigterm(child);
+    // The drain compacted and flushed: the measured point persisted.
+    let persisted = std::fs::read_to_string(&store).unwrap();
+    let entries: Vec<&str> =
+        persisted.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+    assert_eq!(entries.len(), 1, "exactly one simulated point:\n{persisted}");
+    assert!(entries[0].contains(" sim "), "provenance must be sim:\n{persisted}");
+}
+
+#[test]
+fn serve_bind_failure_exits_16() {
+    let dir = TempDir::new("repro-serve-bind");
+    let store = dir.file("store.txt");
+    // Hold the port so the server's bind deterministically fails.
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap().to_string();
+    let (_, stderr) = run_expect(
+        repro().args(["serve", "--addr", &addr, "--store", store.to_str().unwrap()]),
+        16,
+    );
+    assert!(stderr.contains("cannot start"), "{stderr}");
+}
+
+#[test]
+fn serve_injected_request_drop_hits_one_request_not_the_server() {
+    let dir = TempDir::new("repro-serve-drop");
+    let store = dir.file("store.txt");
+    let (child, addr) = spawn_serve(&store, &[("REPRO_FAULT", "drop-req:0")]);
+    let req = r#"{"machine":"i5","n":8,"threads":2,"top":1}"#;
+    assert!(ask(&addr, req).is_none(), "the dropped request must see EOF, not an answer");
+    let resp = ask(&addr, req).expect("server must survive the injected drop");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    drain_with_sigterm(child);
 }

@@ -37,8 +37,11 @@
 //! whole journal, and unknown record kinds are ignored (they are how
 //! this format grows). Records are appended and flushed one at a time
 //! so the journal survives the same crashes the store does; a torn
-//! trailing record is simply ignored. Error texts have tabs/newlines
-//! flattened to spaces so one record is always one line.
+//! trailing record — even one cut mid-UTF-8-sequence, which is why the
+//! file is read with a lossy byte-level decode — is ignored and counted
+//! ([`PriorSweep::torn_records`]), mirroring how the traffic store
+//! quarantines torn lines. Error texts have tabs/newlines flattened to
+//! spaces so one record is always one line.
 //!
 //! Heartbeats exist for the fabric coordinator: the sweep engine
 //! appends one every heartbeat interval, and a `begin` counts as the
@@ -87,6 +90,12 @@ pub struct PriorSweep {
     /// Timestamp of the newest heartbeat (a `begin` counts), unix
     /// millis. `None` for old journals without timestamps.
     pub last_heartbeat_ms: Option<u64>,
+    /// Torn records ignored while loading: a trailing record a crash
+    /// cut mid-append (possibly mid-UTF-8-sequence), counted the same
+    /// way [`crate::TrafficCache`] counts quarantined store lines
+    /// instead of condemning the whole file. Interior unknown record
+    /// kinds are *not* counted — they are how this format grows.
+    pub torn_records: usize,
 }
 
 /// The journal file sidecar path for `store`.
@@ -111,7 +120,14 @@ fn sanitize(s: &str) -> String {
 /// unknown record kinds are ignored — a crashed worker's journal must
 /// stay resumable, not become "corrupt".
 pub fn load(path: &Path) -> Option<PriorSweep> {
-    let text = std::fs::read_to_string(path).ok()?;
+    // Lossy byte-level read: a crash can tear an append mid-UTF-8
+    // sequence, and `read_to_string`'s hard UTF-8 failure would condemn
+    // the whole journal (every intact record lost) for one torn tail.
+    // The replacement characters the lossy decode leaves land in the
+    // torn record, which the per-record parser skips and counts — the
+    // journal-side analogue of the store's quarantine path.
+    let bytes = std::fs::read(path).ok()?;
+    let text = String::from_utf8_lossy(&bytes);
     let mut lines = text.lines();
     if lines.next() != Some(HEADER) {
         return None;
@@ -119,23 +135,30 @@ pub fn load(path: &Path) -> Option<PriorSweep> {
     let mut prior = PriorSweep::default();
     let mut begun = false;
     let mut completed = false;
-    for line in lines {
+    let rest: Vec<&str> = lines.collect();
+    for (i, line) in rest.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
         let mut it = line.split('\t');
-        match it.next() {
+        let parsed = match it.next() {
             Some("begin") => {
                 // A later writer's begin supersedes an earlier one; a
                 // begin whose total doesn't parse is a torn/foreign
                 // record and is skipped, not fatal.
-                let Some(total) = it.next().and_then(|t| t.parse().ok()) else {
-                    continue;
-                };
-                prior.total = total;
-                begun = true;
-                if let Some(pid) = it.next().and_then(|p| p.parse().ok()) {
-                    prior.pid = Some(pid);
-                }
-                if let Some(ms) = it.next().and_then(|m| m.parse().ok()) {
-                    prior.last_heartbeat_ms = Some(ms);
+                match it.next().and_then(|t| t.parse().ok()) {
+                    None => false,
+                    Some(total) => {
+                        prior.total = total;
+                        begun = true;
+                        if let Some(pid) = it.next().and_then(|p| p.parse().ok()) {
+                            prior.pid = Some(pid);
+                        }
+                        if let Some(ms) = it.next().and_then(|m| m.parse().ok()) {
+                            prior.last_heartbeat_ms = Some(ms);
+                        }
+                        true
+                    }
                 }
             }
             Some("heartbeat") => {
@@ -145,12 +168,32 @@ pub fn load(path: &Path) -> Option<PriorSweep> {
                 if let Some(ms) = it.next().and_then(|m| m.parse().ok()) {
                     prior.last_heartbeat_ms = Some(ms);
                 }
+                true
             }
-            Some("fail") => prior.failed += 1,
-            Some("timeout") => prior.timed_out += 1,
-            Some("cancelled") => prior.cancelled = Some(it.next().unwrap_or("").to_string()),
-            Some("complete") => completed = true,
-            _ => {} // torn or unknown record: ignore
+            Some("fail") => {
+                prior.failed += 1;
+                true
+            }
+            Some("timeout") => {
+                prior.timed_out += 1;
+                true
+            }
+            Some("cancelled") => {
+                prior.cancelled = Some(it.next().unwrap_or("").to_string());
+                true
+            }
+            Some("complete") => {
+                completed = true;
+                true
+            }
+            _ => false, // torn or unknown record
+        };
+        // Count the crash signature — an unparseable *final* record
+        // (where a torn append lands) or one carrying lossy-decode
+        // replacement characters (torn mid-UTF-8). Interior unknown
+        // kinds stay silently ignored: they are future record types.
+        if !parsed && (i + 1 == rest.len() || line.contains('\u{FFFD}')) {
+            prior.torn_records += 1;
         }
     }
     if completed && prior.failed == 0 && prior.timed_out == 0 {
@@ -166,7 +209,10 @@ pub fn load(path: &Path) -> Option<PriorSweep> {
 /// journal, no header, or a pre-heartbeat journal, all of which read as
 /// "no evidence of life" (the caller falls back to pid liveness).
 pub fn last_heartbeat(path: &Path) -> Option<(u32, u64)> {
-    let text = std::fs::read_to_string(path).ok()?;
+    // Lossy for the same reason as `load`: a torn tail must not erase
+    // the intact beats before it.
+    let bytes = std::fs::read(path).ok()?;
+    let text = String::from_utf8_lossy(&bytes);
     let mut lines = text.lines();
     if lines.next() != Some(HEADER) {
         return None;
@@ -200,9 +246,10 @@ pub fn last_heartbeat(path: &Path) -> Option<(u32, u64)> {
 /// (complete — done, reported as failures) from "writer died or was
 /// cancelled mid-sweep" (no `complete` — the shard must be re-offered).
 pub fn is_complete(path: &Path) -> bool {
-    let Ok(text) = std::fs::read_to_string(path) else {
+    let Ok(bytes) = std::fs::read(path) else {
         return false;
     };
+    let text = String::from_utf8_lossy(&bytes);
     let mut lines = text.lines();
     if lines.next() != Some(HEADER) {
         return false;
@@ -358,7 +405,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_trailing_record_is_ignored() {
+    fn torn_trailing_record_is_ignored_and_counted() {
         let dir = TempDir::new("journal");
         let path = dir.file("traffic.txt.journal");
         let j = SweepJournal::start(&path, 4).unwrap();
@@ -370,8 +417,46 @@ mod tests {
         std::fs::write(&path, text).unwrap();
         assert_eq!(
             stable(load(&path)),
-            Some(PriorSweep { total: 4, failed: 1, ..Default::default() })
+            Some(PriorSweep { total: 4, failed: 1, torn_records: 1, ..Default::default() })
         );
+    }
+
+    #[test]
+    fn non_utf8_torn_tail_does_not_condemn_the_journal() {
+        // A crash can cut an append mid-UTF-8 sequence (error texts are
+        // arbitrary strings); the invalid bytes must cost exactly the
+        // torn record, not the whole journal. This was a real bug:
+        // `read_to_string` returned Err and `load` reported "nothing to
+        // resume" for a journal full of intact records.
+        let dir = TempDir::new("journal");
+        let path = dir.file("traffic.txt.journal");
+        let j = SweepJournal::start(&path, 6).unwrap();
+        j.fail("sf", 16, "boom");
+        j.timeout("clo-4", 32, "point deadline");
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // "fail\tsf\t8\tcafé" torn after the é's first byte.
+        bytes.extend_from_slice("fail\tsf\t8\tcaf".as_bytes());
+        bytes.push(0xC3);
+        std::fs::write(&path, &bytes).unwrap();
+        let prior = stable(load(&path)).expect("intact records must survive a torn tail");
+        assert_eq!(prior.total, 6);
+        assert_eq!(prior.timed_out, 1);
+        // The torn fail record still begins with a well-formed "fail"
+        // kind, so it parses (its error text carries the replacement
+        // char) — the intact fail plus the torn one.
+        assert_eq!(prior.failed, 2);
+        assert!(last_heartbeat(&path).is_some(), "beats must survive a torn tail");
+        assert!(!is_complete(&path));
+        // A tail torn *inside the record kind* is unparseable and is
+        // counted instead of silently vanishing.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 14); // back to intact records
+        bytes.extend_from_slice(b"time");
+        bytes.push(0xE2); // first byte of a 3-byte sequence
+        std::fs::write(&path, &bytes).unwrap();
+        let prior = stable(load(&path)).expect("must load");
+        assert_eq!((prior.failed, prior.timed_out, prior.torn_records), (1, 1, 1));
     }
 
     #[test]

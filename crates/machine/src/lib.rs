@@ -39,6 +39,7 @@ pub mod figures;
 pub mod journal;
 pub mod model;
 pub mod parallel;
+pub mod serve;
 pub mod shard;
 pub mod spec;
 pub mod sweep;
@@ -52,11 +53,12 @@ pub use coordinator::{
 pub use engine::{PointFailure, PrewarmReport, SimPoint, SkippedPoint, SweepBudget, SweepEngine};
 pub use fault::FaultHook;
 pub use journal::PriorSweep;
-pub use model::{predict_time, Prediction, Workload};
+pub use model::{predict_time, predict_time_with_traffic, Prediction, Workload};
 pub use parallel::{
     max_point_threads, measure_box_traffic_optimized, measure_box_traffic_optimized_sim,
     measure_box_traffic_parallel, measure_box_traffic_parallel_sim, ParallelStats,
 };
+pub use serve::{ServeConfig, ServeFaultAction, ServeHook, ServeStats, Server};
 pub use shard::{MergeConflict, MergeReport};
 pub use spec::MachineSpec;
 pub use sweep::{
@@ -65,6 +67,6 @@ pub use sweep::{
 pub use symbolic::{measure_box_traffic_symbolic, SymbolicAnalysis};
 pub use traffic::{
     measure_box_traffic, measure_box_traffic_reference, measure_optimized_box_traffic,
-    measure_pair_traffic, pair_store_key, store_key_with_passes, BoxTraffic, CacheStats,
-    TrafficCache, TrafficMode,
+    measure_pair_traffic, pair_store_key, store_key, store_key_with_passes, BoxTraffic, CacheStats,
+    StoreReader, StoreView, TrafficCache, TrafficMode,
 };

@@ -191,6 +191,25 @@ pub fn predict_time_analytic(
     predict_with_traffic(spec, variant, wl, threads, per_box)
 }
 
+/// [`predict_time`] with per-box DRAM traffic the caller already holds
+/// (from a [`crate::traffic::StoreView`] snapshot, a shard merge, a
+/// remote cache): the same model tail as the cache-backed path, with no
+/// `TrafficCache` lookup — `machine::serve`'s warm path uses this so N
+/// concurrent readers never contend on the cache mutex or simulate.
+/// The caller is responsible for having measured `per_box_dram_bytes`
+/// at [`prediction_hierarchy`]`(spec, threads)`, or the prediction is
+/// for a different machine state than it claims.
+pub fn predict_time_with_traffic(
+    spec: &MachineSpec,
+    variant: Variant,
+    wl: Workload,
+    threads: usize,
+    per_box_dram_bytes: u64,
+) -> Prediction {
+    assert!(threads >= 1 && threads <= spec.hw_threads());
+    predict_with_traffic(spec, variant, wl, threads, per_box_dram_bytes)
+}
+
 /// Shared tail of the two prediction paths.
 fn predict_with_traffic(
     spec: &MachineSpec,

@@ -1,0 +1,1018 @@
+//! `repro serve`: a crash-tolerant schedule-query service over the
+//! traffic store — ROADMAP item 2's "best-schedule lookup as a
+//! service", engineered to degrade rather than die.
+//!
+//! # Protocol
+//!
+//! Line-delimited JSON over a local TCP socket. One request per line:
+//!
+//! ```text
+//! {"machine":"i5","n":8,"threads":4,"top":2,"passes":""}
+//! ```
+//!
+//! `machine` is a case-insensitive substring of a known machine name
+//! (the VTune desktop plus the paper's three evaluation nodes); `n` is
+//! the box edge (must divide the paper workload's 512×384×256 domain);
+//! `threads` defaults to the machine's core count; `top` (default 3)
+//! bounds how many ranked variants are measured and returned; `passes`
+//! is a pass-pipeline spec applied to each measured variant. One JSON
+//! response per line:
+//!
+//! ```text
+//! {"ok":true,"machine":"...","n":8,"threads":4,"stale":false,
+//!  "generation":0,
+//!  "variants":[{"name":"...","seconds":1.2e-2,"compute_s":...,
+//!               "memory_s":...,"overhead_s":...,"source":"sim"}],
+//!  "series":[...]}
+//! ```
+//!
+//! `variants` is ranked fastest-first; `source` says where each
+//! variant's traffic came from (`warm` = the in-memory store snapshot,
+//! `sim` = measured by this request, `analytic` = closed-form fallback
+//! in degraded mode); `series` is the predicted seconds of the top
+//! variant at 1..=threads threads (the figure series). Failures answer
+//! `{"ok":false,"error":...}` with the errors catalogued in DESIGN.md
+//! §15 — the server process itself does not die with the request.
+//!
+//! # Failure model (admission → coalesce → execute → degrade)
+//!
+//! * **Admission**: a bounded inflight counter; at capacity the request
+//!   is rejected *immediately* with `"overloaded"` + `retry_after_ms`,
+//!   never queued unboundedly. [`SweepBudget`] carries the per-point
+//!   execution deadline and append retry policy.
+//! * **Coalescing**: cold points are keyed by
+//!   [`store_key_with_passes`]; a thundering herd on one key triggers
+//!   exactly one simulation, run by a detached flight worker. All
+//!   requests — including the one that created the flight — park as
+//!   followers on the flight's result or its failure. A worker panic or
+//!   cancellation is published to every follower and the flight is
+//!   removed from the map either way: the map cannot be poisoned.
+//! * **Execution**: each flight runs under its own [`CancelToken`]
+//!   chained off the server token, held by an [`InterestSet`] of the
+//!   requests that want it. Client disconnect and request deadline trip
+//!   the per-request token; when the *last* interested request lets go
+//!   the flight token trips and the plan interpreter stops at its next
+//!   checkpoint — an abandoned point never simulates into the void,
+//!   while one live follower keeps it running.
+//! * **Degradation**: when the store's writer flock is held elsewhere
+//!   the server runs read-only: warm answers come from the lock-free
+//!   snapshot ([`StoreReader`], refreshed per request so an external
+//!   writer's appends and compactions are picked up), cold points fall
+//!   back to the analytic model, and every response is tagged
+//!   `"stale":true` — if the operator allowed it (`stale_ok`);
+//!   otherwise requests answer `"stale_store"` and the server stays up.
+//!   [`Server::drain`] stops accepting, lets inflight requests finish,
+//!   then compacts the store to its canonical bytes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::engine::SweepBudget;
+use crate::model::{self, Workload};
+use crate::spec::MachineSpec;
+use crate::sweep;
+use crate::traffic::{store_key_with_passes, StoreReader, TrafficCache, TrafficMode};
+use pdesched_core::{Pipeline, Variant};
+use pdesched_par::cancel::{self, CancelToken, Cancelled, InterestSet};
+
+/// What an injected socket fault does to the request it fires on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFaultAction {
+    /// Close the connection without answering — the client sees EOF
+    /// mid-request, as if the server was killed at that instant.
+    DropConnection,
+    /// Park the request until the server token trips (bounded by a
+    /// safety cap) — the window `serve_storm.sh` SIGKILLs into.
+    Hang,
+}
+
+/// Deterministic fault injection on the request path, mirroring
+/// [`crate::fault::FaultHook`] on the store path. The production server
+/// installs none; tests and `REPRO_FAULT` install implementations.
+pub trait ServeHook: Send + Sync {
+    /// Called once per received request line with its global index.
+    fn on_request(&self, request_index: u64) -> Option<ServeFaultAction> {
+        let _ = request_index;
+        None
+    }
+}
+
+/// Server configuration; `Default` gives a loopback ephemeral-port
+/// server with an in-memory cache.
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (ephemeral port).
+    pub addr: String,
+    /// Backing traffic store; `None` = in-memory only (never stale).
+    pub store: Option<PathBuf>,
+    /// Measurement mode for cold points.
+    pub mode: TrafficMode,
+    /// Shard-worker threads per cold-point measurement.
+    pub engine_threads: usize,
+    /// Admission bound: requests being processed at once; at capacity
+    /// new requests are rejected with `"overloaded"`.
+    pub max_inflight: usize,
+    /// Suggested client backoff returned with an overload rejection.
+    pub retry_after: Duration,
+    /// Per-request wall-clock deadline (`None` = unbounded).
+    pub request_deadline: Option<Duration>,
+    /// Serve snapshot answers tagged `"stale":true` when the store
+    /// writer flock is held elsewhere; when `false` such requests are
+    /// answered with `"stale_store"` instead.
+    pub stale_ok: bool,
+    /// Execution budget: `point_deadline` bounds each flight,
+    /// `max_retries`/`backoff` configure store-append retries.
+    pub budget: SweepBudget,
+    /// How long [`Server::drain`] waits for inflight work.
+    pub drain_deadline: Duration,
+    /// Request-path fault injection (tests, `REPRO_FAULT`).
+    pub hook: Option<Arc<dyn ServeHook>>,
+    /// Store/measurement-path fault injection, installed on the owned
+    /// cache (tests, `REPRO_FAULT`'s `hang-sim`/`panic-sim` kinds).
+    pub store_fault: Option<Arc<dyn crate::fault::FaultHook>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store: None,
+            mode: TrafficMode::Simulate,
+            engine_threads: 1,
+            max_inflight: 8,
+            retry_after: Duration::from_millis(100),
+            request_deadline: None,
+            stale_ok: false,
+            budget: SweepBudget::default(),
+            drain_deadline: Duration::from_secs(10),
+            hook: None,
+            store_fault: None,
+        }
+    }
+}
+
+/// Service counters (all monotonic except `inflight`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Request lines received (including rejected ones).
+    pub requests: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that joined an already-running flight.
+    pub coalesced: u64,
+    /// Requests currently being processed.
+    pub inflight: usize,
+}
+
+/// One coalesced cold-point execution; see the module docs.
+struct Flight {
+    token: CancelToken,
+    interest: InterestSet,
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Running,
+    Done(Result<u64, String>),
+}
+
+/// A deadline the supervisor thread enforces by tripping a token.
+struct DeadlineSlot {
+    at: Instant,
+    token: CancelToken,
+    reason: &'static str,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct ServerInner {
+    cfg: ServeConfig,
+    cache: TrafficCache,
+    /// Lock-free warm path: immutable store snapshot, refreshed when
+    /// the file's stamp changes (an external writer compacted).
+    reader: StoreReader,
+    /// Points measured by this server's own flights — newer than the
+    /// snapshot, consulted after it.
+    overlay: Mutex<HashMap<String, u64>>,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    machines: Vec<MachineSpec>,
+    token: CancelToken,
+    draining: AtomicBool,
+    supervisor_stop: AtomicBool,
+    deadlines: Mutex<Vec<DeadlineSlot>>,
+    inflight: AtomicUsize,
+    active_flights: AtomicUsize,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// The running service; see the module docs for the protocol and
+/// failure model. Dropping the server drains it.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    supervisor_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Binding is the only fallible step —
+    /// everything after this returns degrades per request instead of
+    /// failing the server.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        // The accept loop polls so it can notice `drain`; accepted
+        // sockets are switched back to blocking explicitly (they do not
+        // reliably inherit the listener's mode across platforms).
+        listener.set_nonblocking(true)?;
+
+        let cache = match &cfg.store {
+            Some(path) => TrafficCache::with_store(path),
+            None => TrafficCache::new(),
+        }
+        .with_mode(cfg.mode)
+        .with_engine_threads(cfg.engine_threads);
+        let cache = match &cfg.store_fault {
+            Some(hook) => cache.with_fault_hook(Arc::clone(hook)),
+            None => cache,
+        };
+        cache.set_append_retry(cfg.budget.max_retries, cfg.budget.backoff);
+        let reader = match &cfg.store {
+            Some(path) => StoreReader::open(path),
+            None => StoreReader::open(PathBuf::from("")),
+        };
+        let mut machines = vec![MachineSpec::i5_desktop()];
+        machines.extend(MachineSpec::evaluation_nodes());
+
+        let inner = Arc::new(ServerInner {
+            cfg,
+            cache,
+            reader,
+            overlay: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            machines,
+            token: CancelToken::new(),
+            draining: AtomicBool::new(false),
+            supervisor_stop: AtomicBool::new(false),
+            deadlines: Mutex::new(Vec::new()),
+            inflight: AtomicUsize::new(0),
+            active_flights: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(accept_inner, listener);
+        });
+        let supervisor_inner = Arc::clone(&inner);
+        let supervisor_thread = std::thread::spawn(move || {
+            supervise_deadlines(supervisor_inner);
+        });
+
+        Ok(Server {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            supervisor_thread: Some(supervisor_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The cache this server owns (counters, store health).
+    pub fn cache(&self) -> &TrafficCache {
+        &self.inner.cache
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            inflight: self.inner.inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let inflight requests and
+    /// flights finish (bounded by `drain_deadline`, after which they
+    /// are cancelled), then flush and compact the store to its
+    /// canonical bytes. Returns whether the drain was clean (nothing
+    /// had to be cancelled). Idempotent.
+    pub fn drain(&self) -> bool {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + inner.cfg.drain_deadline;
+        let quiet = |inner: &ServerInner| {
+            inner.inflight.load(Ordering::SeqCst) == 0
+                && inner.active_flights.load(Ordering::SeqCst) == 0
+        };
+        let mut clean = true;
+        while !quiet(inner) {
+            if Instant::now() >= deadline {
+                clean = false;
+                inner.token.trip("drain deadline");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // After a forced trip, flights unwind at their next checkpoint;
+        // give them a bounded moment so the compaction below cannot
+        // race a straggler's append.
+        let hard = Instant::now() + Duration::from_secs(2);
+        while !quiet(inner) && Instant::now() < hard {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        inner.token.trip("server shutdown");
+        inner.cache.compact_store();
+        inner.cache.flush_store();
+        clean
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+        self.inner.supervisor_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<ServerInner>, listener: TcpListener) {
+    loop {
+        if inner.draining.load(Ordering::SeqCst) || inner.token.is_tripped() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let conn_inner = Arc::clone(&inner);
+                std::thread::spawn(move || handle_connection(conn_inner, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Trip expired request/flight deadlines. One scan thread for the whole
+/// server: requests register a slot, the scanner trips and retires it.
+fn supervise_deadlines(inner: Arc<ServerInner>) {
+    while !inner.supervisor_stop.load(Ordering::SeqCst) {
+        {
+            let now = Instant::now();
+            let mut slots = lock(&inner.deadlines);
+            slots.retain(|slot| {
+                if slot.token.is_tripped() {
+                    return false;
+                }
+                if now >= slot.at {
+                    slot.token.trip(slot.reason);
+                    return false;
+                }
+                true
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One connection: a dedicated reader thread turns client disconnect
+/// into a token trip the instant it happens (even while a request is
+/// executing), a processor loop answers requests in order.
+fn handle_connection(inner: Arc<ServerInner>, stream: TcpStream) {
+    let conn_token = inner.token.child();
+    let (tx, rx) = mpsc::channel::<String>();
+    let Ok(read_half) = stream.try_clone() else {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let disconnect_token = conn_token.clone();
+    let reader_thread = std::thread::spawn(move || {
+        let mut lines = BufReader::new(read_half);
+        loop {
+            let mut line = String::new();
+            match lines.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        disconnect_token.trip("client disconnected");
+    });
+
+    let mut out = stream;
+    loop {
+        let line = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => line,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if inner.token.is_tripped() {
+                    break;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match process_request(&inner, &conn_token, line.trim()) {
+            Some(resp) => {
+                if out.write_all(resp.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    break;
+                }
+            }
+            // Injected DropConnection: die without answering.
+            None => break,
+        }
+    }
+    // Unblock the reader thread (it may sit in read_line on a live
+    // client) so the join below cannot hang.
+    let _ = out.shutdown(Shutdown::Both);
+    conn_token.trip("connection closed");
+    let _ = reader_thread.join();
+}
+
+/// Admission guard: holds one inflight slot, released on drop (so
+/// panics and early returns can never leak a slot).
+struct InflightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Answer one request line; `None` means "drop the connection"
+/// (injected fault only).
+fn process_request(
+    inner: &Arc<ServerInner>,
+    conn_token: &CancelToken,
+    line: &str,
+) -> Option<String> {
+    let index = inner.requests.fetch_add(1, Ordering::SeqCst);
+
+    // Injected socket faults fire before admission, like a fault in the
+    // kernel's accept queue would.
+    if let Some(action) = inner.cfg.hook.as_ref().and_then(|h| h.on_request(index)) {
+        match action {
+            ServeFaultAction::DropConnection => return None,
+            ServeFaultAction::Hang => {
+                // The SIGKILL window: park until shutdown, bounded so a
+                // forgotten fault cannot wedge a test run forever.
+                let cap = Instant::now() + Duration::from_secs(60);
+                while !inner.token.is_tripped() && Instant::now() < cap {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    // Admission: reject instead of queueing.
+    if inner.draining.load(Ordering::SeqCst) || inner.token.is_tripped() {
+        return Some(err_json("draining", "server is shutting down"));
+    }
+    if inner.inflight.fetch_add(1, Ordering::SeqCst) >= inner.cfg.max_inflight {
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        inner.rejected.fetch_add(1, Ordering::SeqCst);
+        return Some(format!(
+            "{{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":{}}}",
+            inner.cfg.retry_after.as_millis()
+        ));
+    }
+    let _slot = InflightSlot(&inner.inflight);
+
+    // Per-request token: child of the connection token (disconnect
+    // cascades in), deadline enforced by the supervisor.
+    let req_token = conn_token.child();
+    if let Some(d) = inner.cfg.request_deadline {
+        lock(&inner.deadlines).push(DeadlineSlot {
+            at: Instant::now() + d,
+            token: req_token.clone(),
+            reason: "request deadline",
+        });
+    }
+
+    Some(answer(inner, &req_token, line))
+}
+
+/// Parse, validate, rank, measure, respond. Always returns a JSON line.
+fn answer(inner: &Arc<ServerInner>, req_token: &CancelToken, line: &str) -> String {
+    let req = match parse_flat_json(line) {
+        Ok(map) => map,
+        Err(e) => return err_json("bad_request", &format!("malformed JSON: {e}")),
+    };
+    let Some(JVal::S(machine_q)) = req.get("machine") else {
+        return err_json("bad_request", "missing string field \"machine\"");
+    };
+    let query = machine_q.to_lowercase();
+    let Some(spec) = inner.machines.iter().find(|m| m.name.to_lowercase().contains(&query)) else {
+        let known: Vec<&str> = inner.machines.iter().map(|m| m.name).collect();
+        return err_json(
+            "bad_request",
+            &format!("unknown machine {machine_q:?}; known: {}", known.join(", ")),
+        );
+    };
+    let n = match req.get("n") {
+        Some(JVal::N(v)) if *v >= 1.0 && v.fract() == 0.0 => *v as i32,
+        _ => return err_json("bad_request", "missing or non-integer field \"n\""),
+    };
+    let domain: usize = 512 * 384 * 256;
+    if n < 2 || !domain.is_multiple_of((n as usize).pow(3)) {
+        return err_json(
+            "bad_request",
+            &format!("box edge {n} must divide the 512x384x256 domain"),
+        );
+    }
+    let threads = match req.get("threads") {
+        None => spec.cores(),
+        Some(JVal::N(v)) if *v >= 1.0 && v.fract() == 0.0 => *v as usize,
+        _ => return err_json("bad_request", "non-integer field \"threads\""),
+    };
+    if threads < 1 || threads > spec.hw_threads() {
+        return err_json(
+            "bad_request",
+            &format!("threads {threads} out of range 1..={} for {}", spec.hw_threads(), spec.name),
+        );
+    }
+    let top = match req.get("top") {
+        None => 3usize,
+        Some(JVal::N(v)) if *v >= 1.0 && v.fract() == 0.0 => (*v as usize).min(32),
+        _ => return err_json("bad_request", "non-integer field \"top\""),
+    };
+    let pipeline = match req.get("passes") {
+        None => Pipeline::empty(),
+        Some(JVal::S(spec_str)) => match Pipeline::parse(spec_str) {
+            Ok(p) => p,
+            Err(e) => return err_json("bad_request", &format!("bad passes spec: {e}")),
+        },
+        Some(_) => return err_json("bad_request", "non-string field \"passes\""),
+    };
+
+    // Degradation policy: writer flock held elsewhere → read-only.
+    let stale = inner.cfg.store.is_some() && inner.cache.store_read_only();
+    if stale {
+        if !inner.cfg.stale_ok {
+            return err_json(
+                "stale_store",
+                "store writer flock held elsewhere; start with --stale-ok to serve snapshots",
+            );
+        }
+        // Pick up the external writer's appends/compactions: a cheap
+        // stat when nothing changed, an atomic snapshot swap when the
+        // file moved underneath us.
+        inner.reader.refresh();
+        inner.cache.refresh_if_compacted();
+    }
+
+    // Rank the whole space analytically at the requested thread count,
+    // then measure the short list (the paper's two-stage recipe).
+    let ranked = sweep::rank_all_at(spec, n, threads);
+    if ranked.is_empty() {
+        return err_json("bad_request", &format!("no schedule variant is valid for box edge {n}"));
+    }
+    let wl = Workload::paper(n);
+    let hierarchy = model::prediction_hierarchy(spec, threads);
+    let mut rows = Vec::new();
+    for r in ranked.iter().take(top) {
+        let key = store_key_with_passes(r.variant, n, &hierarchy, &pipeline);
+        if req_token.is_tripped() {
+            return cancel_json(req_token);
+        }
+        let (dram, source) = match warm_lookup(inner, &key) {
+            Some(dram) => (dram, "warm"),
+            None if stale => {
+                // Read-only degradation: no simulation, answer from the
+                // closed-form model rather than block or die.
+                push_row(&mut rows, r.variant, &r.prediction, "analytic");
+                continue;
+            }
+            None => match fly(inner, req_token, &key, r.variant, n, &hierarchy, &pipeline) {
+                Ok(dram) => (dram, "sim"),
+                Err(e) => {
+                    if req_token.is_tripped() {
+                        return cancel_json(req_token);
+                    }
+                    return err_json("point_failed", &e);
+                }
+            },
+        };
+        let p = model::predict_time_with_traffic(spec, r.variant, wl, threads, dram);
+        push_row(&mut rows, r.variant, &p, source);
+    }
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Figure series: the top variant's predicted scaling 1..=threads.
+    let best = rows.first().map(|r| r.2).unwrap_or(ranked[0].variant);
+    let series: Vec<f64> =
+        (1..=threads).map(|t| model::predict_time_analytic(spec, best, wl, t).seconds).collect();
+
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"ok\":true,\"machine\":");
+    out.push_str(&jstr(spec.name));
+    out.push_str(&format!(
+        ",\"n\":{n},\"threads\":{threads},\"stale\":{stale},\"generation\":{},\"variants\":[",
+        inner.reader.view().generation
+    ));
+    for (i, (_, row, _)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(row);
+    }
+    out.push_str("],\"series\":[");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fnum(*s));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One response row: (seconds for sorting, rendered JSON, variant).
+type Row = (f64, String, Variant);
+
+fn push_row(rows: &mut Vec<Row>, variant: Variant, p: &model::Prediction, source: &str) {
+    let row = format!(
+        "{{\"name\":{},\"seconds\":{},\"compute_s\":{},\"memory_s\":{},\"overhead_s\":{},\"source\":\"{source}\"}}",
+        jstr(&variant.name()),
+        fnum(p.seconds),
+        fnum(p.compute_s),
+        fnum(p.memory_s),
+        fnum(p.overhead_s),
+    );
+    rows.push((p.seconds, row, variant));
+}
+
+/// The lock-free warm path: store snapshot first (no flock, no cache
+/// mutex), then the overlay of points this server measured itself.
+fn warm_lookup(inner: &ServerInner, key: &str) -> Option<u64> {
+    if let Some((t, _mode)) = inner.reader.view().get(key) {
+        return Some(t.dram_bytes);
+    }
+    lock(&inner.overlay).get(key).copied()
+}
+
+/// Single-flight execution of one cold point: returns its DRAM bytes.
+fn fly(
+    inner: &Arc<ServerInner>,
+    req_token: &CancelToken,
+    key: &str,
+    variant: Variant,
+    n: i32,
+    hierarchy: &[pdesched_cachesim::CacheConfig],
+    pipeline: &Pipeline,
+) -> Result<u64, String> {
+    let (flight, coalesced) = {
+        let mut flights = lock(&inner.flights);
+        match flights.get(key) {
+            Some(f) => (Arc::clone(f), true),
+            None => {
+                let token = inner.token.child();
+                let flight = Arc::new(Flight {
+                    interest: InterestSet::new(token.clone(), "abandoned by every requester"),
+                    token,
+                    state: Mutex::new(FlightState::Running),
+                    cv: Condvar::new(),
+                });
+                flights.insert(key.to_string(), Arc::clone(&flight));
+                if let Some(d) = inner.cfg.budget.point_deadline {
+                    lock(&inner.deadlines).push(DeadlineSlot {
+                        at: Instant::now() + d,
+                        token: flight.token.clone(),
+                        reason: "point deadline",
+                    });
+                }
+                spawn_flight_worker(inner, &flight, key, variant, n, hierarchy, pipeline);
+                (flight, false)
+            }
+        }
+    };
+    if coalesced {
+        inner.coalesced.fetch_add(1, Ordering::SeqCst);
+    }
+
+    // Park on the flight holding one interest; releasing the last one
+    // (all requesters gone) trips the flight token and the worker stops
+    // at its next interpreter checkpoint.
+    let _interest = flight.interest.join();
+    let mut state = lock(&flight.state);
+    loop {
+        if let FlightState::Done(result) = &*state {
+            return result.clone();
+        }
+        if req_token.is_tripped() {
+            return Err(format!(
+                "cancelled: {}",
+                req_token.reason().unwrap_or_else(|| "request cancelled".into())
+            ));
+        }
+        let (guard, _timeout) = flight
+            .cv
+            .wait_timeout(state, Duration::from_millis(20))
+            .unwrap_or_else(|e| e.into_inner());
+        state = guard;
+    }
+}
+
+fn spawn_flight_worker(
+    inner: &Arc<ServerInner>,
+    flight: &Arc<Flight>,
+    key: &str,
+    variant: Variant,
+    n: i32,
+    hierarchy: &[pdesched_cachesim::CacheConfig],
+    pipeline: &Pipeline,
+) {
+    let inner = Arc::clone(inner);
+    let flight = Arc::clone(flight);
+    let key = key.to_string();
+    let hierarchy = hierarchy.to_vec();
+    let pipeline = pipeline.clone();
+    inner.active_flights.fetch_add(1, Ordering::SeqCst);
+    std::thread::spawn(move || {
+        // The flight token is ambient for the whole measurement, so
+        // plan execution and the symbolic engine poll it at their
+        // checkpoints and an abandoned flight stops mid-execution.
+        let result = {
+            let _ambient = cancel::set_current(Some(flight.token.clone()));
+            catch_unwind(AssertUnwindSafe(|| {
+                inner.cache.get_optimized(variant, n, &hierarchy, &pipeline)
+            }))
+        };
+        let result = match result {
+            Ok(Ok(t)) => Ok(t.dram_bytes),
+            Ok(Err(e)) => Err(format!("pipeline rejected: {e}")),
+            Err(payload) => Err(describe_panic(payload)),
+        };
+        if let Ok(dram) = result {
+            lock(&inner.overlay).insert(key.clone(), dram);
+        }
+        // Publish order matters: overlay first (so a request arriving
+        // after the removal below finds the point warm), then drop the
+        // flight from the map (failures too — the map is never
+        // poisoned; a later request simply starts a fresh flight), then
+        // wake the followers.
+        lock(&inner.flights).remove(&key);
+        *lock(&flight.state) = FlightState::Done(result);
+        flight.cv.notify_all();
+        inner.active_flights.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(c) = payload.downcast_ref::<Cancelled>() {
+        return format!("cancelled: {}", c.reason);
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return format!("panicked: {s}");
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return format!("panicked: {s}");
+    }
+    "panicked".to_string()
+}
+
+fn cancel_json(req_token: &CancelToken) -> String {
+    let reason = req_token.reason().unwrap_or_else(|| "cancelled".into());
+    let error = if reason.contains("deadline") { "deadline" } else { "cancelled" };
+    err_json(error, &reason)
+}
+
+fn err_json(error: &str, detail: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{},\"detail\":{}}}", jstr(error), jstr(detail))
+}
+
+/// JSON string literal with escaping.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A float that round-trips as JSON (never NaN/inf in our outputs, but
+/// degrade to null rather than emit invalid JSON).
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed flat-JSON value (the protocol needs no nesting).
+enum JVal {
+    S(String),
+    N(f64),
+    // No request field is boolean today; parsed for forward
+    // compatibility so clients sending one get a field-level error,
+    // not a protocol error.
+    #[allow(dead_code)]
+    B(bool),
+}
+
+/// Minimal parser for one flat JSON object: string/number/bool/null
+/// values only (nested containers are rejected — the request schema is
+/// flat by design). Std-only, like everything else in this repo.
+fn parse_flat_json(text: &str) -> Result<HashMap<String, JVal>, String> {
+    let mut chars = text.chars().peekable();
+    let mut map = HashMap::new();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Ok(map);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('"') => {
+                let v = parse_string(&mut chars)?;
+                map.insert(key, JVal::S(v));
+            }
+            Some('t') | Some('f') | Some('n') => {
+                let word = parse_word(&mut chars);
+                match word.as_str() {
+                    "true" => {
+                        map.insert(key, JVal::B(true));
+                    }
+                    "false" => {
+                        map.insert(key, JVal::B(false));
+                    }
+                    // null = field absent.
+                    "null" => {}
+                    _ => return Err(format!("bad literal {word:?}")),
+                }
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = num.parse().map_err(|_| format!("bad number {num:?}"))?;
+                map.insert(key, JVal::N(v));
+            }
+            Some(c) => return Err(format!("unsupported value starting with {c:?}")),
+            None => return Err("truncated object".into()),
+        }
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(map),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// A run of ASCII letters, left delimiter untouched.
+fn parse_word(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut word = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphabetic() {
+            word.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    word
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000C}'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_round_trips_the_request_schema() {
+        let m = parse_flat_json(
+            r#"{"machine":"i5","n":8,"threads":4,"top":2,"passes":"","extra":null,"flag":true}"#,
+        )
+        .unwrap();
+        assert!(matches!(m.get("machine"), Some(JVal::S(s)) if s == "i5"));
+        assert!(matches!(m.get("n"), Some(JVal::N(v)) if *v == 8.0));
+        assert!(matches!(m.get("threads"), Some(JVal::N(v)) if *v == 4.0));
+        assert!(matches!(m.get("passes"), Some(JVal::S(s)) if s.is_empty()));
+        assert!(!m.contains_key("extra"), "null reads as absent");
+        assert!(matches!(m.get("flag"), Some(JVal::B(true))));
+    }
+
+    #[test]
+    fn flat_json_rejects_torn_and_nested_input() {
+        assert!(parse_flat_json("").is_err());
+        assert!(parse_flat_json("{\"a\":1").is_err());
+        assert!(parse_flat_json("{\"a\":[1]}").is_err(), "nesting is rejected");
+        assert!(parse_flat_json("{\"a\":{}}").is_err());
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{\"a\"}").is_err());
+    }
+
+    #[test]
+    fn json_strings_escape_cleanly() {
+        assert_eq!(jstr("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let m = parse_flat_json("{\"k\":\"a\\\"b\\u0041\"}").unwrap();
+        assert!(matches!(m.get("k"), Some(JVal::S(s)) if s == "a\"bA"));
+    }
+
+    #[test]
+    fn empty_object_and_whitespace_parse() {
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+        let m = parse_flat_json(" { \"a\" : -1.5e-3 } ").unwrap();
+        assert!(matches!(m.get("a"), Some(JVal::N(v)) if (*v + 1.5e-3).abs() < 1e-12));
+    }
+}

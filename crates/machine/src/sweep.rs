@@ -43,10 +43,16 @@ pub fn rank_variants(
 
 /// Rank the full extended variant space for a box size at full cores.
 pub fn rank_all(spec: &MachineSpec, box_n: i32) -> Vec<RankedVariant> {
+    rank_all_at(spec, box_n, spec.cores())
+}
+
+/// [`rank_all`] at an explicit thread count — `machine::serve` ranks at
+/// whatever thread count the client asked about, not just full cores.
+pub fn rank_all_at(spec: &MachineSpec, box_n: i32, threads: usize) -> Vec<RankedVariant> {
     let wl = Workload::paper(box_n);
     let variants: Vec<Variant> =
         Variant::enumerate_extended(box_n).into_iter().filter(|v| v.valid_for_box(box_n)).collect();
-    rank_variants(spec, &variants, wl, spec.cores())
+    rank_variants(spec, &variants, wl, threads)
 }
 
 /// The fastest variant for a box size on a machine (analytic model), or

@@ -343,6 +343,13 @@ pub struct TrafficCache {
     /// retries per append, and the initial backoff in microseconds.
     retry_max: AtomicU32,
     retry_backoff_us: AtomicU64,
+    /// The store file's [`store_stamp`] as of the last load/reload —
+    /// what [`TrafficCache::refresh_if_compacted`] compares against to
+    /// notice another process rewriting the store underneath a
+    /// long-lived read-only cache.
+    loaded_stamp: Mutex<(u64, u64)>,
+    /// Bumped once per external reload ([`TrafficCache::store_generation`]).
+    store_generation: AtomicU64,
     fault: Option<Arc<dyn FaultHook>>,
 }
 
@@ -649,6 +656,24 @@ pub(crate) fn write_store_atomic(path: &Path, entries: &StoreMap) -> std::io::Re
     std::fs::rename(&tmp, path)
 }
 
+/// The change stamp of a store file: `(mtime nanos, length)`. Two
+/// stats returning the same stamp mean the file almost certainly has
+/// the same bytes (appends grow the length; compaction rewrites both);
+/// a changed stamp is the cue to re-snapshot. A missing file stamps as
+/// `(0, 0)`.
+pub(crate) fn store_stamp(path: &Path) -> (u64, u64) {
+    let Ok(meta) = std::fs::metadata(path) else {
+        return (0, 0);
+    };
+    let mtime = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (mtime, meta.len())
+}
+
 /// Lock-free, read-only snapshot of a store: intact entries plus the
 /// count of corrupt lines. Accepts the current and the v3 grammar, never
 /// repairs, quarantines, or locks — this is the coordinator's view of a
@@ -683,6 +708,126 @@ pub(crate) fn read_store_snapshot(path: &Path) -> (StoreMap, u64) {
         }
     }
     (map, corrupt)
+}
+
+/// One immutable, generation-stamped snapshot of a store file, produced
+/// by [`StoreReader`]. Holders read it without any lock — file, flock,
+/// or mutex — for as long as they keep the `Arc`; a concurrent writer's
+/// append or compaction lands in the *next* view, never mutates this
+/// one.
+#[derive(Debug)]
+pub struct StoreView {
+    /// Monotonic reload counter: bumped every time the reader observed
+    /// a changed store file and re-read it. Two views with the same
+    /// generation are the same object; readers comparing generations
+    /// can tell "same store state" from "reloaded behind my back".
+    pub generation: u64,
+    /// The file stamp ([`store_stamp`]) this view was read at.
+    stamp: (u64, u64),
+    map: StoreMap,
+    /// Lines that failed checksum validation in this snapshot — a torn
+    /// in-flight append shows up here (and is absent from `map`) until
+    /// the next reload sees it whole.
+    pub corrupt_lines: u64,
+}
+
+impl StoreView {
+    /// Look up an entry by its store key.
+    pub fn get(&self, key: &str) -> Option<(BoxTraffic, TrafficMode)> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of intact entries in this snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The entries of this snapshot, for callers that need to iterate
+    /// (tests comparing whole generations; the serve warm path only
+    /// ever calls [`StoreView::get`]).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &(BoxTraffic, TrafficMode))> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// A lock-free warm-read path over a store file: an immutable in-memory
+/// snapshot ([`StoreView`]) behind an `Arc`, atomically swapped for a
+/// fresh one when [`StoreReader::refresh`] observes the file's stamp
+/// change (another writer appended or compacted). Readers clone the
+/// `Arc` and never touch the store's flock — this is how N concurrent
+/// servers/readers share one store with exactly one writer.
+///
+/// Torn reads cannot escape: a snapshot taken mid-append sees the
+/// incomplete tail line fail its checksum and drops it (counted in
+/// [`StoreView::corrupt_lines`]), and a snapshot racing a compaction
+/// sees either the old file or the atomically renamed new one — never a
+/// mix. Every view is therefore bit-exact some committed store state.
+pub struct StoreReader {
+    path: PathBuf,
+    state: Mutex<Arc<StoreView>>,
+}
+
+impl StoreReader {
+    /// Open a reader over `path`, taking the initial snapshot (an
+    /// absent or wrong-version file reads as an empty generation-0
+    /// view).
+    pub fn open(path: impl Into<PathBuf>) -> StoreReader {
+        let path = path.into();
+        let stamp = store_stamp(&path);
+        let (map, corrupt) = read_store_snapshot(&path);
+        StoreReader {
+            path,
+            state: Mutex::new(Arc::new(StoreView {
+                generation: 0,
+                stamp,
+                map,
+                corrupt_lines: corrupt,
+            })),
+        }
+    }
+
+    /// The store file this reader snapshots.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The current view (cheap: one mutex-guarded `Arc` clone, no I/O).
+    pub fn view(&self) -> Arc<StoreView> {
+        Arc::clone(&self.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Re-stat the store file and, if its stamp changed since the
+    /// current view, read a fresh snapshot and atomically swap it in
+    /// (generation + 1). Returns the now-current view either way.
+    /// Cheap when nothing changed: one `stat(2)`.
+    pub fn refresh(&self) -> Arc<StoreView> {
+        let stamp = store_stamp(&self.path);
+        {
+            let cur = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if cur.stamp == stamp {
+                return Arc::clone(&cur);
+            }
+        }
+        // Read outside the lock (snapshots can be slow); last swap wins,
+        // which is fine — both candidates are committed states, and the
+        // next refresh converges on the newest stamp.
+        let (map, corrupt) = read_store_snapshot(&self.path);
+        let mut cur = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if cur.stamp != stamp {
+            *cur = Arc::new(StoreView {
+                generation: cur.generation + 1,
+                stamp,
+                map,
+                corrupt_lines: corrupt,
+            });
+        }
+        Arc::clone(&cur)
+    }
 }
 
 impl TrafficCache {
@@ -776,6 +921,10 @@ impl TrafficCache {
         }
         let mut cache = TrafficCache::new();
         cache.map = Mutex::new(map);
+        // Stamp *after* any repair/migration rewrite above, so the first
+        // refresh_if_compacted() doesn't mistake our own compaction for
+        // an external writer's.
+        cache.loaded_stamp = Mutex::new(store_stamp(&path));
         cache.store = Some(path);
         cache.owned_lock = owns_lock.then_some(lock);
         cache.lock_file = lock_file;
@@ -840,6 +989,62 @@ impl TrafficCache {
     /// nothing.
     pub fn store_read_only(&self) -> bool {
         self.store.is_some() && self.owned_lock.is_none()
+    }
+
+    /// Notice an external rewrite of the store: re-stat the file's
+    /// mtime/length and, if they changed since this cache last loaded
+    /// it, take a fresh lock-free snapshot and swap it in atomically
+    /// (in-memory-only measurements this cache made are kept — they are
+    /// still valid, just not persisted). Returns `true` iff a reload
+    /// happened; each reload bumps [`TrafficCache::store_generation`].
+    ///
+    /// Only meaningful for a cache that is *not* the store's writer: a
+    /// long-lived read-only reader (the second `repro` of a pair, a
+    /// degraded server) whose writer compacts or merge-compacts
+    /// underneath it would otherwise serve its load-time view forever.
+    /// The writer itself is the single source of the file's changes, so
+    /// a writing cache returns `false` without stat-ing.
+    pub fn refresh_if_compacted(&self) -> bool {
+        let Some(path) = &self.store else {
+            return false;
+        };
+        if self.owned_lock.is_some() {
+            return false;
+        }
+        let stamp = store_stamp(path);
+        {
+            let loaded = self.loaded_stamp.lock().unwrap_or_else(|e| e.into_inner());
+            if *loaded == stamp {
+                return false;
+            }
+        }
+        let (mut fresh, corrupt) = read_store_snapshot(path);
+        // Swap under both locks, stamp first: a racing refresh observing
+        // the updated stamp must also observe the updated map.
+        let mut loaded = self.loaded_stamp.lock().unwrap_or_else(|e| e.into_inner());
+        if *loaded == stamp {
+            return false; // a racing refresh beat us to this stamp
+        }
+        *loaded = stamp;
+        let mut map = self.map_lock();
+        for (k, v) in map.iter() {
+            // Keep locally measured entries the external store doesn't
+            // have; on conflict the store wins (it is the durable
+            // truth, and the numbers are deterministic anyway).
+            fresh.entry(k.clone()).or_insert(*v);
+        }
+        *map = fresh;
+        drop(map);
+        drop(loaded);
+        self.corrupt_lines.fetch_add(corrupt, Ordering::Relaxed);
+        self.store_generation.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// How many external reloads [`TrafficCache::refresh_if_compacted`]
+    /// has performed (0 = still serving the load-time view).
+    pub fn store_generation(&self) -> u64 {
+        self.store_generation.load(Ordering::Relaxed)
     }
 
     /// The backing store path, if any.
@@ -1063,6 +1268,33 @@ impl TrafficCache {
                 let _ = f.sync_all();
             }
         }
+    }
+
+    /// Rewrite the backing store to its canonical compacted form
+    /// (sorted keys, atomic tmp+rename), if this cache is its writer.
+    /// The canonical bytes are a pure function of the entry set —
+    /// `repro serve` compacts on drain so two stores holding the same
+    /// measurements compare bit-identical (`serve_storm.sh` relies on
+    /// this). Returns whether a rewrite happened; read-only and
+    /// in-memory caches no-op. Callers must quiesce concurrent
+    /// `get`/`get_optimized` calls first (the server drains inflight
+    /// requests before compacting): an append racing the rename could
+    /// land on the doomed pre-rename inode and be lost from disk until
+    /// the next compaction.
+    pub fn compact_store(&self) -> bool {
+        if self.store.is_none() || self.owned_lock.is_none() {
+            return false;
+        }
+        let path = self.store.as_ref().unwrap();
+        let map = self.map_lock();
+        if write_store_atomic(path, &map).is_err() {
+            self.store_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        drop(map);
+        let mut loaded = self.loaded_stamp.lock().unwrap_or_else(|e| e.into_inner());
+        *loaded = store_stamp(path);
+        true
     }
 
     /// Whether a measurement for this point is already held (no

@@ -289,6 +289,57 @@ fn journal_truncated_at_every_byte_stays_probeable_and_safe() {
     }
 }
 
+/// The same kill-at-every-byte sweep, but every cut is followed by a
+/// lone 0xE2 byte — the first byte of a torn multi-byte UTF-8 sequence,
+/// exactly what a writer killed mid-write of non-ASCII text leaves
+/// behind. Before the lossy-decode fix, `load()` hard-errored on the
+/// invalid byte and condemned the whole journal; now every probe stays
+/// well-defined, the torn tail is counted, and `complete` only counts
+/// once its newline survived the cut (the junk byte glues onto whatever
+/// line the cut left open).
+#[test]
+fn journal_cut_with_non_utf8_tail_stays_probeable_and_counted() {
+    let dir = TempDir::new("journalutf8");
+    let full_path = dir.file("t.txt.journal");
+    {
+        let j = journal::SweepJournal::start(&full_path, 3).unwrap();
+        j.heartbeat();
+        j.fail("sf", 16, "boom");
+        j.complete();
+    }
+    let full = std::fs::read_to_string(&full_path).unwrap();
+    // `load` yields Some only once the begin record's total is whole —
+    // and the junk byte glues onto the total when the cut lands right
+    // after it ("begin\t3" + 0xE2 parses as total "3�").
+    let begin_total_end = full.find("begin\t3").unwrap() + "begin\t3".len();
+    let complete_at = full.find("complete").unwrap() + "complete".len();
+    for b in 0..=full.len() {
+        let path = dir.file("cut.journal");
+        let mut bytes = full.as_bytes()[..b].to_vec();
+        bytes.push(0xE2);
+        std::fs::write(&path, &bytes).unwrap();
+        let prior = journal::load(&path);
+        let beat = journal::last_heartbeat(&path);
+        let done = journal::is_complete(&path);
+        // "complete�" is not a completion record; only a whole
+        // `complete` line (newline included) reads as done.
+        assert_eq!(done, b > complete_at, "cut at {b}");
+        // A whole begin record means the journal loads despite the junk.
+        assert_eq!(prior.is_some(), b > begin_total_end, "cut at {b}");
+        if let Some(p) = &prior {
+            assert_eq!(p.total, 3, "cut at {b}");
+        }
+        if b == full.len() {
+            // The junk forms its own torn trailing line and is counted.
+            assert_eq!(prior.as_ref().unwrap().torn_records, 1, "cut at {b}");
+            assert_eq!(prior.as_ref().unwrap().failed, 1, "cut at {b}");
+        }
+        if let Some((pid, _ms)) = beat {
+            assert_eq!(pid, std::process::id(), "cut at {b}");
+        }
+    }
+}
+
 /// Crash-at-every-handoff for merge-compaction: a kill before the
 /// atomic rename leaves the old canonical store with every shard store
 /// intact; a kill after it leaves the new canonical store with any

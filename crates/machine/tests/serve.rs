@@ -1,0 +1,412 @@
+//! End-to-end tests for `machine::serve`: thundering-herd coalescing,
+//! leader-panic and leader-abandonment propagation, admission control,
+//! and stale-tagged degradation with the writer flock held elsewhere.
+//!
+//! Expected "injected fault" panic messages in stderr are the
+//! injections themselves, not failures.
+
+use pdesched_machine::serve::{ServeConfig, Server};
+use pdesched_machine::{sweep, FaultHook, MachineSpec, SweepBudget, TrafficCache};
+use pdesched_testkit::{FaultPlan, TempDir};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Adapt a [`FaultPlan`] to the store hooks, releasing injected hangs
+/// when the flight's ambient cancel token trips (so an abandoned
+/// hanging flight unwinds instead of running to the 60 s safety cap).
+struct GatedHook(Arc<FaultPlan>);
+
+impl FaultHook for GatedHook {
+    fn before_simulation(&self, _sim_index: u64, _key: &str) {
+        self.0.on_sim_gated(|| !pdesched_par::cancel::current_is_tripped());
+    }
+    fn fail_append(&self, _append_index: u64) -> bool {
+        self.0.on_append()
+    }
+}
+
+/// One request/response exchange on a fresh connection.
+fn ask(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read response");
+    line.trim_end().to_string()
+}
+
+fn count_entry_lines(store: &std::path::Path) -> usize {
+    std::fs::read_to_string(store)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .count()
+}
+
+/// Acceptance: a 64-client thundering herd on one cold point performs
+/// exactly one simulation, every client gets a well-formed identical
+/// answer, and the store gains exactly one provenance entry.
+#[test]
+fn thundering_herd_coalesces_to_one_simulation() {
+    let dir = TempDir::new("servherd");
+    let store = dir.file("t.txt");
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        max_inflight: 128,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 64;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let responses: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    barrier.wait();
+                    stream
+                        .write_all(b"{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}\n")
+                        .unwrap();
+                    let mut line = String::new();
+                    BufReader::new(stream).read_line(&mut line).expect("read");
+                    line.trim_end().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(responses.len(), CLIENTS);
+    for r in &responses {
+        assert!(r.contains("\"ok\":true"), "herd response failed: {r}");
+        assert!(r.contains("\"stale\":false"));
+    }
+    // Identical modulo provenance: a client whose request arrived after
+    // the flight published reads the same bytes from the warm snapshot.
+    let normalized: Vec<String> =
+        responses.iter().map(|r| r.replace("\"source\":\"warm\"", "\"source\":\"sim\"")).collect();
+    for r in &normalized[1..] {
+        assert_eq!(r, &normalized[0], "herd answers must be identical");
+    }
+    assert!(
+        responses.iter().any(|r| r.contains("\"source\":\"sim\"")),
+        "vacuity: at least the flight's own requester saw the simulation"
+    );
+
+    // Exactly one simulation, exactly one store entry, herd coalesced.
+    assert_eq!(server.cache().stats().misses, 1, "the herd must trigger exactly one simulation");
+    let stats = server.stats();
+    assert_eq!(stats.requests, CLIENTS as u64);
+    assert!(stats.coalesced > 0, "vacuity: nobody coalesced — the herd was serial");
+    assert!(server.drain(), "drain with nothing inflight must be clean");
+    assert_eq!(count_entry_lines(&store), 1, "exactly one provenance entry");
+    let body = std::fs::read_to_string(&store).unwrap();
+    assert!(body.lines().any(|l| l.contains(" sim ")), "the entry carries sim provenance");
+}
+
+/// A leader panic is published to every parked follower and the flight
+/// map is not poisoned: the next request starts a fresh flight that
+/// succeeds.
+#[test]
+fn leader_panic_reaches_followers_without_poisoning() {
+    let dir = TempDir::new("servpanic");
+    let plan = Arc::new(FaultPlan::new().panic_on_sim(0));
+    let server = Server::start(ServeConfig {
+        store: Some(dir.file("t.txt")),
+        max_inflight: 32,
+        store_fault: Some(Arc::new(GatedHook(plan))),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let responses: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    barrier.wait();
+                    stream
+                        .write_all(b"{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}\n")
+                        .unwrap();
+                    let mut line = String::new();
+                    BufReader::new(stream).read_line(&mut line).expect("read");
+                    line.trim_end().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The injected panic lands on sim index 0. Every request that
+    // joined that flight fails with the propagated panic; any client
+    // whose request arrived after the failure published starts a fresh
+    // flight (sim index 1, no fault) and succeeds. Nobody hangs, the
+    // server survives.
+    let failed = responses.iter().filter(|r| r.contains("\"error\":\"point_failed\"")).count();
+    assert!(failed >= 1, "vacuity: the injected panic reached no client");
+    for r in &responses {
+        assert!(
+            r.contains("\"ok\":true")
+                || (r.contains("point_failed") && r.contains("injected fault")),
+            "unexpected response: {r}"
+        );
+    }
+    // The map was not poisoned: a fresh request succeeds.
+    let retry = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}");
+    assert!(retry.contains("\"ok\":true"), "post-panic retry failed: {retry}");
+}
+
+/// Admission control: with one hanging flight occupying the single
+/// inflight slot, the next request is rejected immediately with
+/// `retry_after_ms` — not queued.
+#[test]
+fn overload_rejects_immediately_with_retry_after() {
+    let dir = TempDir::new("servload");
+    let plan = Arc::new(FaultPlan::new().hang_on_sim(0));
+    let server = Server::start(ServeConfig {
+        store: Some(dir.file("t.txt")),
+        max_inflight: 1,
+        retry_after: Duration::from_millis(250),
+        store_fault: Some(Arc::new(GatedHook(Arc::clone(&plan)))),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // First client: request hangs in the injected fault.
+    let mut hung = TcpStream::connect(addr).expect("connect");
+    hung.write_all(b"{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}\n").unwrap();
+    let t0 = Instant::now();
+    while plan.sims_seen() == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "flight never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Second client: rejected at once.
+    let t0 = Instant::now();
+    let resp = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}");
+    assert!(
+        resp.contains("\"error\":\"overloaded\"") && resp.contains("\"retry_after_ms\":250"),
+        "expected immediate overload rejection, got: {resp}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "rejection must be immediate, not queued behind the hung flight"
+    );
+    assert_eq!(server.stats().rejected, 1);
+
+    // Abandon the hung request: disconnect trips the request token, the
+    // interest set trips the flight token, the gated hang releases, and
+    // the worker unwinds as cancelled. The server is then idle again.
+    drop(hung);
+    let t0 = Instant::now();
+    while server.stats().inflight > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "abandoned flight never unwound");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let resp = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}");
+    assert!(resp.contains("\"ok\":true"), "server must recover after abandonment: {resp}");
+}
+
+/// Client disconnect mid-simulation abandons the flight: the per
+/// request token trips, the last interest release trips the flight
+/// token, and the measurement stops mid-plan-execution — no entry is
+/// ever appended for the abandoned point.
+#[test]
+fn abandoned_cold_request_stops_mid_execution() {
+    let dir = TempDir::new("servaband");
+    let store = dir.file("t.txt");
+    let server =
+        Server::start(ServeConfig { store: Some(store.clone()), ..ServeConfig::default() })
+            .expect("bind");
+    let addr = server.local_addr();
+
+    // n=64 is expensive enough (in a debug build) that the simulation
+    // is still running when the client walks away.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"{\"machine\":\"i5\",\"n\":64,\"threads\":2,\"top\":1}\n").unwrap();
+    let t0 = Instant::now();
+    while server.cache().stats().misses == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "flight never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(stream); // SIGKILL-equivalent: vanish mid-request
+
+    let t0 = Instant::now();
+    while server.stats().inflight > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(20), "abandoned request never unwound");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.drain());
+    assert_eq!(server.cache().stats().misses, 1, "the point was attempted once");
+    assert_eq!(count_entry_lines(&store), 0, "the cancelled measurement must not be recorded");
+}
+
+/// Request deadlines answer within the deadline even when the point is
+/// slow, and the flight abandoned by every deadline trips too.
+#[test]
+fn request_deadline_trips_slow_points() {
+    let dir = TempDir::new("servdeadline");
+    let store = dir.file("t.txt");
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        request_deadline: Some(Duration::from_millis(300)),
+        budget: SweepBudget { max_retries: 0, ..SweepBudget::default() },
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let resp = ask(addr, "{\"machine\":\"i5\",\"n\":64,\"threads\":2,\"top\":1}");
+    assert!(
+        resp.contains("\"error\":\"deadline\""),
+        "a 64^3 debug simulation cannot finish in 300ms; got: {resp}"
+    );
+    // The abandoned flight unwinds; nothing is recorded.
+    let t0 = Instant::now();
+    while server.stats().inflight > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(20), "deadline flight never unwound");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.drain());
+    assert_eq!(count_entry_lines(&store), 0);
+}
+
+/// Graceful degradation with the writer flock held elsewhere: warm
+/// points are served from the lock-free snapshot tagged `"stale":true`,
+/// cold points fall back to the analytic model, external appends are
+/// picked up per request, and without `stale_ok` the request is
+/// refused while the server stays up.
+#[test]
+fn held_flock_serves_stale_tagged_snapshots() {
+    let dir = TempDir::new("servstale");
+    let store = dir.file("t.txt");
+    let spec = MachineSpec::i5_desktop();
+    let threads = 2usize;
+    let ranked = sweep::rank_all_at(&spec, 8, threads);
+
+    // An external writer prewarms the analytically-best point and KEEPS
+    // its flock held while the server runs.
+    let writer = TrafficCache::with_store(&store);
+    let hierarchy = pdesched_machine::model::prediction_hierarchy(&spec, threads);
+    writer.get(ranked[0].variant, 8, &hierarchy);
+
+    // stale_ok=false: refused, but the server survives.
+    {
+        let server = Server::start(ServeConfig {
+            store: Some(store.clone()),
+            stale_ok: false,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        assert!(server.cache().store_read_only(), "writer holds the flock");
+        let resp = ask(server.local_addr(), "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":1}");
+        assert!(resp.contains("\"error\":\"stale_store\""), "got: {resp}");
+        let resp = ask(server.local_addr(), "{\"machine\":\"i5\",\"n\":8,\"threads\":2}");
+        assert!(resp.contains("stale_store"), "server must still answer: {resp}");
+    }
+
+    // stale_ok=true: warm from the snapshot, cold analytically, no
+    // simulation ever.
+    let server = Server::start(ServeConfig {
+        store: Some(store.clone()),
+        stale_ok: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let resp = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":2}");
+    assert!(resp.contains("\"ok\":true"), "got: {resp}");
+    assert!(resp.contains("\"stale\":true"), "degraded answers must be tagged: {resp}");
+    assert!(resp.contains("\"source\":\"warm\""), "the prewarmed point is warm: {resp}");
+    assert!(resp.contains("\"source\":\"analytic\""), "the cold point degrades: {resp}");
+    assert_eq!(server.cache().stats().misses, 0, "read-only mode must never simulate");
+
+    // The external writer appends the second-best point; the next
+    // request refreshes the snapshot and serves it warm.
+    writer.get(ranked[1].variant, 8, &hierarchy);
+    let resp = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":2,\"top\":2}");
+    assert!(resp.contains("\"ok\":true") && resp.contains("\"stale\":true"), "got: {resp}");
+    assert!(
+        !resp.contains("\"source\":\"analytic\""),
+        "both points warm after the external append: {resp}"
+    );
+    assert!(resp.contains("\"generation\":1"), "the snapshot reloaded: {resp}");
+    assert_eq!(server.cache().stats().misses, 0);
+}
+
+/// Malformed and invalid requests get field-level errors and the
+/// connection stays usable; concurrent valid traffic is unaffected.
+#[test]
+fn bad_requests_degrade_per_request_not_per_server() {
+    let server = Server::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask_on = |req: &str| -> String {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    };
+
+    assert!(ask_on("this is not json").contains("\"error\":\"bad_request\""));
+    assert!(ask_on("{\"n\":8}").contains("missing string field"));
+    assert!(ask_on("{\"machine\":\"cray\",\"n\":8}").contains("unknown machine"));
+    assert!(ask_on("{\"machine\":\"i5\",\"n\":7}").contains("must divide"));
+    assert!(ask_on("{\"machine\":\"i5\",\"n\":8,\"threads\":99}").contains("out of range"));
+    assert!(
+        ask_on("{\"machine\":\"i5\",\"n\":8,\"passes\":\"bogus:1\"}").contains("bad passes spec")
+    );
+    // The same connection still serves a valid request afterwards.
+    let ok = ask_on("{\"machine\":\"i5\",\"n\":8,\"threads\":1,\"top\":1}");
+    assert!(ok.contains("\"ok\":true"), "got: {ok}");
+}
+
+/// The injected request faults: `Hang` parks the request until
+/// shutdown, `DropConnection` vanishes without an answer — and neither
+/// takes the server down.
+#[test]
+fn socket_faults_hit_one_request_not_the_server() {
+    struct DropSecond(AtomicUsize);
+    impl pdesched_machine::ServeHook for DropSecond {
+        fn on_request(&self, index: u64) -> Option<pdesched_machine::ServeFaultAction> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            (index == 1).then_some(pdesched_machine::ServeFaultAction::DropConnection)
+        }
+    }
+    let hook = Arc::new(DropSecond(AtomicUsize::new(0)));
+    let server = Server::start(ServeConfig {
+        hook: Some(Arc::clone(&hook) as Arc<dyn pdesched_machine::ServeHook>),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let first = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":1,\"top\":1}");
+    assert!(first.contains("\"ok\":true"));
+
+    // Request index 1: the connection dies without a response byte.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"{\"machine\":\"i5\",\"n\":8,\"threads\":1,\"top\":1}\n").unwrap();
+    let mut line = String::new();
+    let n = BufReader::new(stream).read_line(&mut line).unwrap();
+    assert_eq!(n, 0, "dropped connection must answer with EOF, got: {line}");
+
+    // The server is unharmed; the point is warm from request 0.
+    let third = ask(addr, "{\"machine\":\"i5\",\"n\":8,\"threads\":1,\"top\":1}");
+    assert!(third.contains("\"ok\":true") && third.contains("\"source\":\"warm\""));
+    assert_eq!(hook.0.load(Ordering::SeqCst), 3, "every request consulted the hook");
+}

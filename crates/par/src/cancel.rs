@@ -22,7 +22,7 @@
 //! every spawned region thread.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
 /// Panic payload (and [`SpmdPool::run_cancellable`] error) of an
@@ -323,6 +323,92 @@ impl Drop for WatchGuard {
     }
 }
 
+/// Counted interest in one shared piece of work — the bridge between
+/// many client lifetimes and one coalesced execution. `machine::serve`
+/// gives every in-flight point an `InterestSet` over the flight's
+/// [`CancelToken`]: each request that wants the point [`join`]s, each
+/// disconnect/deadline [`release`]s (or just drops) its [`Interest`],
+/// and the token trips with the set's reason only when the *last*
+/// holder lets go. One live follower keeps the flight running even
+/// after the leader's client died; when everyone is gone the flight
+/// stops mid-plan-execution instead of simulating into the void.
+///
+/// Releasing is idempotent per handle and `Drop` releases, so panics
+/// and early returns on the request path can never leak interest. The
+/// trip fires exactly once, on the 1→0 transition; a `join` after that
+/// hands out an interest in already-tripped work (the caller observes
+/// it through the token, as with any tripped token).
+///
+/// [`join`]: InterestSet::join
+/// [`release`]: Interest::release
+#[derive(Clone)]
+pub struct InterestSet {
+    inner: Arc<InterestInner>,
+}
+
+struct InterestInner {
+    token: CancelToken,
+    reason: String,
+    outstanding: AtomicUsize,
+}
+
+impl InterestSet {
+    /// A set that trips `token` with `reason` when the last outstanding
+    /// [`Interest`] releases.
+    pub fn new(token: CancelToken, reason: impl Into<String>) -> InterestSet {
+        InterestSet {
+            inner: Arc::new(InterestInner {
+                token,
+                reason: reason.into(),
+                outstanding: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Register one party's interest. The returned handle releases on
+    /// drop.
+    pub fn join(&self) -> Interest {
+        self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        Interest { set: Arc::clone(&self.inner), released: AtomicBool::new(false) }
+    }
+
+    /// Number of unreleased interests right now (racy by nature; for
+    /// introspection and tests).
+    pub fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Acquire)
+    }
+
+    /// The token this set trips when abandoned.
+    pub fn token(&self) -> &CancelToken {
+        &self.inner.token
+    }
+}
+
+/// One party's stake in an [`InterestSet`]; see there.
+pub struct Interest {
+    set: Arc<InterestInner>,
+    released: AtomicBool,
+}
+
+impl Interest {
+    /// Release this stake (idempotent). The set's token trips iff this
+    /// was the last outstanding interest.
+    pub fn release(&self) {
+        if self.released.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if self.set.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.set.token.trip(&self.set.reason);
+        }
+    }
+}
+
+impl Drop for Interest {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,5 +559,64 @@ mod tests {
         let _live = parent.child();
         let n = parent.inner.children.lock().unwrap().len();
         assert!(n <= 2, "dead child slots must be pruned, found {n}");
+    }
+
+    #[test]
+    fn interest_trips_only_when_the_last_holder_releases() {
+        let t = CancelToken::new();
+        let set = InterestSet::new(t.clone(), "abandoned");
+        let a = set.join();
+        let b = set.join();
+        assert_eq!(set.outstanding(), 2);
+        a.release();
+        a.release(); // idempotent: must not double-decrement
+        assert!(!t.is_tripped(), "one live follower keeps the flight running");
+        drop(b); // drop releases
+        assert!(t.is_tripped());
+        assert_eq!(t.reason().as_deref(), Some("abandoned"));
+    }
+
+    #[test]
+    fn interest_drop_after_release_is_inert() {
+        let t = CancelToken::new();
+        let set = InterestSet::new(t.clone(), "abandoned");
+        let a = set.join();
+        let b = set.join();
+        a.release();
+        drop(a); // already released: the drop must not count again
+        assert!(!t.is_tripped());
+        drop(set); // the set itself holds no interest
+        assert!(!t.is_tripped());
+        drop(b);
+        assert!(t.is_tripped());
+    }
+
+    #[test]
+    fn interest_abandonment_cascades_through_the_token_tree() {
+        // serve chains flight tokens off the server token; a flight
+        // abandoned by all clients must stop plan execution running
+        // under a *child* of the flight token.
+        let server = CancelToken::new();
+        let flight = server.child();
+        let set = InterestSet::new(flight.clone(), "abandoned");
+        let exec = flight.child();
+        let only = set.join();
+        drop(only);
+        assert!(exec.is_tripped(), "abandonment must reach execution children");
+        assert!(!server.is_tripped(), "but never the server token");
+    }
+
+    #[test]
+    fn concurrent_releases_trip_exactly_once() {
+        let t = CancelToken::new();
+        let set = InterestSet::new(t.clone(), "abandoned");
+        let handles: Vec<_> = (0..16).map(|_| set.join()).collect();
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || h.release());
+            }
+        });
+        assert!(t.is_tripped());
+        assert_eq!(set.outstanding(), 0);
     }
 }

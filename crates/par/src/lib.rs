@@ -28,7 +28,7 @@ pub mod pool;
 pub mod slice;
 
 pub use barrier::{Barrier, BarrierPoisoned};
-pub use cancel::{CancelToken, Cancelled};
+pub use cancel::{CancelToken, Cancelled, Interest, InterestSet};
 pub use pool::SpmdPool;
 pub use slice::UnsafeSlice;
 

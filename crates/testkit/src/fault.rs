@@ -19,8 +19,21 @@ pub struct FaultPlan {
     abort_on_sim: Option<u64>,
     fail_append_every: Option<u64>,
     truncate_after_byte: Option<u64>,
+    drop_on_request: Option<u64>,
+    hang_on_request: Option<u64>,
     sims: AtomicU64,
     appends: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// What an injected socket fault does to the service request it fires
+/// on (the request-path analogue of a sim panic/hang).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Close the connection without answering.
+    DropConnection,
+    /// Park the request (the window a storm script kills into).
+    Hang,
 }
 
 /// Safety cap on an injected hang: even with no gate, a hung probe
@@ -109,6 +122,34 @@ impl FaultPlan {
         }
     }
 
+    /// Drop the connection of the `k`-th (0-based) service request
+    /// without answering it (see [`on_request`](Self::on_request)).
+    pub fn drop_on_request(mut self, k: u64) -> Self {
+        self.drop_on_request = Some(k);
+        self
+    }
+
+    /// Hang the `k`-th (0-based) service request; the server's own
+    /// hang policy (shutdown gate, cap) bounds it.
+    pub fn hang_on_request(mut self, k: u64) -> Self {
+        self.hang_on_request = Some(k);
+        self
+    }
+
+    /// Count one service request; returns the socket fault planned for
+    /// exactly this occurrence, if any. Call from the request path (any
+    /// connection thread).
+    pub fn on_request(&self) -> Option<SocketFault> {
+        let idx = self.requests.fetch_add(1, Ordering::SeqCst);
+        if self.drop_on_request == Some(idx) {
+            return Some(SocketFault::DropConnection);
+        }
+        if self.hang_on_request == Some(idx) {
+            return Some(SocketFault::Hang);
+        }
+        None
+    }
+
     /// Count one store append; returns `true` when the plan says this
     /// one must fail.
     pub fn on_append(&self) -> bool {
@@ -132,6 +173,11 @@ impl FaultPlan {
     /// Appends probed so far.
     pub fn appends_seen(&self) -> u64 {
         self.appends.load(Ordering::SeqCst)
+    }
+
+    /// Service requests probed so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
     }
 }
 
@@ -188,6 +234,17 @@ mod tests {
         // Later sims are unaffected.
         p.on_sim();
         assert_eq!(p.sims_seen(), 3);
+    }
+
+    #[test]
+    fn socket_faults_fire_on_exactly_the_planned_request() {
+        let p = FaultPlan::new().drop_on_request(1).hang_on_request(3);
+        let fired: Vec<Option<SocketFault>> = (0..5).map(|_| p.on_request()).collect();
+        assert_eq!(
+            fired,
+            [None, Some(SocketFault::DropConnection), None, Some(SocketFault::Hang), None]
+        );
+        assert_eq!(p.requests_seen(), 5);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 pub mod fault;
 pub mod tempdir;
 
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, SocketFault};
 pub use tempdir::TempDir;
 
 /// SplitMix64: tiny, statistically solid, and stable across platforms —
